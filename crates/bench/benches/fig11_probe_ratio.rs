@@ -1,0 +1,37 @@
+//! **Figure 11** — decentralized Hopper's gains vs the probe ratio, at
+//! several utilizations.
+//!
+//! The paper: gains grow with the probe ratio up to ~4 (3.5 suffices at
+//! 70–80%); at 90% utilization extra probes stop paying beyond ~2.5.
+
+use hopper_decentral::{run, DecPolicy};
+use hopper_metrics::{reduction_pct, Table};
+
+fn main() {
+    hopper_bench::banner("Figure 11", "gain over Sparrow-SRPT vs probe ratio");
+    let seeds = hopper_bench::seeds();
+
+    let mut table = Table::new(
+        "reduction (%) in average JCT vs Sparrow-SRPT (probe ratio 2)",
+        &["probe ratio", "util 60%", "util 70%", "util 80%", "util 90%"],
+    );
+    for ratio in [2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0] {
+        let mut cells = vec![format!("{ratio:.1}")];
+        for util in [0.6, 0.7, 0.8, 0.9] {
+            let mut base = 0.0;
+            let mut hop = 0.0;
+            for seed in 0..seeds {
+                let mut cfg = hopper_bench::decentral_cfg(seed);
+                let slots = cfg.cluster.total_slots();
+                let trace = hopper_bench::fb_interactive_trace(seed, util, slots);
+                cfg.probe_ratio = 2.0;
+                base += run(&trace, DecPolicy::SparrowSrpt, &cfg).mean_duration_ms();
+                cfg.probe_ratio = ratio;
+                hop += run(&trace, DecPolicy::Hopper, &cfg).mean_duration_ms();
+            }
+            cells.push(format!("{:.1}%", reduction_pct(base, hop)));
+        }
+        table.row(&cells);
+    }
+    table.print();
+}

@@ -1,0 +1,88 @@
+//! **Figure 12** — centralized Hopper vs centralized SRPT (+LATE), on
+//! Hadoop-style (batch, disk-fed) and Spark-style (interactive,
+//! in-memory) workload profiles: overall, by job-size bin, and by DAG
+//! length.
+//!
+//! The paper: ~50% overall, with Spark modestly higher than Hadoop
+//! (short tasks are more sensitive to stragglers and to speculative-copy
+//! placement). See EXPERIMENTS.md for where this reproduction lands —
+//! our idealized zero-latency SRPT baseline narrows the gap.
+
+use hopper_central::{run, HopperConfig, Policy};
+use hopper_metrics::{
+    mean_duration_for_dag, mean_duration_in_bin, reduction_pct, SizeBin, Table,
+};
+use hopper_workload::{TraceGenerator, WorkloadProfile};
+
+fn main() {
+    hopper_bench::banner("Figure 12", "centralized Hopper vs SRPT: bins and DAG lengths");
+    let seeds = hopper_bench::seeds();
+
+    for (name, interactive) in [("Hadoop-style", false), ("Spark-style", true)] {
+        let mut overall = (0.0, 0.0);
+        let mut bins = [(0.0, 0.0); 4];
+        for seed in 0..seeds {
+            let cfg = hopper_bench::central_cfg(seed, interactive);
+            let slots = cfg.cluster.total_slots();
+            let profile = if interactive {
+                WorkloadProfile::facebook().interactive().single_phase()
+            } else {
+                WorkloadProfile::facebook().single_phase()
+            };
+            let trace = TraceGenerator::new(profile, hopper_bench::jobs(), seed)
+                .generate_with_utilization(slots, 0.8);
+            let base = run(&trace, &Policy::Srpt, &cfg);
+            let hop = run(&trace, &Policy::Hopper(HopperConfig { learn_beta: false, ..Default::default() }), &cfg);
+            overall.0 += base.mean_duration_ms();
+            overall.1 += hop.mean_duration_ms();
+            for (i, bin) in SizeBin::all().into_iter().enumerate() {
+                if let (Some(b), Some(h)) = (
+                    mean_duration_in_bin(&base.jobs, bin),
+                    mean_duration_in_bin(&hop.jobs, bin),
+                ) {
+                    bins[i].0 += b;
+                    bins[i].1 += h;
+                }
+            }
+        }
+        let mut table = Table::new(
+            &format!("(a) {name} profile, 80% utilization, single-phase jobs"),
+            &["job bin", "reduction vs SRPT"],
+        );
+        table.row(&["Overall".into(), format!("{:.1}%", reduction_pct(overall.0, overall.1))]);
+        for (i, bin) in SizeBin::all().into_iter().enumerate() {
+            let cell = if bins[i].0 == 0.0 {
+                "n/a".to_string()
+            } else {
+                format!("{:.1}%", reduction_pct(bins[i].0, bins[i].1))
+            };
+            table.row(&[bin.label().into(), cell]);
+        }
+        table.print();
+    }
+
+    // (b) by DAG length, Spark-style profile.
+    let mut tb = Table::new(
+        "(b) gains by DAG length (Spark-style, 70% util)",
+        &["phases", "reduction vs SRPT"],
+    );
+    for len in 2..=8usize {
+        let (mut b, mut h) = (0.0, 0.0);
+        for seed in 0..seeds {
+            let cfg = hopper_bench::central_cfg(seed, true);
+            let slots = cfg.cluster.total_slots();
+            let profile = WorkloadProfile::facebook().interactive().fixed_dag_len(len);
+            let trace = TraceGenerator::new(profile, hopper_bench::jobs() / 2, seed)
+                .generate_with_utilization(slots, 0.7);
+            b += mean_duration_for_dag(&run(&trace, &Policy::Srpt, &cfg).jobs, len)
+                .unwrap_or(0.0);
+            h += mean_duration_for_dag(
+                &run(&trace, &Policy::Hopper(HopperConfig { learn_beta: false, ..Default::default() }), &cfg).jobs,
+                len,
+            )
+            .unwrap_or(0.0);
+        }
+        tb.row(&[len.to_string(), format!("{:.1}%", reduction_pct(b, h))]);
+    }
+    tb.print();
+}

@@ -1,0 +1,70 @@
+//! **Figure 5a** — the power of many choices: decentralized performance
+//! (relative to centralized Hopper) vs the probe count `d`.
+//!
+//! The paper's simulation (50 schedulers, 10 000 workers, β = 1.5) shows
+//! decentralized Hopper converging to within ~15% of the centralized
+//! scheduler by d = 4, while Sparrow stays >100% off at medium-high
+//! utilization. We run a scaled cluster with the same structure.
+
+use hopper_central as central;
+use hopper_decentral::{run, DecPolicy};
+use hopper_metrics::Table;
+use hopper_workload::{TraceGenerator, WorkloadProfile};
+
+fn main() {
+    hopper_bench::banner("Figure 5a", "JCT ratio over centralized Hopper vs probe count d");
+    let seeds = hopper_bench::seeds();
+    let utils = [0.6, 0.8, 0.9];
+    let ds = [2.0, 3.0, 4.0, 6.0, 8.0, 10.0];
+
+    for util in utils {
+        // Centralized Hopper reference on the same cluster and trace.
+        let mut central_mean = 0.0;
+        for seed in 0..seeds {
+            let dcfg = hopper_bench::decentral_cfg(seed);
+            let slots = dcfg.cluster.total_slots();
+            let profile = WorkloadProfile::facebook().interactive().fixed_beta(1.5);
+            let trace = TraceGenerator::new(profile, hopper_bench::jobs(), seed)
+                .generate_with_utilization(slots, util);
+            let ccfg = central::SimConfig {
+                cluster: dcfg.cluster.clone(),
+                scan_interval: dcfg.scan_interval,
+                speculator: dcfg.speculator.clone(),
+                seed,
+                ..Default::default()
+            };
+            central_mean += central::run(
+                &trace,
+                &central::Policy::Hopper(central::HopperConfig::default()),
+                &ccfg,
+            )
+            .mean_duration_ms();
+        }
+        central_mean /= seeds as f64;
+
+        let mut table = Table::new(
+            &format!("utilization {:.0}% (centralized Hopper = 1.0)", util * 100.0),
+            &["d", "Hopper(dec) ratio", "Sparrow ratio"],
+        );
+        for d in ds {
+            let mut h = 0.0;
+            let mut s = 0.0;
+            for seed in 0..seeds {
+                let mut cfg = hopper_bench::decentral_cfg(seed);
+                cfg.probe_ratio = d;
+                let slots = cfg.cluster.total_slots();
+                let profile = WorkloadProfile::facebook().interactive().fixed_beta(1.5);
+                let trace = TraceGenerator::new(profile, hopper_bench::jobs(), seed)
+                    .generate_with_utilization(slots, util);
+                h += run(&trace, DecPolicy::Hopper, &cfg).mean_duration_ms();
+                s += run(&trace, DecPolicy::Sparrow, &cfg).mean_duration_ms();
+            }
+            table.row(&[
+                format!("{d:.0}"),
+                format!("{:.2}", h / seeds as f64 / central_mean),
+                format!("{:.2}", s / seeds as f64 / central_mean),
+            ]);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,67 @@
+//! **Figure 5b** — impact of the refusal threshold on decentralized
+//! Hopper (ratio over centralized Hopper).
+//!
+//! The paper: two or three refusals bring performance within 10–15% of
+//! the centralized scheduler; more refusals give a better view but cost
+//! messages and idle time.
+
+use hopper_central as central;
+use hopper_decentral::{run, DecPolicy};
+use hopper_metrics::Table;
+use hopper_workload::{TraceGenerator, WorkloadProfile};
+
+fn main() {
+    hopper_bench::banner("Figure 5b", "JCT ratio over centralized Hopper vs refusal count");
+    let seeds = hopper_bench::seeds();
+
+    for util in [0.6, 0.8] {
+        let mut central_mean = 0.0;
+        for seed in 0..seeds {
+            let dcfg = hopper_bench::decentral_cfg(seed);
+            let slots = dcfg.cluster.total_slots();
+            let profile = WorkloadProfile::facebook().interactive().fixed_beta(1.5);
+            let trace = TraceGenerator::new(profile, hopper_bench::jobs(), seed)
+                .generate_with_utilization(slots, util);
+            let ccfg = central::SimConfig {
+                cluster: dcfg.cluster.clone(),
+                scan_interval: dcfg.scan_interval,
+                speculator: dcfg.speculator.clone(),
+                seed,
+                ..Default::default()
+            };
+            central_mean += central::run(
+                &trace,
+                &central::Policy::Hopper(central::HopperConfig::default()),
+                &ccfg,
+            )
+            .mean_duration_ms();
+        }
+        central_mean /= seeds as f64;
+
+        let mut table = Table::new(
+            &format!("utilization {:.0}% (centralized Hopper = 1.0)", util * 100.0),
+            &["refusal threshold", "Hopper(dec) ratio", "G3 switches/run"],
+        );
+        for threshold in [0usize, 1, 2, 3, 5, 10] {
+            let mut h = 0.0;
+            let mut g3 = 0u64;
+            for seed in 0..seeds {
+                let mut cfg = hopper_bench::decentral_cfg(seed);
+                cfg.refusal_threshold = threshold;
+                let slots = cfg.cluster.total_slots();
+                let profile = WorkloadProfile::facebook().interactive().fixed_beta(1.5);
+                let trace = TraceGenerator::new(profile, hopper_bench::jobs(), seed)
+                    .generate_with_utilization(slots, util);
+                let out = run(&trace, DecPolicy::Hopper, &cfg);
+                h += out.mean_duration_ms();
+                g3 += out.stats.guideline3_switches;
+            }
+            table.row(&[
+                threshold.to_string(),
+                format!("{:.2}", h / seeds as f64 / central_mean),
+                (g3 / seeds).to_string(),
+            ]);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,42 @@
+//! **Figure 6** — decentralized Hopper's overall gains vs cluster
+//! utilization, on the Facebook-like (6a) and Bing-like (6b) workloads.
+//!
+//! The paper: 50–60% reduction in average job duration at 60%
+//! utilization vs Sparrow and Sparrow-SRPT, tapering below 20% beyond
+//! 80%; Bing slightly higher than Facebook.
+
+use hopper_decentral::{run, DecPolicy};
+use hopper_metrics::{reduction_pct, Table};
+
+fn main() {
+    hopper_bench::banner("Figure 6", "reduction in average JCT vs utilization");
+    let seeds = hopper_bench::seeds();
+
+    for workload in ["facebook", "bing"] {
+        let mut table = Table::new(
+            &format!("{workload} workload (Hopper(dec) vs baselines)"),
+            &["utilization", "vs Sparrow", "vs Sparrow-SRPT"],
+        );
+        for util in [0.6, 0.7, 0.8, 0.9] {
+            let (mut sp, mut ss, mut h) = (0.0, 0.0, 0.0);
+            for seed in 0..seeds {
+                let cfg = hopper_bench::decentral_cfg(seed);
+                let slots = cfg.cluster.total_slots();
+                let trace = if workload == "facebook" {
+                    hopper_bench::fb_interactive_trace(seed, util, slots)
+                } else {
+                    hopper_bench::bing_interactive_trace(seed, util, slots)
+                };
+                sp += run(&trace, DecPolicy::Sparrow, &cfg).mean_duration_ms();
+                ss += run(&trace, DecPolicy::SparrowSrpt, &cfg).mean_duration_ms();
+                h += run(&trace, DecPolicy::Hopper, &cfg).mean_duration_ms();
+            }
+            table.row(&[
+                format!("{:.0}%", util * 100.0),
+                format!("{:.1}%", reduction_pct(sp, h)),
+                format!("{:.1}%", reduction_pct(ss, h)),
+            ]);
+        }
+        table.print();
+    }
+}

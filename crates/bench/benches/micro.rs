@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks: the hot paths of the scheduler itself
+//! (not part of the paper's evaluation — engineering health checks).
+//!
+//! - `allocate`: Pseudocode 1 over n jobs (the per-event cost of the
+//!   centralized scheduler);
+//! - `event_queue`: push+pop throughput of the simulation engine;
+//! - `episode_decision`: the worker-side protocol pick over a deep queue;
+//! - `pareto_sample`: the straggler-model duration draw.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hopper_core::{allocate, AllocConfig, FreeSlotEpisode, JobDemand, Reservation};
+use hopper_sim::{rng_from_seed, EventQueue, SimTime};
+use hopper_workload::Dist;
+use std::hint::black_box;
+
+fn bench_allocate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocate");
+    for n in [10usize, 100, 1000] {
+        let demands: Vec<JobDemand> = (0..n)
+            .map(|i| JobDemand::simple(i, ((i * 37) % 500 + 1) as f64, 1.5))
+            .collect();
+        let cfg = AllocConfig::default();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &demands, |b, d| {
+            b.iter(|| allocate(black_box(d), black_box(n * 40), &cfg));
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_millis((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        });
+    });
+}
+
+fn bench_episode_decision(c: &mut Criterion) {
+    let queue: Vec<Reservation> = (0..100)
+        .map(|i| Reservation {
+            scheduler: i % 10,
+            job: i as u64,
+            virtual_size: ((i * 31) % 200) as f64 + 1.0,
+            remaining_tasks: ((i * 17) % 150) as f64 + 1.0,
+        })
+        .collect();
+    c.bench_function("worker_episode_pick_100deep", |b| {
+        let mut rng = rng_from_seed(1);
+        b.iter(|| {
+            let mut ep = FreeSlotEpisode::new(2);
+            black_box(ep.next_action(black_box(&queue), &mut rng))
+        });
+    });
+}
+
+fn bench_pareto_sample(c: &mut Criterion) {
+    let d = Dist::unit_mean_pareto(1.5);
+    c.bench_function("pareto_sample", |b| {
+        let mut rng = rng_from_seed(7);
+        b.iter(|| black_box(d.sample(&mut rng)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_allocate,
+    bench_event_queue,
+    bench_episode_decision,
+    bench_pareto_sample
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Shared scaffolding for the paper-reproduction bench targets.
+//!
+//! Every bench target regenerates one table or figure of the paper. The
+//! defaults are sized so the whole suite completes in tens of minutes on a
+//! laptop; set `HOPPER_BENCH_JOBS` / `HOPPER_BENCH_SEEDS` to trade
+//! precision for time.
+
+use hopper_central::SimConfig;
+use hopper_cluster::ClusterConfig;
+use hopper_decentral::DecConfig;
+use hopper_sim::SimTime;
+use hopper_spec::{SpecConfig, Speculator};
+use hopper_workload::{Trace, TraceGenerator, WorkloadProfile};
+
+/// Number of jobs per experiment run (`HOPPER_BENCH_JOBS`, default 150).
+pub fn jobs() -> usize {
+    std::env::var("HOPPER_BENCH_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150)
+}
+
+/// Seeds (repetitions) per data point (`HOPPER_BENCH_SEEDS`, default 2).
+pub fn seeds() -> u64 {
+    std::env::var("HOPPER_BENCH_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+/// The interactive (Spark-like) cluster used by the decentralized
+/// experiments: many small workers, long-lived executors (no hand-off
+/// cost), 1 ms scheduler↔worker messages.
+pub fn decentral_cluster() -> ClusterConfig {
+    ClusterConfig {
+        machines: 300,
+        slots_per_machine: 2,
+        handoff_ms: 0,
+        ..Default::default()
+    }
+}
+
+/// Decentralized config with the paper's defaults: probe ratio 4,
+/// refusal threshold 2, ε = 10%, LATE speculation.
+pub fn decentral_cfg(seed: u64) -> DecConfig {
+    DecConfig {
+        cluster: decentral_cluster(),
+        num_schedulers: 10,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// The centralized cluster (Figure 12/13 experiments): fewer, bigger
+/// machines, with a container hand-off cost.
+pub fn central_cluster() -> ClusterConfig {
+    ClusterConfig {
+        machines: 50,
+        slots_per_machine: 4,
+        handoff_ms: 800,
+        ..Default::default()
+    }
+}
+
+/// Centralized sim config with a task-scale-appropriate scan period.
+///
+/// β is taken per job from the trace rather than from the global online
+/// MLE: the paper's recurring jobs make per-job β learnable from history,
+/// and the global estimator's blend across heterogeneous jobs costs a few
+/// percent (quantified by the `ablation_guidelines` bench).
+pub fn central_cfg(seed: u64, interactive: bool) -> SimConfig {
+    SimConfig {
+        cluster: central_cluster(),
+        scan_interval: if interactive {
+            SimTime::from_millis(200)
+        } else {
+            SimTime::from_millis(500)
+        },
+        speculator: Speculator::Late(SpecConfig {
+            min_elapsed: if interactive {
+                SimTime::from_millis(300)
+            } else {
+                SimTime::from_millis(1000)
+            },
+            ..Default::default()
+        }),
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Facebook-style interactive trace (the decentralized experiments run
+/// "in-memory Spark jobs", §7.1) at a target utilization.
+pub fn fb_interactive_trace(seed: u64, util: f64, total_slots: usize) -> Trace {
+    let profile = WorkloadProfile::facebook().interactive();
+    TraceGenerator::new(profile, jobs(), seed).generate_with_utilization(total_slots, util)
+}
+
+/// Bing-style interactive trace.
+pub fn bing_interactive_trace(seed: u64, util: f64, total_slots: usize) -> Trace {
+    let profile = WorkloadProfile::bing().interactive();
+    TraceGenerator::new(profile, jobs(), seed).generate_with_utilization(total_slots, util)
+}
+
+/// Paper-style header printed by every bench target.
+pub fn banner(figure: &str, what: &str) {
+    println!("\n=== {figure} — {what} ===");
+    println!(
+        "(jobs/run: {}, seeds: {}; override via HOPPER_BENCH_JOBS / HOPPER_BENCH_SEEDS)",
+        jobs(),
+        seeds()
+    );
+}

@@ -1,0 +1,962 @@
+//! Event-driven centralized scheduling simulator.
+//!
+//! One event loop serves every [`Policy`]: job arrivals, copy completions,
+//! and periodic straggler scans (the monitoring period of real
+//! frameworks). After each event, freed slots are (re-)assigned by the
+//! policy's dispatch rule. Speculation is *advisory* — the [`Speculator`]
+//! proposes candidates at scan time and the policy decides whether a slot
+//! is spent on them — which is exactly the coordination gap the paper
+//! closes with Hopper.
+
+use hopper_cluster::{ClusterConfig, CopyRef, JobRun, MachineId, Machines, TaskRef};
+use hopper_core::{allocate, AlphaEstimator, BetaEstimator, JobDemand, Regime};
+use hopper_metrics::JobResult;
+use hopper_sim::{EventQueue, SeedSequence, SimTime};
+use hopper_spec::{Candidate, Speculator};
+use hopper_workload::Trace;
+use rand::rngs::StdRng;
+
+use crate::policy::{HopperConfig, Policy};
+
+/// Simulation-wide configuration (cluster + execution model + seed).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Cluster shape and execution-model parameters.
+    pub cluster: ClusterConfig,
+    /// Straggler-mitigation policy paired with the scheduler.
+    pub speculator: Speculator,
+    /// Period of the straggler scan (progress-monitoring interval).
+    pub scan_interval: SimTime,
+    /// Root seed for all randomness in the run.
+    pub seed: u64,
+    /// Safety valve: abort if more events than this are processed.
+    pub max_events: u64,
+    /// Optional scripted `(original_ms, speculative_ms)` durations, per job
+    /// then per task, for single-phase scenario jobs (the §3 example /
+    /// Table 1 bench). Indexed by trace job id.
+    pub scripted: Option<Vec<Vec<(u64, u64)>>>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cluster: ClusterConfig::default(),
+            speculator: Speculator::Late(hopper_spec::SpecConfig::default()),
+            scan_interval: SimTime::from_millis(1000),
+            seed: 1,
+            max_events: 200_000_000,
+            scripted: None,
+        }
+    }
+}
+
+/// Aggregate counters of one run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Original copies launched.
+    pub orig_launched: u64,
+    /// Speculative copies launched.
+    pub spec_launched: u64,
+    /// Tasks whose winning copy was speculative.
+    pub spec_won: u64,
+    /// Copies killed (lost races).
+    pub killed: u64,
+    /// Speculative copies launched on a warm (pre-bound) slot.
+    pub spec_warm: u64,
+    /// Cumulative hand-off delay paid by speculative copies (ms).
+    pub spec_handoff_ms: u64,
+    /// Jobs whose first allocation used Guideline 2 (capacity constrained).
+    pub constrained_jobs: u64,
+    /// Jobs whose first allocation used Guideline 3 (proportional).
+    pub proportional_jobs: u64,
+    /// Events processed.
+    pub events: u64,
+    /// Completion time of the last job.
+    pub makespan: SimTime,
+    /// Fraction of input-phase launches that were data-local.
+    pub locality_fraction: Option<f64>,
+    /// Final online β estimate (when learning was on).
+    pub final_beta: Option<f64>,
+    /// α prediction accuracy (when learning was on).
+    pub alpha_accuracy: Option<f64>,
+}
+
+/// Result of a centralized run: per-job outcomes plus counters.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// One entry per trace job, in completion order.
+    pub jobs: Vec<JobResult>,
+    /// Aggregate counters.
+    pub stats: RunStats,
+}
+
+impl RunOutput {
+    /// Mean job duration in milliseconds.
+    pub fn mean_duration_ms(&self) -> f64 {
+        hopper_metrics::mean_duration(&self.jobs)
+    }
+}
+
+/// Run `trace` under `policy`.
+pub fn run(trace: &Trace, policy: &Policy, cfg: &SimConfig) -> RunOutput {
+    Central::new(trace, policy, cfg).run()
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    Arrival(usize),
+    Finish { job: usize, copy: CopyRef },
+    Scan,
+}
+
+struct Central<'a> {
+    policy: &'a Policy,
+    cfg: &'a SimConfig,
+    queue: EventQueue<Event>,
+    machines: Machines,
+    jobs: Vec<JobRun>,
+    arrived: Vec<bool>,
+    done: Vec<bool>,
+    /// Driver-maintained running-copy count per job (avoids O(tasks) scans).
+    usage: Vec<usize>,
+    /// Driver-maintained unlaunched-original count per job.
+    pending_orig: Vec<usize>,
+    /// Cached speculation candidates per job (refreshed at scans).
+    candidates: Vec<Vec<Candidate>>,
+    /// Cached α per job (refreshed at scans / phase transitions).
+    alpha_cache: Vec<f64>,
+    /// Whether a job's first allocation regime has been recorded.
+    regime_counted: Vec<bool>,
+    active: Vec<usize>,
+    arrivals_pending: usize,
+    scan_armed: bool,
+    /// Cluster-wide running original copies (BudgetedSrpt's cap input).
+    orig_running: usize,
+    rng: StdRng,
+    beta_est: BetaEstimator,
+    alpha_est: AlphaEstimator,
+    predicted_mb: Vec<Option<f64>>,
+    results: Vec<JobResult>,
+    stats: RunStats,
+}
+
+impl<'a> Central<'a> {
+    fn new(trace: &Trace, policy: &'a Policy, cfg: &'a SimConfig) -> Self {
+        let seq = SeedSequence::new(cfg.seed);
+        let mut placement_rng = seq.child_rng(0xB10C);
+        let mut jobs: Vec<JobRun> = trace
+            .jobs
+            .iter()
+            .map(|spec| JobRun::new(spec.clone(), &cfg.cluster, &mut placement_rng))
+            .collect();
+        if let Some(scripts) = &cfg.scripted {
+            for (j, tasks) in scripts.iter().enumerate() {
+                for (t, &(orig, spec)) in tasks.iter().enumerate() {
+                    jobs[j].phases[0].tasks[t].scripted = Some(hopper_cluster::ScriptedTask {
+                        original: SimTime::from_millis(orig),
+                        speculative: SimTime::from_millis(spec),
+                    });
+                }
+            }
+        }
+        let n = jobs.len();
+        let mut queue = EventQueue::new();
+        for j in &trace.jobs {
+            queue.push(j.arrival, Event::Arrival(j.id));
+        }
+        let pending_orig = jobs
+            .iter()
+            .map(|j| {
+                j.phases
+                    .iter()
+                    .filter(|p| p.eligible)
+                    .map(|p| p.num_tasks())
+                    .sum()
+            })
+            .collect();
+        Central {
+            policy,
+            cfg,
+            queue,
+            machines: Machines::new(&cfg.cluster),
+            arrived: vec![false; n],
+            done: vec![false; n],
+            usage: vec![0; n],
+            pending_orig,
+            candidates: vec![Vec::new(); n],
+            alpha_cache: vec![1.0; n],
+            regime_counted: vec![false; n],
+            active: Vec::new(),
+            arrivals_pending: n,
+            scan_armed: false,
+            orig_running: 0,
+            rng: seq.child_rng(0xD00D),
+            beta_est: BetaEstimator::with_prior(1.5),
+            alpha_est: AlphaEstimator::new(),
+            predicted_mb: vec![None; n],
+            results: Vec::with_capacity(n),
+            stats: RunStats::default(),
+            jobs,
+        }
+    }
+
+    fn run(mut self) -> RunOutput {
+        while let Some((now, ev)) = self.queue.pop() {
+            self.stats.events += 1;
+            assert!(
+                self.stats.events <= self.cfg.max_events,
+                "event budget exceeded: likely a livelock (policy {})",
+                self.policy.name()
+            );
+            match ev {
+                Event::Arrival(j) => {
+                    self.arrived[j] = true;
+                    self.arrivals_pending -= 1;
+                    self.active.push(j);
+                    self.predicted_mb[j] = self.alpha_est.predict(self.jobs[j].spec.template);
+                    self.refresh_alpha(j);
+                    self.arm_scan();
+                    self.dispatch(now);
+                }
+                Event::Finish { job, copy } => {
+                    let Some(out) = self.jobs[job].finish_copy(copy, now) else {
+                        continue; // stale: the copy lost its race earlier
+                    };
+                    // Slot bookkeeping for winner + killed siblings.
+                    for &m in &out.freed {
+                        self.machines.release_to(m, job);
+                    }
+                    let was_spec =
+                        self.jobs[job].phases[copy.task.phase].tasks[copy.task.task].copies
+                            [copy.copy]
+                            .speculative;
+                    let freed_of_job = out.freed.len();
+                    self.usage[job] -= freed_of_job;
+                    let killed = freed_of_job - 1;
+                    self.stats.killed += killed as u64;
+                    // Track cluster-wide originals: the finishing copy plus
+                    // any killed siblings leave the running set.
+                    let running_orig_delta = {
+                        let t = &self.jobs[job].phases[copy.task.phase].tasks[copy.task.task];
+                        // Non-speculative copies that just left the running
+                        // set: the winner (if original) plus killed
+                        // original siblings. A task finishes exactly once,
+                        // so every Killed sibling was killed right now.
+                        let mut d = if was_spec { 0 } else { 1 };
+                        d += t
+                            .copies
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, c)| {
+                                *i != copy.copy
+                                    && !c.speculative
+                                    && c.status == hopper_cluster::CopyStatus::Killed
+                            })
+                            .count();
+                        d
+                    };
+                    self.orig_running -= running_orig_delta.min(self.orig_running);
+                    if was_spec {
+                        self.stats.spec_won += 1;
+                    }
+                    // β learning: observed duration multiplier.
+                    if out.nominal.as_millis() > 0 {
+                        self.beta_est.observe(
+                            out.duration.as_millis() as f64 / out.nominal.as_millis() as f64,
+                        );
+                    }
+                    // α learning at phase completion.
+                    if out.phase_done {
+                        let ph = &self.jobs[job].phases[copy.task.phase];
+                        if ph.spec.output_mb_per_task > 0.0 {
+                            let actual = ph.spec.output_mb_per_task;
+                            self.alpha_est.observe(self.jobs[job].spec.template, actual);
+                            if let Some(pred) = self.predicted_mb[job] {
+                                self.alpha_est.record_outcome(pred, actual);
+                            }
+                        }
+                    }
+                    if !out.newly_eligible.is_empty() {
+                        for &pi in &out.newly_eligible {
+                            self.pending_orig[job] += self.jobs[job].phases[pi].num_tasks();
+                        }
+                        self.refresh_alpha(job);
+                    }
+                    if out.job_done {
+                        self.complete_job(job, now);
+                    }
+                    self.dispatch(now);
+                }
+                Event::Scan => {
+                    self.scan_armed = false;
+                    for idx in 0..self.active.len() {
+                        let j = self.active[idx];
+                        self.candidates[j] = self.cfg.speculator.candidates(&self.jobs[j], now);
+                        self.refresh_alpha(j);
+                    }
+                    self.arm_scan();
+                    self.dispatch(now);
+                }
+            }
+        }
+        assert!(
+            self.active.is_empty() && self.arrivals_pending == 0,
+            "simulation drained with unfinished jobs (deadlock?)"
+        );
+        self.stats.locality_fraction = {
+            let (local, total): (usize, usize) = self
+                .jobs
+                .iter()
+                .map(|j| (j.local_launches, j.local_launches + j.nonlocal_launches))
+                .fold((0, 0), |(a, b), (c, d)| (a + c, b + d));
+            (total > 0).then(|| local as f64 / total as f64)
+        };
+        if let Policy::Hopper(h) = self.policy {
+            if h.learn_beta {
+                self.stats.final_beta = Some(self.beta_est.beta());
+            }
+            if h.learn_alpha {
+                self.stats.alpha_accuracy = self.alpha_est.accuracy();
+            }
+        }
+        let mut jobs = self.results;
+        jobs.sort_by_key(|r| r.job);
+        RunOutput {
+            jobs,
+            stats: self.stats,
+        }
+    }
+
+    fn complete_job(&mut self, j: usize, now: SimTime) {
+        self.done[j] = true;
+        self.active.retain(|&x| x != j);
+        self.candidates[j].clear();
+        self.results.push(JobResult {
+            job: self.jobs[j].id,
+            size_tasks: self.jobs[j].spec.size_tasks(),
+            dag_len: self.jobs[j].spec.dag_len(),
+            arrival: self.jobs[j].spec.arrival,
+            completed: now,
+        });
+        self.stats.makespan = self.stats.makespan.max(now);
+    }
+
+    fn arm_scan(&mut self) {
+        if !self.scan_armed && (!self.active.is_empty() || self.arrivals_pending > 0) {
+            self.queue.push_after(self.cfg.scan_interval, Event::Scan);
+            self.scan_armed = true;
+        }
+    }
+
+    fn refresh_alpha(&mut self, j: usize) {
+        let learn = matches!(self.policy, Policy::Hopper(h) if h.learn_alpha);
+        self.alpha_cache[j] = if learn {
+            match self.predicted_mb[j] {
+                Some(mb) => self.jobs[j].alpha_with_predicted_output(mb, &self.cfg.cluster),
+                None => self.jobs[j].alpha(), // cold start: ground truth
+            }
+        } else {
+            self.jobs[j].alpha()
+        };
+    }
+
+    /// Effective β used for a job's virtual size.
+    fn beta_for(&self, j: usize) -> f64 {
+        match self.policy {
+            Policy::Hopper(h) if h.learn_beta => self.beta_est.beta(),
+            _ => self.jobs[j].spec.beta,
+        }
+    }
+
+    /// Number of runnable work items for a job right now (validated lazily
+    /// at launch).
+    fn runnable(&self, j: usize) -> usize {
+        self.pending_orig[j] + self.candidates[j].len()
+    }
+
+    /// Assign free slots according to the policy. Called after every event.
+    fn dispatch(&mut self, now: SimTime) {
+        match self.policy {
+            Policy::Hopper(h) => self.dispatch_hopper(now, h),
+            Policy::Fifo => {
+                let mut order = self.active.clone();
+                order.sort();
+                self.dispatch_priority(now, &order, None);
+            }
+            Policy::Srpt => {
+                let mut order = self.active.clone();
+                order.sort_by_key(|&j| (self.jobs[j].total_remaining(), j));
+                self.dispatch_priority(now, &order, None);
+            }
+            Policy::BudgetedSrpt { budget_fraction } => {
+                let mut order = self.active.clone();
+                order.sort_by_key(|&j| (self.jobs[j].total_remaining(), j));
+                let budget =
+                    (self.cfg.cluster.total_slots() as f64 * budget_fraction).ceil() as usize;
+                let orig_cap = self.cfg.cluster.total_slots().saturating_sub(budget);
+                self.dispatch_priority(now, &order, Some(orig_cap));
+            }
+            Policy::Fair => self.dispatch_fair(now),
+        }
+    }
+
+    /// Launch loop for priority-ordered policies (FIFO, SRPT, budgeted):
+    /// each job in order exhausts its runnable work — originals first,
+    /// then speculation best-effort. `orig_cap` bounds cluster-wide
+    /// original copies (the §3 budgeted strawman).
+    fn dispatch_priority(&mut self, now: SimTime, order: &[usize], orig_cap: Option<usize>) {
+        for &j in order {
+            loop {
+                if self.machines.total_free() == 0 {
+                    return;
+                }
+                let can_orig = orig_cap.map_or(true, |cap| self.orig_running < cap);
+                let launched = if can_orig && self.pending_orig[j] > 0 {
+                    self.launch_original(j, now)
+                } else {
+                    // Originals exhausted (or capped): best-effort
+                    // speculation with whatever slots this job can win.
+                    self.try_speculative(j, now)
+                };
+                if !launched {
+                    break; // move on to the next job in priority order
+                }
+            }
+        }
+    }
+
+    /// Fair sharing: each job is entitled to S/N; grant slots to the most
+    /// deficient jobs first (best-effort speculation within the share).
+    fn dispatch_fair(&mut self, now: SimTime) {
+        loop {
+            if self.machines.total_free() == 0 || self.active.is_empty() {
+                return;
+            }
+            let n = self.active.len();
+            let share = (self.cfg.cluster.total_slots() / n).max(1);
+            // Most-deficient job with runnable work and usage below share.
+            let mut best: Option<(usize, usize)> = None; // (usage, job)
+            for &j in &self.active {
+                if self.usage[j] < share && self.runnable(j) > 0 {
+                    let key = (self.usage[j], j);
+                    if best.map_or(true, |b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            }
+            // If everyone hit their share but slots remain, spill over to
+            // any runnable job (work conservation, like Hadoop Fair).
+            if best.is_none() {
+                for &j in &self.active {
+                    if self.runnable(j) > 0 {
+                        let key = (self.usage[j], j);
+                        if best.map_or(true, |b| key < b) {
+                            best = Some(key);
+                        }
+                    }
+                }
+            }
+            let Some((_, j)) = best else { return };
+            if self.pending_orig[j] > 0 {
+                if !self.launch_original(j, now) {
+                    return;
+                }
+            } else if !self.try_speculative(j, now) {
+                return;
+            }
+        }
+    }
+
+    /// Hopper dispatch: targets from Pseudocode 1, slot-holding, and the
+    /// k% locality relaxation.
+    fn dispatch_hopper(&mut self, now: SimTime, hcfg: &HopperConfig) {
+        if self.active.is_empty() || self.machines.total_free() == 0 {
+            return;
+        }
+        // Build demands in a fixed order.
+        let mut ids: Vec<usize> = self.active.clone();
+        ids.sort();
+        let demands: Vec<JobDemand> = ids
+            .iter()
+            .map(|&j| JobDemand {
+                job: j,
+                // Allocation is sized by the *runnable* (current-phase)
+                // work; the priority key max(V, V') additionally sees all
+                // downstream work so a deep DAG is not mistaken for a
+                // small job (ordering stays SRPT-consistent).
+                remaining_tasks: self.jobs[j].current_remaining() as f64,
+                downstream_tasks: (self.jobs[j].total_remaining()
+                    - self.jobs[j].current_remaining()) as f64,
+                // α *amplifies* the virtual size of communication-heavy
+                // jobs (§4.2); flooring at 1 keeps map-heavy jobs from
+                // being allocated fewer slots than their running phase can
+                // use (√α < 1 would starve the upstream phase into extra
+                // waves — see DESIGN.md, deviations).
+                alpha: if hcfg.use_alpha {
+                    self.alpha_cache[j].max(1.0)
+                } else {
+                    1.0
+                },
+                beta: self.beta_for(j),
+                weight: self.jobs[j].spec.weight,
+            })
+            .collect();
+        // Allocation is over *all* slots; a job's target includes its
+        // currently running copies.
+        let allocs = allocate(&demands, self.cfg.cluster.total_slots(), &hcfg.alloc);
+        let mut target = vec![0usize; self.jobs.len()];
+        for a in &allocs {
+            target[a.job] = a.slots;
+            if !self.regime_counted[a.job] {
+                self.regime_counted[a.job] = true;
+                match a.regime {
+                    Regime::Constrained => self.stats.constrained_jobs += 1,
+                    Regime::Proportional => self.stats.proportional_jobs += 1,
+                }
+            }
+        }
+        // Priority: ascending max(V, V'), as in the allocator's fill.
+        let mut keyed: Vec<(f64, usize)> = demands.iter().map(|d| (d.priority(), d.job)).collect();
+        keyed.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let order: Vec<usize> = keyed.into_iter().map(|(_, j)| j).collect();
+
+        let bracket = ((hcfg.locality_relax_pct / 100.0 * order.len() as f64).ceil() as usize)
+            .min(order.len());
+
+        loop {
+            let free = self.machines.total_free();
+            if free == 0 {
+                break;
+            }
+            // Slots held idle for jobs whose allocation exceeds both their
+            // usage and their immediately runnable work (anticipated
+            // speculation — Figure 2's "budgeted slot 5 until time 2").
+            let held: usize = order.iter().map(|&j| self.hold_quota(j, target[j])).sum();
+            if free <= held {
+                break;
+            }
+            // Jobs with headroom and runnable work, in priority order.
+            let eligible: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|&j| self.usage[j] < target[j] && self.runnable(j) > 0)
+                .collect();
+            let Some(&head) = eligible.first() else { break };
+            let mut chosen = head;
+            // k% locality relaxation (§4.4): if the head job's next launch
+            // would be non-local, any of the smallest k% of eligible jobs
+            // with a data-local task on a free machine may take the slot.
+            if bracket > 0 && !self.would_launch_local(head) {
+                if let Some(&alt) = eligible
+                    .iter()
+                    .take(bracket)
+                    .find(|&&j| self.would_launch_local(j))
+                {
+                    chosen = alt;
+                }
+            }
+            let launched = if self.pending_orig[chosen] > 0 {
+                self.launch_original(chosen, now)
+            } else {
+                self.try_speculative(chosen, now)
+            };
+            if !launched {
+                break;
+            }
+        }
+        // Pre-warm held slots: bind idle slots to their holders now so the
+        // anticipated speculative copy starts without the hand-off cost —
+        // the physical payoff of reservation (Figure 2).
+        for &j in &order {
+            let hold = self.hold_quota(j, target[j]);
+            let have = self.machines.warm_total(j);
+            if hold > have {
+                self.machines.bind_idle(j, hold - have);
+            }
+        }
+    }
+
+    /// Slots job `j` may hold idle in anticipation of speculation: the
+    /// allocation headroom beyond usage and immediately-runnable work,
+    /// capped at `(2/β − 1) ×` its running copies — the share of the
+    /// virtual size that exists *for* speculation (in Figure 2 job A holds
+    /// exactly ⌈0.25 × 4⌉ = 1 slot). Unbounded holding would idle capacity
+    /// other jobs could use, costing more than prompt speculation saves.
+    fn hold_quota(&self, j: usize, target: usize) -> usize {
+        let headroom = target
+            .saturating_sub(self.usage[j])
+            .saturating_sub(self.runnable(j));
+        let mult = hopper_core::speculation_multiplier(self.beta_for(j));
+        let anticipation = ((mult - 1.0) * self.usage[j] as f64).ceil() as usize;
+        headroom.min(anticipation)
+    }
+
+    /// Whether `j`'s next original launch would be data-local on some
+    /// currently free machine.
+    fn would_launch_local(&self, j: usize) -> bool {
+        if self.pending_orig[j] == 0 {
+            return false; // speculative copies have no locality preference
+        }
+        self.machines
+            .machines_with_free()
+            .any(|m| self.jobs[j].has_local_task_for(m))
+    }
+
+    /// Hand-off delay for a cold slot.
+    fn handoff_delay(&self, temp: hopper_cluster::machine::SlotTemp) -> SimTime {
+        match temp {
+            hopper_cluster::machine::SlotTemp::Warm => SimTime::ZERO,
+            hopper_cluster::machine::SlotTemp::Cold => {
+                SimTime::from_millis(self.cfg.cluster.handoff_ms)
+            }
+        }
+    }
+
+    /// Launch the next pending original of job `j`, preferring a machine
+    /// that makes it data-local. Returns false when nothing could launch.
+    fn launch_original(&mut self, j: usize, now: SimTime) -> bool {
+        // Prefer a free machine holding a replica of some pending task.
+        let mut pick: Option<(TaskRef, MachineId)> = None;
+        for m in self.machines.machines_with_free() {
+            if let Some((task, true)) = self.jobs[j].next_task_for(Some(m)) {
+                pick = Some((task, m));
+                break;
+            }
+        }
+        if pick.is_none() {
+            if let Some(m) = self.machines.preferred_free_machine(j, &[]) {
+                if let Some((task, _)) = self.jobs[j].next_task_for(Some(m)) {
+                    pick = Some((task, m));
+                }
+            }
+        }
+        let Some((task, m)) = pick else { return false };
+        let temp = self.machines.occupy_for(m, j);
+        let delay = self.handoff_delay(temp);
+        let (copy, dur) =
+            self.jobs[j]
+                .launch_copy(task, m, false, now, delay, &self.cfg.cluster, &mut self.rng);
+        self.queue.push(now + delay + dur, Event::Finish { job: j, copy });
+        self.usage[j] += 1;
+        self.pending_orig[j] -= 1;
+        self.orig_running += 1;
+        self.stats.orig_launched += 1;
+        true
+    }
+
+    /// Launch the best valid speculation candidate of job `j`.
+    /// Returns false when no valid candidate (stale entries are pruned).
+    fn try_speculative(&mut self, j: usize, now: SimTime) -> bool {
+        while let Some(cand) = self.candidates[j].first().copied() {
+            let t = &self.jobs[j].phases[cand.task.phase].tasks[cand.task.task];
+            if t.is_finished() || t.running_copies() == 0 || t.running_copies() >= 2 {
+                self.candidates[j].remove(0);
+                continue;
+            }
+            // Prefer a machine not already running a copy of this task.
+            let busy: Vec<MachineId> = t
+                .copies
+                .iter()
+                .filter(|c| c.status == hopper_cluster::CopyStatus::Running)
+                .map(|c| c.machine)
+                .collect();
+            let Some(m) = self.machines.preferred_free_machine(j, &busy) else {
+                return false;
+            };
+            let temp = self.machines.occupy_for(m, j);
+            let delay = self.handoff_delay(temp);
+            let (copy, dur) = self.jobs[j].launch_copy(
+                cand.task,
+                m,
+                true,
+                now,
+                delay,
+                &self.cfg.cluster,
+                &mut self.rng,
+            );
+            if delay == SimTime::ZERO {
+                self.stats.spec_warm += 1;
+            }
+            self.stats.spec_handoff_ms += delay.as_millis();
+            self.queue
+                .push(now + delay + dur, Event::Finish { job: j, copy });
+            self.usage[j] += 1;
+            self.stats.spec_launched += 1;
+            self.candidates[j].remove(0);
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::HopperConfig;
+    use crate::scenario::{motivating_sim_config, motivating_trace};
+    use hopper_workload::{TraceGenerator, WorkloadProfile};
+
+    fn dur(out: &RunOutput, job: usize) -> u64 {
+        out.jobs.iter().find(|r| r.job == job).unwrap().duration_ms()
+    }
+
+    /// Figure 1a: SRPT + best-effort speculation → A = 20 s, B = 30 s.
+    #[test]
+    fn motivating_example_best_effort_srpt() {
+        let (trace, _) = motivating_trace();
+        let out = run(&trace, &Policy::Srpt, &motivating_sim_config());
+        assert_eq!(dur(&out, 0), 20_000, "job A (Figure 1a)");
+        assert_eq!(dur(&out, 1), 30_000, "job B (Figure 1a)");
+    }
+
+    /// Figure 1b: SRPT + a 3-slot speculation budget → A = 12 s, B = 32 s.
+    #[test]
+    fn motivating_example_budgeted() {
+        let (trace, _) = motivating_trace();
+        let out = run(
+            &trace,
+            &Policy::BudgetedSrpt {
+                budget_fraction: 3.0 / 7.0,
+            },
+            &motivating_sim_config(),
+        );
+        assert_eq!(dur(&out, 0), 12_000, "job A (Figure 1b)");
+        assert_eq!(dur(&out, 1), 32_000, "job B (Figure 1b)");
+    }
+
+    /// Figure 2: Hopper's coordinated allocation → A = 12 s, B = 22 s.
+    #[test]
+    fn motivating_example_hopper() {
+        let (trace, _) = motivating_trace();
+        let out = run(
+            &trace,
+            &Policy::Hopper(HopperConfig::pure()),
+            &motivating_sim_config(),
+        );
+        assert_eq!(dur(&out, 0), 12_000, "job A (Figure 2)");
+        assert_eq!(dur(&out, 1), 22_000, "job B (Figure 2)");
+    }
+
+    /// Hopper's average beats both strawmen on the example (25 and 22 vs 17).
+    #[test]
+    fn motivating_example_hopper_wins_on_average() {
+        let (trace, _) = motivating_trace();
+        let cfg = motivating_sim_config();
+        let srpt = run(&trace, &Policy::Srpt, &cfg).mean_duration_ms();
+        let budgeted = run(
+            &trace,
+            &Policy::BudgetedSrpt {
+                budget_fraction: 3.0 / 7.0,
+            },
+            &cfg,
+        )
+        .mean_duration_ms();
+        let hopper = run(&trace, &Policy::Hopper(HopperConfig::pure()), &cfg).mean_duration_ms();
+        assert!(hopper < srpt && hopper < budgeted);
+        assert_eq!(hopper, 17_000.0);
+    }
+
+    fn small_trace(seed: u64, n: usize, util: f64, slots: usize) -> Trace {
+        let profile = WorkloadProfile::facebook().single_phase();
+        TraceGenerator::new(profile, n, seed).generate_with_utilization(slots, util)
+    }
+
+    fn small_cfg(seed: u64) -> SimConfig {
+        SimConfig {
+            cluster: ClusterConfig {
+                machines: 25,
+                slots_per_machine: 4,
+                ..Default::default()
+            },
+            scan_interval: SimTime::from_millis(2_000),
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stochastic_run_is_deterministic() {
+        let trace = small_trace(3, 40, 0.7, 100);
+        let cfg = small_cfg(9);
+        let a = run(&trace, &Policy::Hopper(HopperConfig::default()), &cfg);
+        let b = run(&trace, &Policy::Hopper(HopperConfig::default()), &cfg);
+        assert_eq!(a.jobs.len(), b.jobs.len());
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.completed, y.completed);
+        }
+        assert_eq!(a.stats.spec_launched, b.stats.spec_launched);
+        assert_eq!(a.stats.events, b.stats.events);
+    }
+
+    #[test]
+    fn all_jobs_complete_under_every_policy() {
+        let trace = small_trace(5, 30, 0.8, 100);
+        let cfg = small_cfg(5);
+        for policy in [
+            Policy::Fifo,
+            Policy::Fair,
+            Policy::Srpt,
+            Policy::BudgetedSrpt {
+                budget_fraction: 0.2,
+            },
+            Policy::Hopper(HopperConfig::default()),
+        ] {
+            let out = run(&trace, &policy, &cfg);
+            assert_eq!(out.jobs.len(), trace.len(), "policy {}", policy.name());
+            assert!(out.stats.makespan > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn hopper_beats_srpt_on_heavy_tailed_load() {
+        // The paper's headline: coordinating speculation with scheduling
+        // beats SRPT + best-effort LATE. High utilization, heavy tails,
+        // averaged over seeds (single runs are noisy on small clusters).
+        let mut srpt = 0.0;
+        let mut hopper = 0.0;
+        for seed in 0..3u64 {
+            let mut profile = WorkloadProfile::facebook().single_phase();
+            profile.beta_range = (1.2, 1.4);
+            let trace = TraceGenerator::new(profile, 200, seed)
+                .generate_with_utilization(200, 0.8);
+            let cfg = SimConfig {
+                cluster: ClusterConfig {
+                    machines: 50,
+                    slots_per_machine: 4,
+                    ..Default::default()
+                },
+                scan_interval: SimTime::from_millis(500),
+                seed,
+                ..Default::default()
+            };
+            srpt += run(&trace, &Policy::Srpt, &cfg).mean_duration_ms();
+            hopper +=
+                run(&trace, &Policy::Hopper(HopperConfig::default()), &cfg).mean_duration_ms();
+        }
+        assert!(
+            hopper < srpt,
+            "hopper {hopper:.0} should beat srpt {srpt:.0} on average"
+        );
+    }
+
+    #[test]
+    fn speculation_actually_happens_and_wins_sometimes() {
+        let trace = small_trace(13, 40, 0.6, 100);
+        let cfg = small_cfg(13);
+        let out = run(&trace, &Policy::Hopper(HopperConfig::default()), &cfg);
+        assert!(out.stats.spec_launched > 0, "no speculation at all");
+        assert!(out.stats.spec_won > 0, "speculation never won a race");
+        assert!(out.stats.spec_won <= out.stats.spec_launched);
+    }
+
+    #[test]
+    fn regime_accounting_covers_all_jobs_once() {
+        let trace = small_trace(17, 50, 0.8, 100);
+        let cfg = small_cfg(17);
+        let out = run(&trace, &Policy::Hopper(HopperConfig::default()), &cfg);
+        assert_eq!(
+            out.stats.constrained_jobs + out.stats.proportional_jobs,
+            trace.len() as u64
+        );
+    }
+
+    #[test]
+    fn learning_stats_populated() {
+        let trace = small_trace(19, 40, 0.7, 100);
+        let cfg = small_cfg(19);
+        let out = run(&trace, &Policy::Hopper(HopperConfig::default()), &cfg);
+        let beta = out.stats.final_beta.expect("beta learned");
+        assert!(beta > 1.0 && beta < 2.5, "beta {beta}");
+        assert!(out.stats.locality_fraction.is_some());
+    }
+
+    #[test]
+    fn fair_policy_is_fair_between_identical_jobs() {
+        // Two identical jobs arriving together under Fair should finish
+        // within a small factor of each other.
+        use hopper_workload::single_phase_job;
+        let works: Vec<SimTime> = vec![SimTime::from_millis(5_000); 40];
+        let trace = Trace::new(vec![
+            single_phase_job(0, SimTime::ZERO, works.clone(), 1.5),
+            single_phase_job(1, SimTime::ZERO, works, 1.5),
+        ]);
+        let cfg = small_cfg(23);
+        let out = run(&trace, &Policy::Fair, &cfg);
+        let d0 = dur(&out, 0) as f64;
+        let d1 = dur(&out, 1) as f64;
+        assert!((d0 / d1 - 1.0).abs() < 0.35, "unfair: {d0} vs {d1}");
+    }
+
+    #[test]
+    fn fifo_strictly_prefers_earlier_jobs() {
+        use hopper_workload::single_phase_job;
+        // Big job arrives first and hogs the cluster; FIFO must finish it
+        // no later than the later small job would allow under SRPT.
+        let trace = Trace::new(vec![
+            single_phase_job(
+                0,
+                SimTime::ZERO,
+                vec![SimTime::from_millis(20_000); 200],
+                1.5,
+            ),
+            single_phase_job(
+                1,
+                SimTime::from_millis(1),
+                vec![SimTime::from_millis(20_000); 4],
+                1.5,
+            ),
+        ]);
+        let cfg = small_cfg(29);
+        let fifo = run(&trace, &Policy::Fifo, &cfg);
+        let srpt = run(&trace, &Policy::Srpt, &cfg);
+        // Under SRPT the small job preempts the queue and finishes earlier
+        // than under FIFO.
+        assert!(dur(&srpt, 1) <= dur(&fifo, 1));
+    }
+
+    #[test]
+    fn empty_trace_runs() {
+        let out = run(&Trace::default(), &Policy::Srpt, &small_cfg(1));
+        assert!(out.jobs.is_empty());
+        assert_eq!(out.stats.events, 0);
+    }
+
+    #[test]
+    fn epsilon_fairness_bounds_slowdowns() {
+        // Versus a perfectly fair Hopper (ε = 0), ε = 0.1 should slow only
+        // a small fraction of jobs (Figure 10b: ≤ ~4%); we allow slack for
+        // the small sample.
+        let trace = small_trace(31, 60, 0.7, 100);
+        let cfg = small_cfg(31);
+        let fair = run(
+            &trace,
+            &Policy::Hopper(HopperConfig {
+                alloc: hopper_core::AllocConfig {
+                    fairness_eps: 0.0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            }),
+            &cfg,
+        );
+        let eps10 = run(&trace, &Policy::Hopper(HopperConfig::default()), &cfg);
+        let cdf = hopper_metrics::GainCdf::between(&fair.jobs, &eps10.jobs);
+        // Divergent event interleavings make small per-job deltas noisy;
+        // the meaningful claim is that *severe* slowdowns stay rare and
+        // the average does not regress.
+        let severely_slowed = cdf.gains.iter().filter(|&&g| g < -30.0).count() as f64
+            / cdf.gains.len() as f64;
+        assert!(
+            severely_slowed < 0.25,
+            "too many severely slowed jobs: {severely_slowed}"
+        );
+        assert!(
+            eps10.mean_duration_ms() < fair.mean_duration_ms() * 1.15,
+            "ε=10% should not regress the mean materially"
+        );
+    }
+}

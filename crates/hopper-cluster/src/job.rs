@@ -1,0 +1,959 @@
+//! Runtime state of jobs: phases, tasks, and execution copies.
+//!
+//! This module owns the execution semantics shared by both schedulers:
+//!
+//! - **Straggler model.** Each launched copy draws an i.i.d. duration
+//!   `work × X`, `X ~` unit-mean Pareto(β of the job) — the paper's own
+//!   analytic model (\[8\]); heavy-tail draws *are* the stragglers. A
+//!   speculative copy redraws `X` (different machine, fresh conditions),
+//!   which is why speculation helps.
+//! - **Race semantics.** The first copy of a task to finish wins; all
+//!   other running copies are killed at that instant and their slots
+//!   freed (paper §2.2, footnote 1: both run "until the first completes").
+//! - **Locality.** Input-phase tasks carry a replica set; running
+//!   elsewhere multiplies the duration by the remote-read penalty.
+//! - **DAG + shuffle.** A downstream phase becomes eligible when its
+//!   upstream phases pass the slow-start fraction; its tasks' durations
+//!   include the per-task intermediate-data transfer time, which also
+//!   feeds the job's α (remaining transfer vs remaining compute, §4.2).
+
+use hopper_sim::SimTime;
+use hopper_workload::{Dist, TraceJob, TracePhase};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::ids::{CopyRef, MachineId, TaskRef};
+use crate::machine::ClusterConfig;
+
+/// Lifecycle of one execution copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyStatus {
+    /// Occupying a slot.
+    Running,
+    /// Finished first and won the race.
+    Finished,
+    /// Killed because a sibling finished first.
+    Killed,
+}
+
+/// One execution copy of a task.
+#[derive(Debug, Clone)]
+pub struct Copy {
+    /// Machine the copy runs on.
+    pub machine: MachineId,
+    /// Launch time.
+    pub start: SimTime,
+    /// Total duration the copy would take if never killed. Schedulers and
+    /// speculation policies must not read this directly; they see elapsed
+    /// time and progress through [`CopyObservation`].
+    pub duration: SimTime,
+    /// Current status.
+    pub status: CopyStatus,
+    /// True if this is a speculative (non-first) copy.
+    pub speculative: bool,
+    /// Whether the copy reads its input locally.
+    pub local: bool,
+}
+
+impl Copy {
+    /// Completion instant if the copy runs to completion.
+    pub fn finish_time(&self) -> SimTime {
+        self.start + self.duration
+    }
+}
+
+/// Fixed durations for scripted scenarios (the §3 motivating example):
+/// originals take `original`, every speculative copy takes `speculative`.
+#[derive(Debug, Clone, Copy)]
+pub struct ScriptedTask {
+    /// Duration of the original copy.
+    pub original: SimTime,
+    /// Duration of any speculative copy.
+    pub speculative: SimTime,
+}
+
+/// Runtime state of one task.
+#[derive(Debug, Clone)]
+pub struct TaskRun {
+    /// Nominal compute work (expected duration net of transfer/locality).
+    pub work: SimTime,
+    /// Machines holding this task's input (empty = no preference).
+    pub replicas: Vec<MachineId>,
+    /// Scripted durations override the stochastic model when present.
+    pub scripted: Option<ScriptedTask>,
+    /// All copies launched so far (index = copy id).
+    pub copies: Vec<Copy>,
+    /// When the task finished (first copy completion).
+    pub finished_at: Option<SimTime>,
+}
+
+impl TaskRun {
+    /// Whether the task has finished.
+    pub fn is_finished(&self) -> bool {
+        self.finished_at.is_some()
+    }
+
+    /// Whether any copy has been launched.
+    pub fn is_launched(&self) -> bool {
+        !self.copies.is_empty()
+    }
+
+    /// Number of currently running copies.
+    pub fn running_copies(&self) -> usize {
+        self.copies
+            .iter()
+            .filter(|c| c.status == CopyStatus::Running)
+            .count()
+    }
+}
+
+/// Runtime state of one phase.
+#[derive(Debug, Clone)]
+pub struct PhaseRun {
+    /// The static description this phase was built from.
+    pub spec: TracePhase,
+    /// Task states (same length as `spec.task_works`).
+    pub tasks: Vec<TaskRun>,
+    /// Finished task count.
+    pub finished: usize,
+    /// Whether tasks of this phase may be launched yet.
+    pub eligible: bool,
+    /// Shuffle transfer time included in every task of this phase
+    /// (upstream output volume divided over this phase's tasks), ms.
+    pub transfer_ms_per_task: f64,
+    /// Sum of completed copy durations (for observed-duration stats).
+    pub completed_duration_sum_ms: u64,
+    /// Count of completed copies.
+    pub completed_duration_count: u64,
+}
+
+impl PhaseRun {
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether all tasks have finished.
+    pub fn is_complete(&self) -> bool {
+        self.finished == self.tasks.len()
+    }
+
+    /// Unfinished task count.
+    pub fn remaining(&self) -> usize {
+        self.tasks.len() - self.finished
+    }
+
+    /// Mean duration of completed copies in this phase, if any completed.
+    pub fn mean_completed_duration(&self) -> Option<SimTime> {
+        (self.completed_duration_count > 0).then(|| {
+            SimTime::from_millis(self.completed_duration_sum_ms / self.completed_duration_count)
+        })
+    }
+
+    /// Effective nominal duration of task `i` (compute + transfer), before
+    /// the straggler multiplier.
+    pub fn effective_work(&self, i: usize) -> SimTime {
+        self.tasks[i].work + SimTime::from_millis(self.transfer_ms_per_task as u64)
+    }
+}
+
+/// What a finished copy did to the job (returned by [`JobRun::finish_copy`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinishOutcome {
+    /// Machines whose slots freed: the finishing copy's machine plus one
+    /// entry per killed sibling copy.
+    pub freed: Vec<MachineId>,
+    /// The completed copy's total duration (for β estimation: duration
+    /// divided by nominal work is the straggler multiplier).
+    pub duration: SimTime,
+    /// Nominal (effective) work of the task, for duration normalization.
+    pub nominal: SimTime,
+    /// Whether the whole phase completed with this task.
+    pub phase_done: bool,
+    /// Phases that just became eligible (slow-start satisfied).
+    pub newly_eligible: Vec<usize>,
+    /// Whether the whole job completed.
+    pub job_done: bool,
+}
+
+/// A scheduler-visible view of one running copy (progress observation).
+///
+/// `est_remaining_ms` is derived from the copy's progress rate the way
+/// LATE does it (progress / elapsed extrapolated to 1.0) — in this
+/// execution model progress is linear in time, so the estimate equals
+/// duration − elapsed.
+#[derive(Debug, Clone, Copy)]
+pub struct CopyObservation {
+    /// Which copy.
+    pub copy: CopyRef,
+    /// Machine it runs on.
+    pub machine: MachineId,
+    /// Time since launch.
+    pub elapsed: SimTime,
+    /// Progress fraction in [0, 1).
+    pub progress: f64,
+    /// Progress-rate-extrapolated remaining time.
+    pub est_remaining: SimTime,
+    /// Whether this copy is speculative.
+    pub speculative: bool,
+}
+
+/// Runtime state of a job.
+#[derive(Debug, Clone)]
+pub struct JobRun {
+    /// Trace identifier.
+    pub id: usize,
+    /// The static job description.
+    pub spec: TraceJob,
+    /// Phase states (same order as `spec.phases`).
+    pub phases: Vec<PhaseRun>,
+    /// Completion time, set when the last phase finishes.
+    pub completed_at: Option<SimTime>,
+    /// Scheduler-estimated α (set by drivers from the online estimator);
+    /// when `None`, [`JobRun::alpha`] computes the ground-truth value.
+    pub alpha_override: Option<f64>,
+    /// Scheduler-estimated β (defaults to the spec value; drivers may
+    /// substitute the online estimate).
+    pub beta_estimate: f64,
+    /// Local / non-local launch counters for input-phase tasks (Figure 13).
+    pub local_launches: usize,
+    /// Non-local input-phase launches.
+    pub nonlocal_launches: usize,
+}
+
+impl JobRun {
+    /// Instantiate runtime state for `spec` on a cluster, assigning DFS
+    /// replicas for input-phase tasks from `rng`.
+    pub fn new(spec: TraceJob, cfg: &ClusterConfig, rng: &mut StdRng) -> Self {
+        let mut phases: Vec<PhaseRun> = Vec::with_capacity(spec.phases.len());
+        for (pi, p) in spec.phases.iter().enumerate() {
+            // Shuffle volume arriving at this phase: every upstream task's
+            // output, divided across this phase's tasks.
+            let upstream_mb: f64 = p
+                .upstream
+                .iter()
+                .map(|&u| {
+                    spec.phases[u].output_mb_per_task * spec.phases[u].num_tasks() as f64
+                })
+                .sum();
+            let transfer_ms_per_task = if p.num_tasks() > 0 {
+                cfg.transfer_ms(upstream_mb / p.num_tasks() as f64)
+            } else {
+                0.0
+            };
+            let tasks = p
+                .task_works
+                .iter()
+                .map(|&w| TaskRun {
+                    work: w,
+                    replicas: if p.reads_dfs_input && cfg.machines > 0 {
+                        sample_replicas(cfg, rng)
+                    } else {
+                        Vec::new()
+                    },
+                    scripted: None,
+                    copies: Vec::new(),
+                    finished_at: None,
+                })
+                .collect();
+            phases.push(PhaseRun {
+                spec: p.clone(),
+                tasks,
+                finished: 0,
+                eligible: pi == 0 || p.upstream.is_empty(),
+                transfer_ms_per_task,
+                completed_duration_sum_ms: 0,
+                completed_duration_count: 0,
+            });
+        }
+        let beta = spec.beta;
+        JobRun {
+            id: spec.id,
+            spec,
+            phases,
+            completed_at: None,
+            alpha_override: None,
+            beta_estimate: beta,
+            local_launches: 0,
+            nonlocal_launches: 0,
+        }
+    }
+
+    /// Build a single-phase job with *scripted* per-task durations — used
+    /// by the §3 motivating example (Table 1) and in tests.
+    pub fn scripted(id: usize, arrival: SimTime, tasks: &[(u64, u64)]) -> Self {
+        let spec = hopper_workload::single_phase_job(
+            id,
+            arrival,
+            tasks
+                .iter()
+                .map(|&(orig, _)| SimTime::from_millis(orig))
+                .collect(),
+            1.5,
+        );
+        let cfg = ClusterConfig {
+            machines: 0,
+            ..Default::default()
+        };
+        let mut rng = hopper_sim::rng_from_seed(0);
+        let mut job = JobRun::new(spec, &cfg, &mut rng);
+        for (t, &(orig, new)) in job.phases[0].tasks.iter_mut().zip(tasks) {
+            t.scripted = Some(ScriptedTask {
+                original: SimTime::from_millis(orig),
+                speculative: SimTime::from_millis(new),
+            });
+        }
+        job
+    }
+
+    /// Whether the job has completed.
+    pub fn is_done(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// Launch a copy of `task` on `machine` at `now`; the copy starts
+    /// running at `now + delay` (slot hand-off / container setup cost).
+    /// Returns the copy id and its (hidden) duration so the driver can
+    /// schedule the completion event at `now + delay + duration`. Panics if the task already finished or its phase is not
+    /// eligible — drivers must not launch dead work.
+    pub fn launch_copy(
+        &mut self,
+        task: TaskRef,
+        machine: MachineId,
+        speculative: bool,
+        now: SimTime,
+        delay: SimTime,
+        cfg: &ClusterConfig,
+        rng: &mut StdRng,
+    ) -> (CopyRef, SimTime) {
+        let phase = &mut self.phases[task.phase];
+        assert!(phase.eligible, "launching into ineligible phase");
+        let effective = phase.effective_work(task.task);
+        let t = &mut phase.tasks[task.task];
+        assert!(t.finished_at.is_none(), "launching a finished task");
+
+        let local = t.replicas.is_empty() || t.replicas.contains(&machine);
+        let duration = match t.scripted {
+            Some(s) => {
+                if speculative {
+                    s.speculative
+                } else {
+                    s.original
+                }
+            }
+            None => {
+                let mult = Dist::unit_mean_pareto(self.spec.beta)
+                    .sample(rng)
+                    .min(cfg.max_straggle_factor);
+                let penalty = if local { 1.0 } else { cfg.remote_read_penalty };
+                effective.scale(mult * penalty)
+            }
+        };
+        if !t.replicas.is_empty() {
+            if local {
+                self.local_launches += 1;
+            } else {
+                self.nonlocal_launches += 1;
+            }
+        }
+        let copy_idx = t.copies.len();
+        t.copies.push(Copy {
+            machine,
+            start: now + delay,
+            duration,
+            status: CopyStatus::Running,
+            speculative,
+            local,
+        });
+        (
+            CopyRef {
+                task,
+                copy: copy_idx,
+            },
+            duration,
+        )
+    }
+
+    /// Handle a copy-completion event. Returns `None` when the event is
+    /// stale (the copy was killed or its task already finished) — drivers
+    /// simply drop such events.
+    pub fn finish_copy(&mut self, c: CopyRef, now: SimTime) -> Option<FinishOutcome> {
+        let nominal = self.phases[c.task.phase].effective_work(c.task.task);
+        let phase = &mut self.phases[c.task.phase];
+        let t = &mut phase.tasks[c.task.task];
+        if t.copies[c.copy].status != CopyStatus::Running || t.finished_at.is_some() {
+            return None;
+        }
+        t.copies[c.copy].status = CopyStatus::Finished;
+        t.finished_at = Some(now);
+        let duration = t.copies[c.copy].duration;
+        let mut freed = vec![t.copies[c.copy].machine];
+        for sibling in t.copies.iter_mut() {
+            if sibling.status == CopyStatus::Running {
+                sibling.status = CopyStatus::Killed;
+                freed.push(sibling.machine);
+            }
+        }
+        phase.finished += 1;
+        phase.completed_duration_sum_ms += duration.as_millis();
+        phase.completed_duration_count += 1;
+        let phase_done = phase.is_complete();
+
+        // Slow-start: re-evaluate eligibility of downstream phases.
+        let mut newly_eligible = Vec::new();
+        for pi in 0..self.phases.len() {
+            if self.phases[pi].eligible {
+                continue;
+            }
+            let ready = self.phases[pi].spec.upstream.iter().all(|&u| {
+                let up = &self.phases[u];
+                let need = (up.num_tasks() as f64 * self.slowstart(u)).ceil() as usize;
+                up.finished >= need.max(1)
+            });
+            if ready {
+                self.phases[pi].eligible = true;
+                newly_eligible.push(pi);
+            }
+        }
+
+        let job_done = self.phases.iter().all(|p| p.is_complete());
+        if job_done && self.completed_at.is_none() {
+            self.completed_at = Some(now);
+        }
+        Some(FinishOutcome {
+            freed,
+            duration,
+            nominal,
+            phase_done,
+            newly_eligible,
+            job_done,
+        })
+    }
+
+    /// Slow-start fraction for upstream phase `u` (constant today; indexed
+    /// so per-phase policies can be added without changing callers).
+    fn slowstart(&self, _u: usize) -> f64 {
+        1.0
+    }
+
+    /// Remaining tasks in eligible, incomplete phases — the paper's
+    /// `T_i(t)` (current-phase remaining tasks).
+    pub fn current_remaining(&self) -> usize {
+        self.phases
+            .iter()
+            .filter(|p| p.eligible && !p.is_complete())
+            .map(|p| p.remaining())
+            .sum()
+    }
+
+    /// Remaining tasks across the entire job.
+    pub fn total_remaining(&self) -> usize {
+        self.phases.iter().map(|p| p.remaining()).sum()
+    }
+
+    /// Tasks of the next not-yet-eligible phase — the paper's `T'_i(t)`
+    /// used in the `max{V, V'}` DAG priority.
+    pub fn downstream_remaining(&self) -> usize {
+        self.phases
+            .iter()
+            .find(|p| !p.eligible)
+            .map_or(0, |p| p.remaining())
+    }
+
+    /// Unlaunched original tasks in eligible phases.
+    pub fn pending_originals(&self) -> usize {
+        self.phases
+            .iter()
+            .filter(|p| p.eligible)
+            .flat_map(|p| &p.tasks)
+            .filter(|t| !t.is_launched() && !t.is_finished())
+            .count()
+    }
+
+    /// Currently running copies (slot occupancy of this job).
+    pub fn occupied_slots(&self) -> usize {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.tasks)
+            .map(|t| t.running_copies())
+            .sum()
+    }
+
+    /// Pick the next original task to launch, preferring one whose input
+    /// is local to `machine`. Returns the task and whether it is local.
+    pub fn next_task_for(&self, machine: Option<MachineId>) -> Option<(TaskRef, bool)> {
+        let mut fallback: Option<TaskRef> = None;
+        for (pi, p) in self.phases.iter().enumerate() {
+            if !p.eligible || p.is_complete() {
+                continue;
+            }
+            for (ti, t) in p.tasks.iter().enumerate() {
+                if t.is_launched() || t.is_finished() {
+                    continue;
+                }
+                let tr = TaskRef::new(pi, ti);
+                match machine {
+                    Some(m) if !t.replicas.is_empty() => {
+                        if t.replicas.contains(&m) {
+                            return Some((tr, true));
+                        }
+                        if fallback.is_none() {
+                            fallback = Some(tr);
+                        }
+                    }
+                    _ => return Some((tr, t.replicas.is_empty())),
+                }
+            }
+        }
+        fallback.map(|tr| (tr, false))
+    }
+
+    /// Whether the job has a task that would be data-local on `machine`.
+    pub fn has_local_task_for(&self, machine: MachineId) -> bool {
+        self.phases.iter().any(|p| {
+            p.eligible
+                && !p.is_complete()
+                && p.tasks.iter().any(|t| {
+                    !t.is_launched() && !t.is_finished() && t.replicas.contains(&machine)
+                })
+        })
+    }
+
+    /// Observations of all running copies, for speculation policies.
+    pub fn observe_running(&self, now: SimTime) -> Vec<(TaskRef, Vec<CopyObservation>)> {
+        let mut out = Vec::new();
+        for (pi, p) in self.phases.iter().enumerate() {
+            if !p.eligible {
+                continue;
+            }
+            for (ti, t) in p.tasks.iter().enumerate() {
+                if t.is_finished() {
+                    continue;
+                }
+                let obs: Vec<CopyObservation> = t
+                    .copies
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.status == CopyStatus::Running)
+                    .map(|(ci, c)| {
+                        let elapsed = now.saturating_sub(c.start);
+                        let progress = if c.duration.as_millis() == 0 {
+                            1.0
+                        } else {
+                            (elapsed.as_millis() as f64 / c.duration.as_millis() as f64)
+                                .min(1.0)
+                        };
+                        CopyObservation {
+                            copy: CopyRef::new(pi, ti, ci),
+                            machine: c.machine,
+                            elapsed,
+                            progress,
+                            est_remaining: c.duration.saturating_sub(elapsed),
+                            speculative: c.speculative,
+                        }
+                    })
+                    .collect();
+                if !obs.is_empty() {
+                    out.push((TaskRef::new(pi, ti), obs));
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean completed-copy duration across eligible phases (the scheduler's
+    /// `t_new` estimate for a fresh copy), falling back to the phase's
+    /// nominal work when nothing has completed yet. Scripted tasks report
+    /// their scripted speculative duration (the §3 example's known `t_new`).
+    pub fn estimated_new_copy_duration(&self, task: TaskRef) -> SimTime {
+        let p = &self.phases[task.phase];
+        if let Some(s) = p.tasks[task.task].scripted {
+            return s.speculative;
+        }
+        p.mean_completed_duration()
+            .unwrap_or_else(|| p.effective_work(task.task))
+    }
+
+    /// The job's DAG weight α: remaining downstream transfer work over
+    /// remaining current-phase compute work (§4.2), or the override the
+    /// driver installed from the online estimator.
+    pub fn alpha(&self) -> f64 {
+        if let Some(a) = self.alpha_override {
+            return a;
+        }
+        let compute_ms: f64 = self
+            .phases
+            .iter()
+            .filter(|p| p.eligible && !p.is_complete())
+            .flat_map(|p| &p.tasks)
+            .filter(|t| !t.is_finished())
+            .map(|t| t.work.as_millis() as f64)
+            .sum();
+        let transfer_ms: f64 = self
+            .phases
+            .iter()
+            .find(|p| !p.eligible)
+            .map(|p| p.transfer_ms_per_task * p.remaining() as f64)
+            .unwrap_or(0.0);
+        if transfer_ms <= 0.0 {
+            1.0
+        } else {
+            hopper_core_alpha(transfer_ms, compute_ms)
+        }
+    }
+
+    /// α computed with a *predicted* per-task intermediate output for the
+    /// current upstream phase(s), instead of the ground-truth spec value.
+    ///
+    /// This is what a scheduler using the online α estimator (§6.3) sees:
+    /// intermediate data sizes are unknown until the phase runs, so the
+    /// transfer term is built from the recurring-job prediction.
+    pub fn alpha_with_predicted_output(&self, mb_per_task: f64, cfg: &ClusterConfig) -> f64 {
+        let compute_ms: f64 = self
+            .phases
+            .iter()
+            .filter(|p| p.eligible && !p.is_complete())
+            .flat_map(|p| &p.tasks)
+            .filter(|t| !t.is_finished())
+            .map(|t| t.work.as_millis() as f64)
+            .sum();
+        let Some((pi, next)) = self
+            .phases
+            .iter()
+            .enumerate()
+            .find(|(_, p)| !p.eligible)
+        else {
+            return 1.0;
+        };
+        let upstream_tasks: usize = next
+            .spec
+            .upstream
+            .iter()
+            .map(|&u| self.phases[u].num_tasks())
+            .sum();
+        let _ = pi;
+        if next.num_tasks() == 0 {
+            return 1.0;
+        }
+        let per_task_mb = mb_per_task.max(0.0) * upstream_tasks as f64 / next.num_tasks() as f64;
+        let transfer_ms = cfg.transfer_ms(per_task_mb) * next.remaining() as f64;
+        if transfer_ms <= 0.0 {
+            1.0
+        } else {
+            hopper_core_alpha(transfer_ms, compute_ms)
+        }
+    }
+
+    /// Fraction of input-phase launches that were data-local.
+    pub fn locality_fraction(&self) -> Option<f64> {
+        let total = self.local_launches + self.nonlocal_launches;
+        (total > 0).then(|| self.local_launches as f64 / total as f64)
+    }
+}
+
+/// α clamped like `hopper_core::alpha_from_work` (duplicated locally to
+/// avoid a dependency cycle; the clamp band is part of the documented
+/// contract in both places).
+fn hopper_core_alpha(transfer_ms: f64, compute_ms: f64) -> f64 {
+    if compute_ms <= 0.0 {
+        return 1.0;
+    }
+    (transfer_ms / compute_ms).clamp(0.05, 20.0)
+}
+
+/// Sample `dfs_replicas` distinct machines.
+fn sample_replicas(cfg: &ClusterConfig, rng: &mut StdRng) -> Vec<MachineId> {
+    let k = cfg.dfs_replicas.min(cfg.machines);
+    let mut picked: Vec<MachineId> = Vec::with_capacity(k);
+    while picked.len() < k {
+        let m = MachineId(rng.gen_range(0..cfg.machines));
+        if !picked.contains(&m) {
+            picked.push(m);
+        }
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopper_sim::rng_from_seed;
+    use hopper_workload::{single_phase_job, CommPattern};
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig {
+            machines: 10,
+            slots_per_machine: 2,
+            ..Default::default()
+        }
+    }
+
+    fn simple_job(n_tasks: usize, work_ms: u64) -> JobRun {
+        let spec = single_phase_job(
+            0,
+            SimTime::ZERO,
+            vec![SimTime::from_millis(work_ms); n_tasks],
+            1.5,
+        );
+        JobRun::new(spec, &cfg(), &mut rng_from_seed(7))
+    }
+
+    fn two_phase_job() -> JobRun {
+        let mut spec = single_phase_job(
+            0,
+            SimTime::ZERO,
+            vec![SimTime::from_millis(1000); 4],
+            1.5,
+        );
+        spec.phases[0].output_mb_per_task = 50.0;
+        spec.phases.push(hopper_workload::TracePhase {
+            task_works: vec![SimTime::from_millis(500); 2],
+            upstream: vec![0],
+            output_mb_per_task: 0.0,
+            comm: CommPattern::AllToAll,
+            reads_dfs_input: false,
+        });
+        JobRun::new(spec, &cfg(), &mut rng_from_seed(3))
+    }
+
+    #[test]
+    fn replicas_assigned_to_input_phase_only() {
+        let j = two_phase_job();
+        for t in &j.phases[0].tasks {
+            assert_eq!(t.replicas.len(), 3);
+            let mut sorted = t.replicas.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replicas must be distinct");
+        }
+        for t in &j.phases[1].tasks {
+            assert!(t.replicas.is_empty());
+        }
+    }
+
+    #[test]
+    fn downstream_phase_ineligible_until_upstream_done() {
+        let mut j = two_phase_job();
+        assert!(j.phases[0].eligible);
+        assert!(!j.phases[1].eligible);
+        assert_eq!(j.current_remaining(), 4);
+        assert_eq!(j.downstream_remaining(), 2);
+
+        let mut rng = rng_from_seed(1);
+        let c = cfg();
+        // Run all 4 upstream tasks to completion.
+        let mut finish_times = Vec::new();
+        for ti in 0..4 {
+            let (cr, d) = j.launch_copy(TaskRef::new(0, ti),
+                MachineId(0),
+                false,
+                SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+            finish_times.push((cr, d));
+        }
+        let mut eligible_seen = false;
+        for (i, (cr, d)) in finish_times.into_iter().enumerate() {
+            let out = j.finish_copy(cr, d).unwrap();
+            if i < 3 {
+                assert!(out.newly_eligible.is_empty());
+            } else {
+                assert_eq!(out.newly_eligible, vec![1]);
+                assert!(out.phase_done);
+                eligible_seen = true;
+            }
+        }
+        assert!(eligible_seen);
+        assert!(j.phases[1].eligible);
+        assert_eq!(j.current_remaining(), 2);
+        assert_eq!(j.downstream_remaining(), 0);
+    }
+
+    #[test]
+    fn shuffle_transfer_is_in_downstream_duration() {
+        let j = two_phase_job();
+        // 4 upstream tasks × 50 MB = 200 MB over 2 downstream tasks =
+        // 100 MB each at 125 MB/s = 800 ms per task.
+        assert!((j.phases[1].transfer_ms_per_task - 800.0).abs() < 1.0);
+        assert_eq!(
+            j.phases[1].effective_work(0),
+            SimTime::from_millis(500 + 800)
+        );
+    }
+
+    #[test]
+    fn race_kills_siblings_and_frees_slots() {
+        let mut j = simple_job(1, 1000);
+        let mut rng = rng_from_seed(2);
+        let c = cfg();
+        let task = TaskRef::new(0, 0);
+        let (orig, _) = j.launch_copy(task, MachineId(0), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+        let (spec, _) =
+            j.launch_copy(task, MachineId(1), true, SimTime::from_millis(100), SimTime::ZERO, &c, &mut rng);
+        assert_eq!(j.occupied_slots(), 2);
+
+        let out = j.finish_copy(spec, SimTime::from_millis(600)).unwrap();
+        assert_eq!(out.freed.len(), 2, "winner + killed sibling");
+        assert!(out.freed.contains(&MachineId(0)));
+        assert!(out.freed.contains(&MachineId(1)));
+        assert!(out.job_done);
+        assert_eq!(j.occupied_slots(), 0);
+
+        // The original's own completion event is now stale.
+        assert!(j.finish_copy(orig, SimTime::from_millis(1000)).is_none());
+    }
+
+    #[test]
+    fn stale_finish_for_killed_copy_is_ignored() {
+        let mut j = simple_job(2, 1000);
+        let mut rng = rng_from_seed(2);
+        let c = cfg();
+        let t0 = TaskRef::new(0, 0);
+        let (c0, _) = j.launch_copy(t0, MachineId(0), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+        let out = j.finish_copy(c0, SimTime::from_millis(500)).unwrap();
+        assert!(!out.job_done);
+        assert!(!out.phase_done);
+        assert_eq!(j.current_remaining(), 1);
+        assert!(j.finish_copy(c0, SimTime::from_millis(900)).is_none());
+    }
+
+    #[test]
+    fn scripted_durations_are_exact() {
+        let mut j = JobRun::scripted(0, SimTime::ZERO, &[(30_000, 10_000), (10_000, 10_000)]);
+        let mut rng = rng_from_seed(5);
+        let c = cfg();
+        let (_, d0) =
+            j.launch_copy(TaskRef::new(0, 0), MachineId(0), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+        assert_eq!(d0, SimTime::from_millis(30_000));
+        let (_, d0s) = j.launch_copy(TaskRef::new(0, 0),
+            MachineId(1),
+            true,
+            SimTime::from_millis(2000), SimTime::ZERO, &c, &mut rng);
+        assert_eq!(d0s, SimTime::from_millis(10_000));
+    }
+
+    #[test]
+    fn observation_progress_and_estimates() {
+        let mut j = JobRun::scripted(0, SimTime::ZERO, &[(10_000, 5_000)]);
+        let mut rng = rng_from_seed(5);
+        let c = cfg();
+        j.launch_copy(TaskRef::new(0, 0), MachineId(0), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+        let obs = j.observe_running(SimTime::from_millis(2_500));
+        assert_eq!(obs.len(), 1);
+        let (task, copies) = &obs[0];
+        assert_eq!(*task, TaskRef::new(0, 0));
+        assert_eq!(copies.len(), 1);
+        assert!((copies[0].progress - 0.25).abs() < 1e-9);
+        assert_eq!(copies[0].est_remaining, SimTime::from_millis(7_500));
+        assert_eq!(copies[0].elapsed, SimTime::from_millis(2_500));
+    }
+
+    #[test]
+    fn next_task_prefers_local() {
+        let mut j = simple_job(5, 1000);
+        // Make task 3 local to machine 9, others not.
+        for (i, t) in j.phases[0].tasks.iter_mut().enumerate() {
+            t.replicas = if i == 3 {
+                vec![MachineId(9)]
+            } else {
+                vec![MachineId(0)]
+            };
+        }
+        let (tr, local) = j.next_task_for(Some(MachineId(9))).unwrap();
+        assert_eq!(tr, TaskRef::new(0, 3));
+        assert!(local);
+        assert!(j.has_local_task_for(MachineId(9)));
+        assert!(!j.has_local_task_for(MachineId(5)));
+        // A machine with no local tasks falls back to the first unlaunched.
+        let (tr2, local2) = j.next_task_for(Some(MachineId(5))).unwrap();
+        assert_eq!(tr2, TaskRef::new(0, 0));
+        assert!(!local2);
+    }
+
+    #[test]
+    fn locality_counters() {
+        let mut j = simple_job(2, 1000);
+        for t in j.phases[0].tasks.iter_mut() {
+            t.replicas = vec![MachineId(1)];
+        }
+        let mut rng = rng_from_seed(2);
+        let c = cfg();
+        j.launch_copy(TaskRef::new(0, 0), MachineId(1), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+        j.launch_copy(TaskRef::new(0, 1), MachineId(2), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+        assert_eq!(j.local_launches, 1);
+        assert_eq!(j.nonlocal_launches, 1);
+        assert!((j.locality_fraction().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_reflects_transfer_vs_compute() {
+        let j = two_phase_job();
+        // transfer = 800 ms × 2 tasks = 1600; compute = 4 × 1000 = 4000.
+        let a = j.alpha();
+        assert!((a - 0.4).abs() < 0.01, "alpha {a}");
+        // Single-phase job: no downstream → α = 1.
+        assert_eq!(simple_job(3, 500).alpha(), 1.0);
+        // Override wins.
+        let mut j2 = two_phase_job();
+        j2.alpha_override = Some(2.5);
+        assert_eq!(j2.alpha(), 2.5);
+    }
+
+    #[test]
+    fn pending_and_remaining_counts() {
+        let mut j = simple_job(3, 1000);
+        assert_eq!(j.pending_originals(), 3);
+        let mut rng = rng_from_seed(2);
+        let c = cfg();
+        j.launch_copy(TaskRef::new(0, 0), MachineId(0), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+        assert_eq!(j.pending_originals(), 2);
+        assert_eq!(j.current_remaining(), 3);
+        assert_eq!(j.total_remaining(), 3);
+        assert_eq!(j.occupied_slots(), 1);
+    }
+
+    #[test]
+    fn estimated_new_copy_duration_uses_completed_stats() {
+        let mut j = simple_job(3, 1000);
+        let task = TaskRef::new(0, 0);
+        // Before anything completes: nominal work.
+        assert_eq!(
+            j.estimated_new_copy_duration(task),
+            SimTime::from_millis(1000)
+        );
+        let mut rng = rng_from_seed(2);
+        let c = cfg();
+        let (c0, d0) = j.launch_copy(task, MachineId(0), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+        j.finish_copy(c0, d0).unwrap();
+        assert_eq!(j.estimated_new_copy_duration(TaskRef::new(0, 1)), d0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ineligible phase")]
+    fn launching_into_ineligible_phase_panics() {
+        let mut j = two_phase_job();
+        let mut rng = rng_from_seed(2);
+        let c = cfg();
+        j.launch_copy(TaskRef::new(1, 0), MachineId(0), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+    }
+
+    #[test]
+    fn beta_drives_duration_variance() {
+        // Heavier tail (β=1.1) must produce more extreme max multipliers
+        // than a light tail (β=1.9) over many draws.
+        let c = cfg();
+        let max_mult = |beta: f64, seed: u64| -> f64 {
+            let spec =
+                single_phase_job(0, SimTime::ZERO, vec![SimTime::from_millis(1000); 400], beta);
+            let mut j = JobRun::new(spec, &c, &mut rng_from_seed(seed));
+            let mut rng = rng_from_seed(seed + 1);
+            let mut max = 0.0f64;
+            for ti in 0..400 {
+                let (_, d) = j.launch_copy(TaskRef::new(0, ti),
+                    MachineId(0),
+                    false,
+                    SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+                max = max.max(d.as_millis() as f64 / 1000.0);
+            }
+            max
+        };
+        assert!(max_mult(1.1, 10) > max_mult(1.9, 10));
+    }
+}

@@ -1,0 +1,19 @@
+//! Cluster substrate for the Hopper reproduction.
+//!
+//! The paper's prototypes run inside Hadoop/Spark/Sparrow on a 200-node
+//! cluster; this crate is the simulated equivalent: machines with slots
+//! ([`machine`]), and jobs whose tasks execute as racing copies with
+//! heavy-tailed durations, data locality, DAG phases, and shuffle transfer
+//! ([`job`]). Both the centralized (`hopper-central`) and decentralized
+//! (`hopper-decentral`) drivers share these execution semantics, so policy
+//! comparisons are apples-to-apples.
+
+pub mod ids;
+pub mod job;
+pub mod machine;
+
+pub use ids::{CopyRef, MachineId, TaskRef};
+pub use job::{
+    Copy, CopyObservation, CopyStatus, FinishOutcome, JobRun, PhaseRun, ScriptedTask, TaskRun,
+};
+pub use machine::{ClusterConfig, Machines, SlotTemp};

@@ -1,0 +1,359 @@
+//! The physical cluster: machines with compute slots, and slot↔job
+//! affinity ("warm" slots).
+//!
+//! Mirrors the paper's testbed shape (§7.1: 200 machines, multiple slots
+//! each). Slots are fungible within a machine; machine identity matters
+//! for data locality and for the decentralized per-worker queues.
+//!
+//! **Warm slots.** Handing a slot from one job to another costs a
+//! scheduling round-trip plus container/executor setup (YARN heartbeat +
+//! container launch; Spark executor hand-off). A slot freed by a job stays
+//! *bound* (warm) to it: relaunching within the same job is instant, while
+//! taking over a foreign slot pays [`ClusterConfig::handoff_ms`]. This is
+//! the mechanism that makes slot *reservation* (Hopper's held slots,
+//! Figure 2) physically meaningful: binding happens while the slot idles,
+//! so the job's next speculative copy starts immediately.
+
+use std::collections::HashMap;
+
+use crate::ids::MachineId;
+
+/// Static cluster and execution-model parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of machines.
+    pub machines: usize,
+    /// Compute slots per machine.
+    pub slots_per_machine: usize,
+    /// DFS replication factor: input tasks may run locally on this many
+    /// machines (3 in HDFS and in the paper's setup).
+    pub dfs_replicas: usize,
+    /// Duration multiplier for an input task reading its data remotely
+    /// (non-local placement). ~1.1–1.3 in measurement studies.
+    pub remote_read_penalty: f64,
+    /// Per-slot network bandwidth in MB/s used to convert intermediate
+    /// data volume into transfer time (drives α and shuffle durations).
+    pub bandwidth_mbps: f64,
+    /// Fraction of upstream tasks that must finish before a downstream
+    /// phase becomes eligible. 1.0 = strict barrier (default); lower
+    /// values emulate Hadoop "slowstart" pipelining.
+    pub slowstart_fraction: f64,
+    /// Upper clamp on the per-copy Pareto duration multiplier, bounding
+    /// pathological tail draws (production stragglers observed up to ~8×;
+    /// we allow well beyond that, the clamp only guards simulation time).
+    pub max_straggle_factor: f64,
+    /// Cost (ms) of handing a slot to a *different* job: scheduler
+    /// round-trip plus container/executor start. Zero for long-lived
+    /// shared executors (the Sparrow/decentralized setting).
+    pub handoff_ms: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            machines: 200,
+            slots_per_machine: 16,
+            dfs_replicas: 3,
+            remote_read_penalty: 1.2,
+            bandwidth_mbps: 125.0, // 1 Gbps, as in the paper's cluster
+            slowstart_fraction: 1.0,
+            max_straggle_factor: 40.0,
+            handoff_ms: 1000,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Total slot count.
+    pub fn total_slots(&self) -> usize {
+        self.machines * self.slots_per_machine
+    }
+
+    /// Convert an intermediate data volume (MB) into transfer milliseconds
+    /// at per-slot bandwidth.
+    pub fn transfer_ms(&self, mb: f64) -> f64 {
+        if mb <= 0.0 {
+            0.0
+        } else {
+            mb / self.bandwidth_mbps * 1000.0
+        }
+    }
+}
+
+/// Whether an occupied slot was already warm for the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotTemp {
+    /// Slot was bound to the launching job: no handoff cost.
+    Warm,
+    /// Slot was unbound or bound to another job: pays the handoff cost.
+    Cold,
+}
+
+/// Dynamic slot occupancy across machines, with per-job slot affinity.
+#[derive(Debug, Clone)]
+pub struct Machines {
+    /// Per machine: free slots bound (warm) per job.
+    bound: Vec<HashMap<usize, usize>>,
+    /// Per machine: free slots bound to no job.
+    unbound: Vec<usize>,
+    /// Per machine: total free (cache of unbound + Σ bound).
+    free: Vec<usize>,
+    slots_per_machine: usize,
+    total_free: usize,
+}
+
+impl Machines {
+    /// All slots free and unbound.
+    pub fn new(cfg: &ClusterConfig) -> Self {
+        Machines {
+            bound: vec![HashMap::new(); cfg.machines],
+            unbound: vec![cfg.slots_per_machine; cfg.machines],
+            free: vec![cfg.slots_per_machine; cfg.machines],
+            slots_per_machine: cfg.slots_per_machine,
+            total_free: cfg.total_slots(),
+        }
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True when the cluster has no machines (degenerate configs in tests).
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Total free slots across the cluster.
+    pub fn total_free(&self) -> usize {
+        self.total_free
+    }
+
+    /// Free slots on one machine.
+    pub fn free_on(&self, m: MachineId) -> usize {
+        self.free[m.0]
+    }
+
+    /// Free slots on `m` already bound to `job`.
+    pub fn warm_on(&self, m: MachineId, job: usize) -> usize {
+        self.bound[m.0].get(&job).copied().unwrap_or(0)
+    }
+
+    /// Total free slots bound to `job` across the cluster.
+    pub fn warm_total(&self, job: usize) -> usize {
+        self.bound
+            .iter()
+            .map(|b| b.get(&job).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Occupy one slot on `m` for `job`, consuming a warm slot when
+    /// available. Returns whether the slot was warm. Panics if `m` has no
+    /// free slot (callers check first).
+    pub fn occupy_for(&mut self, m: MachineId, job: usize) -> SlotTemp {
+        assert!(self.free[m.0] > 0, "occupy on full machine {}", m.0);
+        self.free[m.0] -= 1;
+        self.total_free -= 1;
+        let slots = &mut self.bound[m.0];
+        if let Some(c) = slots.get_mut(&job) {
+            *c -= 1;
+            if *c == 0 {
+                slots.remove(&job);
+            }
+            return SlotTemp::Warm;
+        }
+        if self.unbound[m.0] > 0 {
+            self.unbound[m.0] -= 1;
+            return SlotTemp::Cold;
+        }
+        // Steal a slot bound to some other job (deterministic: smallest id).
+        let victim = *slots.keys().min().expect("free slot must exist somewhere");
+        let c = slots.get_mut(&victim).unwrap();
+        *c -= 1;
+        if *c == 0 {
+            slots.remove(&victim);
+        }
+        SlotTemp::Cold
+    }
+
+    /// Release one slot on `m`, leaving it warm (bound) for `job`.
+    /// Panics on double release.
+    pub fn release_to(&mut self, m: MachineId, job: usize) {
+        assert!(
+            self.free[m.0] < self.slots_per_machine,
+            "double release on machine {}",
+            m.0
+        );
+        self.free[m.0] += 1;
+        self.total_free += 1;
+        *self.bound[m.0].entry(job).or_insert(0) += 1;
+    }
+
+    /// Re-bind up to `want` currently-free slots to `job` (Hopper's slot
+    /// holding: prepare containers while the slot idles). Unbound slots are
+    /// consumed first, then slots warm for other jobs. Returns how many
+    /// were bound (beyond those already warm for `job`).
+    pub fn bind_idle(&mut self, job: usize, want: usize) -> usize {
+        let mut bound = 0;
+        // Pass 1: unbound slots.
+        for m in 0..self.free.len() {
+            while bound < want && self.unbound[m] > 0 {
+                self.unbound[m] -= 1;
+                *self.bound[m].entry(job).or_insert(0) += 1;
+                bound += 1;
+            }
+            if bound == want {
+                return bound;
+            }
+        }
+        // Pass 2: steal from other jobs' warm slots.
+        for m in 0..self.free.len() {
+            while bound < want {
+                let victim = self.bound[m]
+                    .iter()
+                    .filter(|(&j, &c)| j != job && c > 0)
+                    .map(|(&j, _)| j)
+                    .min();
+                let Some(v) = victim else { break };
+                let c = self.bound[m].get_mut(&v).unwrap();
+                *c -= 1;
+                if *c == 0 {
+                    self.bound[m].remove(&v);
+                }
+                *self.bound[m].entry(job).or_insert(0) += 1;
+                bound += 1;
+            }
+            if bound == want {
+                break;
+            }
+        }
+        bound
+    }
+
+    /// Iterate machines that currently have at least one free slot.
+    pub fn machines_with_free(&self) -> impl Iterator<Item = MachineId> + '_ {
+        self.free
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0)
+            .map(|(i, _)| MachineId(i))
+    }
+
+    /// A free machine for `job`, preferring one where the job has a warm
+    /// slot, skipping `exclude`.
+    pub fn preferred_free_machine(
+        &self,
+        job: usize,
+        exclude: &[MachineId],
+    ) -> Option<MachineId> {
+        self.machines_with_free()
+            .filter(|m| !exclude.contains(m))
+            .max_by_key(|&m| (self.warm_on(m, job).min(1), usize::MAX - m.0))
+            .or_else(|| self.machines_with_free().next())
+    }
+
+    /// First free machine among `preferred`, if any.
+    pub fn first_free_of(&self, preferred: &[MachineId]) -> Option<MachineId> {
+        preferred.iter().copied().find(|&m| self.free[m.0] > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (ClusterConfig, Machines) {
+        let cfg = ClusterConfig {
+            machines: 3,
+            slots_per_machine: 2,
+            ..Default::default()
+        };
+        let m = Machines::new(&cfg);
+        (cfg, m)
+    }
+
+    #[test]
+    fn totals() {
+        let (cfg, m) = small();
+        assert_eq!(cfg.total_slots(), 6);
+        assert_eq!(m.total_free(), 6);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn occupy_release_roundtrip_with_warmth() {
+        let (_, mut m) = small();
+        // Fresh slots are cold.
+        assert_eq!(m.occupy_for(MachineId(1), 7), SlotTemp::Cold);
+        assert_eq!(m.occupy_for(MachineId(1), 7), SlotTemp::Cold);
+        assert_eq!(m.total_free(), 4);
+        assert_eq!(m.free_on(MachineId(1)), 0);
+        // Released slots are warm for the releasing job.
+        m.release_to(MachineId(1), 7);
+        assert_eq!(m.warm_on(MachineId(1), 7), 1);
+        assert_eq!(m.occupy_for(MachineId(1), 7), SlotTemp::Warm);
+        // ... but cold for another job.
+        m.release_to(MachineId(1), 7);
+        assert_eq!(m.occupy_for(MachineId(1), 9), SlotTemp::Cold);
+        assert_eq!(m.warm_on(MachineId(1), 7), 0, "stolen by job 9");
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let (_, mut m) = small();
+        m.release_to(MachineId(0), 0);
+        m.release_to(MachineId(0), 0);
+        m.release_to(MachineId(0), 0);
+    }
+
+    #[test]
+    fn free_iteration_and_preference() {
+        let (_, mut m) = small();
+        m.occupy_for(MachineId(0), 1);
+        m.occupy_for(MachineId(0), 1);
+        let free: Vec<usize> = m.machines_with_free().map(|x| x.0).collect();
+        assert_eq!(free, vec![1, 2]);
+        assert_eq!(
+            m.first_free_of(&[MachineId(0), MachineId(2)]),
+            Some(MachineId(2))
+        );
+        assert_eq!(m.first_free_of(&[MachineId(0)]), None);
+    }
+
+    #[test]
+    fn bind_idle_prewarns_slots() {
+        let (_, mut m) = small();
+        assert_eq!(m.bind_idle(3, 4), 4);
+        assert_eq!(m.warm_total(3), 4);
+        // Warm slots are consumed warm.
+        let mm = m.preferred_free_machine(3, &[]).unwrap();
+        assert_eq!(m.occupy_for(mm, 3), SlotTemp::Warm);
+        // Binding beyond free capacity binds only what exists.
+        assert_eq!(m.bind_idle(4, 100), 5);
+        assert_eq!(m.warm_total(4), 5);
+        assert_eq!(m.warm_total(3), 0, "job 4 stole job 3's idle warmth");
+    }
+
+    #[test]
+    fn preferred_machine_prefers_warmth() {
+        let (_, mut m) = small();
+        m.occupy_for(MachineId(2), 5);
+        m.release_to(MachineId(2), 5);
+        assert_eq!(m.preferred_free_machine(5, &[]), Some(MachineId(2)));
+        assert_eq!(
+            m.preferred_free_machine(5, &[MachineId(2)]),
+            Some(MachineId(0))
+        );
+    }
+
+    #[test]
+    fn transfer_time_math() {
+        let cfg = ClusterConfig {
+            bandwidth_mbps: 100.0,
+            ..Default::default()
+        };
+        assert_eq!(cfg.transfer_ms(0.0), 0.0);
+        assert!((cfg.transfer_ms(50.0) - 500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,491 @@
+//! Decentralized Hopper protocol logic — Pseudocodes 2 and 3 of the paper,
+//! expressed as pure decision functions over explicit state.
+//!
+//! In the decentralized architecture (§5, Figure 4) schedulers push
+//! *reservation requests* for their tasks to workers; a worker with a free
+//! slot chooses which job to serve and asks that job's scheduler for a task
+//! ("late binding"). Hopper changes three things relative to Sparrow:
+//!
+//! 1. the worker orders its queue by **virtual size** (SRPT per
+//!    Guideline 2), not FCFS;
+//! 2. a **refusal protocol** lets a fully-satisfied job decline the slot;
+//!    several consecutive refusals with no unsatisfied job reported tell
+//!    the worker the cluster is *not* capacity constrained, at which point
+//!    it switches to Guideline 3 (virtual-size-weighted random choice);
+//! 3. responses can be **non-refusable** to force placement on the
+//!    smallest *unsatisfied* job discovered during the refusal round.
+//!
+//! Nothing here performs I/O or owns a clock; the simulation driver (or a
+//! real RPC layer) supplies queue contents and delivers decisions.
+
+use rand::Rng;
+
+/// A reservation request parked in a worker's queue.
+///
+/// `virtual_size` and `remaining_tasks` are the values last *piggybacked*
+/// by the scheduler (§5.3) — possibly stale, which is part of the protocol
+/// being modelled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reservation {
+    /// Scheduler that placed the reservation.
+    pub scheduler: usize,
+    /// Global job identifier.
+    pub job: u64,
+    /// Last known virtual size of the job (see [`crate::vsize`]).
+    pub virtual_size: f64,
+    /// Last known remaining task count (used by the Sparrow-SRPT baseline).
+    pub remaining_tasks: f64,
+}
+
+/// Whether a worker→scheduler response may be refused (Pseudocode 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseKind {
+    /// The scheduler may refuse if the job is already at its desired
+    /// speculation level.
+    Refusable,
+    /// The scheduler must take the slot (used for unsatisfied jobs after
+    /// the refusal round).
+    NonRefusable,
+}
+
+/// An unsatisfied job advertised inside a refusal (the refusing scheduler's
+/// smallest job that still has unscheduled work).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnsatisfiedJob {
+    /// Scheduler owning the job.
+    pub scheduler: usize,
+    /// The job.
+    pub job: u64,
+    /// Its virtual size at refusal time.
+    pub virtual_size: f64,
+}
+
+/// What a worker decides to do with its free slot (one protocol step).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkerAction {
+    /// Send a response for `job` to `scheduler`.
+    Respond {
+        /// Target scheduler.
+        scheduler: usize,
+        /// Job whose reservation is being served.
+        job: u64,
+        /// Refusable during the probing round, non-refusable afterwards.
+        kind: ResponseKind,
+    },
+    /// Queue exhausted (or empty): leave the slot idle until new
+    /// reservations arrive.
+    Idle,
+}
+
+/// Per-free-slot episode state of the worker side of Pseudocode 3.
+///
+/// Create one when a slot frees, feed it refusals as they come back, and
+/// ask [`FreeSlotEpisode::next_action`] for the next protocol step.
+#[derive(Debug, Clone)]
+pub struct FreeSlotEpisode {
+    /// Schedulers already probed this episode (the paper: "the worker
+    /// avoids probing the same scheduler more than once").
+    probed_schedulers: Vec<usize>,
+    /// Jobs already refused this episode.
+    refused_jobs: Vec<u64>,
+    /// Number of refusals received.
+    refusal_count: usize,
+    /// Threshold after which the worker concludes the system is not
+    /// capacity constrained (Figure 5b studies this knob; 2–3 suffice).
+    refusal_threshold: usize,
+    /// Smallest-virtual-size unsatisfied job reported by any refusal.
+    best_unsatisfied: Option<UnsatisfiedJob>,
+    /// Responses issued so far this episode.
+    responses_sent: usize,
+}
+
+impl FreeSlotEpisode {
+    /// Start an episode with the given refusal threshold.
+    pub fn new(refusal_threshold: usize) -> Self {
+        FreeSlotEpisode {
+            probed_schedulers: Vec::new(),
+            refused_jobs: Vec::new(),
+            refusal_count: 0,
+            refusal_threshold,
+            best_unsatisfied: None,
+            responses_sent: 0,
+        }
+    }
+
+    /// Hard bound on responses per episode: the probing round costs at
+    /// most `refusal_threshold` round-trips, plus a couple of Guideline-3
+    /// attempts. Without this bound a worker could walk its entire queue
+    /// over the network while its free slot idles — with long queues that
+    /// serialization collapses cluster throughput.
+    fn max_responses(&self) -> usize {
+        self.refusal_threshold + 3
+    }
+
+    /// Record a refusal from `scheduler` for `job`, with its advertised
+    /// smallest unsatisfied job (if any).
+    pub fn record_refusal(
+        &mut self,
+        scheduler: usize,
+        job: u64,
+        unsatisfied: Option<UnsatisfiedJob>,
+    ) {
+        let _ = scheduler;
+        self.refusal_count += 1;
+        self.refused_jobs.push(job);
+        if let Some(u) = unsatisfied {
+            let better = match self.best_unsatisfied {
+                None => true,
+                Some(cur) => {
+                    u.virtual_size < cur.virtual_size
+                        || (u.virtual_size == cur.virtual_size && u.job < cur.job)
+                }
+            };
+            if better {
+                self.best_unsatisfied = Some(u);
+            }
+        }
+    }
+
+    /// Note that a response was sent to `scheduler` (so it is not probed
+    /// again this episode).
+    pub fn mark_probed(&mut self, scheduler: usize) {
+        if !self.probed_schedulers.contains(&scheduler) {
+            self.probed_schedulers.push(scheduler);
+        }
+    }
+
+    /// Refusals received so far.
+    pub fn refusals(&self) -> usize {
+        self.refusal_count
+    }
+
+    /// The worker's next protocol step, per Pseudocode 3.
+    ///
+    /// `queue` is the worker's pending reservations; `rng` drives the
+    /// Guideline-3 weighted-random pick. Mutates the episode: each issued
+    /// response counts toward the per-episode bound.
+    pub fn next_action<R: Rng + ?Sized>(
+        &mut self,
+        queue: &[Reservation],
+        rng: &mut R,
+    ) -> WorkerAction {
+        if self.responses_sent >= self.max_responses() {
+            return WorkerAction::Idle;
+        }
+        let eligible: Vec<&Reservation> = queue
+            .iter()
+            .filter(|r| {
+                !self.refused_jobs.contains(&r.job)
+                    && !self.probed_schedulers.contains(&r.scheduler)
+            })
+            .collect();
+
+        // An advertised unsatisfied job that has not itself refused is the
+        // best possible target once probing is over.
+        let unsatisfied = self
+            .best_unsatisfied
+            .filter(|u| !self.refused_jobs.contains(&u.job));
+
+        let action = if self.refusal_count >= self.refusal_threshold {
+            // Enough refusals without resolution: the system is not
+            // capacity constrained → Guideline 3.
+            if let Some(u) = unsatisfied {
+                WorkerAction::Respond {
+                    scheduler: u.scheduler,
+                    job: u.job,
+                    kind: ResponseKind::NonRefusable,
+                }
+            } else {
+                match pick_weighted_by_virtual_size(&eligible, rng) {
+                    Some(r) => WorkerAction::Respond {
+                        scheduler: r.scheduler,
+                        job: r.job,
+                        kind: ResponseKind::NonRefusable,
+                    },
+                    None => WorkerAction::Idle,
+                }
+            }
+        } else {
+            // Probing round: smallest virtual size first (Guideline 2).
+            match pick_min_virtual_size(&eligible) {
+                Some(r) => WorkerAction::Respond {
+                    scheduler: r.scheduler,
+                    job: r.job,
+                    kind: ResponseKind::Refusable,
+                },
+                None => {
+                    // Queue exhausted before the threshold: fall back to
+                    // the best unsatisfied job if one was advertised.
+                    match unsatisfied {
+                        Some(u) => WorkerAction::Respond {
+                            scheduler: u.scheduler,
+                            job: u.job,
+                            kind: ResponseKind::NonRefusable,
+                        },
+                        None => WorkerAction::Idle,
+                    }
+                }
+            }
+        };
+        if matches!(action, WorkerAction::Respond { .. }) {
+            self.responses_sent += 1;
+        }
+        action
+    }
+}
+
+/// Smallest virtual size; ties broken by (job, scheduler) for determinism.
+fn pick_min_virtual_size<'a>(eligible: &[&'a Reservation]) -> Option<&'a Reservation> {
+    eligible
+        .iter()
+        .min_by(|a, b| {
+            a.virtual_size
+                .partial_cmp(&b.virtual_size)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.job.cmp(&b.job))
+                .then(a.scheduler.cmp(&b.scheduler))
+        })
+        .copied()
+}
+
+/// Guideline-3 pick: random, weighted by virtual size ("the worker randomly
+/// picks a job from the waiting queue based on the distribution of job
+/// virtual sizes", §5.2). Dedups by job so a job with many queued
+/// reservations is not double-counted.
+fn pick_weighted_by_virtual_size<'a, R: Rng + ?Sized>(
+    eligible: &[&'a Reservation],
+    rng: &mut R,
+) -> Option<&'a Reservation> {
+    let mut seen: Vec<u64> = Vec::new();
+    let mut jobs: Vec<&Reservation> = Vec::new();
+    for r in eligible {
+        if !seen.contains(&r.job) {
+            seen.push(r.job);
+            jobs.push(r);
+        }
+    }
+    let total: f64 = jobs.iter().map(|r| r.virtual_size.max(0.0)).sum();
+    if jobs.is_empty() {
+        return None;
+    }
+    if total <= 0.0 {
+        return Some(jobs[0]);
+    }
+    let mut x = rng.gen::<f64>() * total;
+    for r in &jobs {
+        x -= r.virtual_size.max(0.0);
+        if x <= 0.0 {
+            return Some(r);
+        }
+    }
+    jobs.last().copied()
+}
+
+/// FCFS pick (stock Sparrow): the earliest queued reservation.
+pub fn pick_fcfs<'a>(queue: &'a [Reservation]) -> Option<&'a Reservation> {
+    queue.first()
+}
+
+/// SRPT pick (Sparrow-SRPT baseline of §7.1): the job with the fewest
+/// remaining tasks ("when a worker has a slot free, it picks the task of
+/// the job that has the least unfinished tasks").
+pub fn pick_srpt<'a>(queue: &'a [Reservation]) -> Option<&'a Reservation> {
+    queue.iter().min_by(|a, b| {
+        a.remaining_tasks
+            .partial_cmp(&b.remaining_tasks)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.job.cmp(&b.job))
+    })
+}
+
+/// Scheduler-side acceptance rule — Pseudocode 2.
+///
+/// A refusable response is accepted only while the job still occupies
+/// fewer slots than its virtual size; non-refusable responses are always
+/// accepted.
+pub fn scheduler_accepts(kind: ResponseKind, occupied: f64, virtual_size: f64) -> bool {
+    match kind {
+        ResponseKind::NonRefusable => true,
+        ResponseKind::Refusable => occupied < virtual_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopper_sim::rng_from_seed;
+
+    fn res(scheduler: usize, job: u64, vsize: f64, rem: f64) -> Reservation {
+        Reservation {
+            scheduler,
+            job,
+            virtual_size: vsize,
+            remaining_tasks: rem,
+        }
+    }
+
+    #[test]
+    fn first_action_targets_smallest_virtual_size() {
+        let q = vec![res(0, 1, 50.0, 40.0), res(1, 2, 10.0, 8.0), res(2, 3, 30.0, 25.0)];
+        let mut ep = FreeSlotEpisode::new(2);
+        let mut rng = rng_from_seed(1);
+        match ep.next_action(&q, &mut rng) {
+            WorkerAction::Respond { scheduler, job, kind } => {
+                assert_eq!((scheduler, job), (1, 2));
+                assert_eq!(kind, ResponseKind::Refusable);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refusal_moves_to_second_smallest() {
+        let q = vec![res(0, 1, 50.0, 40.0), res(1, 2, 10.0, 8.0), res(2, 3, 30.0, 25.0)];
+        let mut ep = FreeSlotEpisode::new(5);
+        let mut rng = rng_from_seed(1);
+        ep.mark_probed(1);
+        ep.record_refusal(1, 2, None);
+        match ep.next_action(&q, &mut rng) {
+            WorkerAction::Respond { job, kind, .. } => {
+                assert_eq!(job, 3, "second smallest virtual size");
+                assert_eq!(kind, ResponseKind::Refusable);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_scheduler_not_probed_twice() {
+        // Jobs 2 and 3 share scheduler 1; after job 2's refusal, job 3 is
+        // skipped even though it is next by virtual size.
+        let q = vec![res(1, 2, 10.0, 8.0), res(1, 3, 20.0, 15.0), res(0, 9, 90.0, 80.0)];
+        let mut ep = FreeSlotEpisode::new(5);
+        let mut rng = rng_from_seed(1);
+        ep.mark_probed(1);
+        ep.record_refusal(1, 2, None);
+        match ep.next_action(&q, &mut rng) {
+            WorkerAction::Respond { scheduler, job, .. } => {
+                assert_eq!(scheduler, 0);
+                assert_eq!(job, 9);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threshold_reached_with_unsatisfied_goes_nonrefusable() {
+        let q = vec![res(0, 1, 50.0, 40.0), res(1, 2, 10.0, 8.0)];
+        let mut ep = FreeSlotEpisode::new(2);
+        let mut rng = rng_from_seed(1);
+        ep.record_refusal(1, 2, Some(UnsatisfiedJob { scheduler: 1, job: 7, virtual_size: 12.0 }));
+        ep.record_refusal(0, 1, Some(UnsatisfiedJob { scheduler: 0, job: 8, virtual_size: 5.0 }));
+        match ep.next_action(&q, &mut rng) {
+            WorkerAction::Respond { scheduler, job, kind } => {
+                assert_eq!((scheduler, job), (0, 8), "smallest unsatisfied wins");
+                assert_eq!(kind, ResponseKind::NonRefusable);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threshold_reached_without_unsatisfied_uses_weighted_random() {
+        let q = vec![res(0, 1, 1.0, 1.0), res(1, 2, 1000.0, 900.0)];
+        // With virtual sizes 1 vs 1000, the pick should almost always be
+        // job 2; verify over many draws the weighting holds. A fresh
+        // episode per draw (episodes are bounded in responses).
+        let mut hits2 = 0;
+        for seed in 0..200 {
+            let mut ep = FreeSlotEpisode::new(1);
+            ep.record_refusal(2, 99, None);
+            let mut rng = rng_from_seed(seed);
+            match ep.next_action(&q, &mut rng) {
+                WorkerAction::Respond { job, kind, .. } => {
+                    assert_eq!(kind, ResponseKind::NonRefusable);
+                    if job == 2 {
+                        hits2 += 1;
+                    }
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert!(hits2 > 190, "weighting broken: {hits2}/200");
+    }
+
+    #[test]
+    fn exhausted_queue_falls_back_to_unsatisfied_then_idle() {
+        let q = vec![res(0, 1, 5.0, 5.0)];
+        let mut ep = FreeSlotEpisode::new(10);
+        let mut rng = rng_from_seed(1);
+        ep.mark_probed(0);
+        ep.record_refusal(0, 1, None);
+        assert_eq!(ep.next_action(&q, &mut rng), WorkerAction::Idle);
+        ep.record_refusal(0, 1, Some(UnsatisfiedJob { scheduler: 3, job: 4, virtual_size: 2.0 }));
+        match ep.next_action(&q, &mut rng) {
+            WorkerAction::Respond { scheduler, job, kind } => {
+                assert_eq!((scheduler, job), (3, 4));
+                assert_eq!(kind, ResponseKind::NonRefusable);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_queue_is_idle() {
+        let mut ep = FreeSlotEpisode::new(2);
+        let mut rng = rng_from_seed(1);
+        assert_eq!(ep.next_action(&[], &mut rng), WorkerAction::Idle);
+    }
+
+    #[test]
+    fn refusal_counter_and_accessor() {
+        let mut ep = FreeSlotEpisode::new(3);
+        assert_eq!(ep.refusals(), 0);
+        ep.record_refusal(0, 1, None);
+        ep.record_refusal(1, 2, None);
+        assert_eq!(ep.refusals(), 2);
+    }
+
+    #[test]
+    fn fcfs_and_srpt_picks() {
+        let q = vec![res(0, 5, 50.0, 40.0), res(1, 6, 10.0, 3.0), res(2, 7, 30.0, 25.0)];
+        assert_eq!(pick_fcfs(&q).unwrap().job, 5);
+        assert_eq!(pick_srpt(&q).unwrap().job, 6);
+        assert!(pick_fcfs(&[]).is_none());
+        assert!(pick_srpt(&[]).is_none());
+    }
+
+    #[test]
+    fn scheduler_acceptance_rule() {
+        assert!(scheduler_accepts(ResponseKind::Refusable, 3.0, 5.0));
+        assert!(!scheduler_accepts(ResponseKind::Refusable, 5.0, 5.0));
+        assert!(!scheduler_accepts(ResponseKind::Refusable, 8.0, 5.0));
+        assert!(scheduler_accepts(ResponseKind::NonRefusable, 8.0, 5.0));
+    }
+
+    #[test]
+    fn weighted_pick_dedups_jobs_with_many_reservations() {
+        // Job 1 has 100 reservations of vsize 1 each; job 2 has one of
+        // vsize 100. Without dedup job 1 would dominate; with dedup the
+        // odds are ~100:1 for job 2.
+        let mut q: Vec<Reservation> = (0..100).map(|_| res(0, 1, 1.0, 1.0)).collect();
+        q.push(res(1, 2, 100.0, 90.0));
+        let refs: Vec<&Reservation> = q.iter().collect();
+        let mut hits2 = 0;
+        for seed in 0..300 {
+            let mut rng = rng_from_seed(seed);
+            if pick_weighted_by_virtual_size(&refs, &mut rng).unwrap().job == 2 {
+                hits2 += 1;
+            }
+        }
+        assert!(hits2 > 270, "dedup failed: {hits2}/300");
+    }
+
+    #[test]
+    fn zero_virtual_sizes_still_pick_something() {
+        let q = vec![res(0, 1, 0.0, 0.0), res(1, 2, 0.0, 0.0)];
+        let refs: Vec<&Reservation> = q.iter().collect();
+        let mut rng = rng_from_seed(4);
+        assert!(pick_weighted_by_virtual_size(&refs, &mut rng).is_some());
+    }
+}

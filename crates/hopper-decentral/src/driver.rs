@@ -1,0 +1,1073 @@
+//! Event-driven decentralized (Sparrow-style) scheduling simulator.
+//!
+//! Architecture per the paper's §5 / Figure 4: multiple autonomous
+//! schedulers each own a subset of jobs; every scheduler pushes
+//! *reservation requests* ("probes") for its tasks to randomly chosen
+//! workers; a worker with a free slot runs a *late-binding* exchange —
+//! it asks a chosen reservation's scheduler for a task, and the scheduler
+//! answers with a concrete task (original or speculative) or a refusal.
+//! Every message pays [`DecConfig::msg_latency`].
+//!
+//! Three policies share the machinery:
+//!
+//! - **Sparrow** (baseline): probe ratio 2, FCFS worker queues, and
+//!   task-or-no-task responses (a no-task consumes the reservation);
+//! - **Sparrow-SRPT** (the paper's aggressive baseline, §7.1): worker
+//!   picks the queued job with the fewest remaining tasks, plus
+//!   best-effort speculation;
+//! - **Hopper**: worker picks by smallest *virtual size*, schedulers may
+//!   *refuse* when a job is already at its desired speculation level
+//!   (Pseudocode 2), refusals advertise the smallest unsatisfied job, and
+//!   after `refusal_threshold` refusals the worker concludes the system is
+//!   not slot-constrained and switches to Guideline 3 — a virtual-size-
+//!   weighted random pick served with a non-refusable response
+//!   (Pseudocode 3). Virtual-size updates are piggybacked on every
+//!   scheduler→worker message (§5.3).
+
+use hopper_cluster::{ClusterConfig, CopyRef, JobRun, MachineId, Machines, TaskRef};
+use hopper_core::protocol::{
+    pick_fcfs, pick_srpt, scheduler_accepts, FreeSlotEpisode, Reservation, ResponseKind,
+    UnsatisfiedJob, WorkerAction,
+};
+use hopper_core::{virtual_size, BetaEstimator};
+use hopper_metrics::JobResult;
+use hopper_sim::{EventQueue, SeedSequence, SimTime};
+use hopper_spec::{Candidate, Speculator};
+use hopper_workload::Trace;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Which decentralized scheduler to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecPolicy {
+    /// Stock Sparrow: FCFS queues, batched power-of-two probes.
+    Sparrow,
+    /// Sparrow + SRPT worker queues + best-effort speculation (§7.1's
+    /// aggressive baseline).
+    SparrowSrpt,
+    /// Decentralized Hopper (Pseudocodes 2 & 3).
+    Hopper,
+}
+
+impl DecPolicy {
+    /// Display name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecPolicy::Sparrow => "Sparrow",
+            DecPolicy::SparrowSrpt => "Sparrow-SRPT",
+            DecPolicy::Hopper => "Hopper(dec)",
+        }
+    }
+}
+
+/// Decentralized simulation configuration.
+#[derive(Debug, Clone)]
+pub struct DecConfig {
+    /// Cluster shape. `handoff_ms` should be 0: Sparrow talks to
+    /// long-lived executors shared across jobs (§6.1).
+    pub cluster: ClusterConfig,
+    /// Number of autonomous schedulers (10 in the paper's deployment, 50
+    /// in its scaling simulations).
+    pub num_schedulers: usize,
+    /// Reservations per task (the probe ratio; 2 for Sparrow, 4 for
+    /// Hopper, swept in Figures 5a and 11).
+    pub probe_ratio: f64,
+    /// One-way message latency between schedulers and workers.
+    pub msg_latency: SimTime,
+    /// Refusals before a worker concludes the system is not capacity
+    /// constrained (Figure 5b; 2–3 suffice).
+    pub refusal_threshold: usize,
+    /// Straggler-scan period at each scheduler.
+    pub scan_interval: SimTime,
+    /// Speculation policy (shared by all jobs).
+    pub speculator: Speculator,
+    /// ε-fairness knob (§4.3): `Some(0.1)` guarantees every job at least
+    /// `(1−ε)·S/N` slots via the unsatisfied-job channel; `None` disables.
+    pub fairness_eps: Option<f64>,
+    /// Root seed.
+    pub seed: u64,
+    /// Safety valve on total processed events.
+    pub max_events: u64,
+}
+
+impl Default for DecConfig {
+    fn default() -> Self {
+        DecConfig {
+            cluster: ClusterConfig {
+                machines: 500,
+                slots_per_machine: 2,
+                handoff_ms: 0,
+                ..Default::default()
+            },
+            num_schedulers: 10,
+            probe_ratio: 4.0,
+            msg_latency: SimTime::from_millis(1),
+            refusal_threshold: 2,
+            scan_interval: SimTime::from_millis(200),
+            speculator: Speculator::Late(hopper_spec::SpecConfig {
+                min_elapsed: SimTime::from_millis(300),
+                ..Default::default()
+            }),
+            fairness_eps: Some(0.1),
+            seed: 1,
+            max_events: 500_000_000,
+        }
+    }
+}
+
+/// Aggregate counters of one decentralized run.
+#[derive(Debug, Clone, Default)]
+pub struct DecStats {
+    /// Original copies launched.
+    pub orig_launched: u64,
+    /// Speculative copies launched.
+    pub spec_launched: u64,
+    /// Tasks won by a speculative copy.
+    pub spec_won: u64,
+    /// Reservation messages sent.
+    pub reservations: u64,
+    /// Worker→scheduler responses sent.
+    pub responses: u64,
+    /// Scheduler refusals sent.
+    pub refusals: u64,
+    /// Episodes that switched to Guideline 3 (refusal threshold reached).
+    pub guideline3_switches: u64,
+    /// Events processed.
+    pub events: u64,
+    /// Completion time of the last job.
+    pub makespan: SimTime,
+}
+
+/// Result of a decentralized run.
+#[derive(Debug, Clone)]
+pub struct DecOutput {
+    /// Per-job outcomes (sorted by job id).
+    pub jobs: Vec<JobResult>,
+    /// Aggregate counters.
+    pub stats: DecStats,
+}
+
+impl DecOutput {
+    /// Mean job duration in milliseconds.
+    pub fn mean_duration_ms(&self) -> f64 {
+        hopper_metrics::mean_duration(&self.jobs)
+    }
+}
+
+/// Run `trace` under decentralized `policy`.
+pub fn run(trace: &Trace, policy: DecPolicy, cfg: &DecConfig) -> DecOutput {
+    Decentral::new(trace, policy, cfg).run()
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    JobArrive(usize),
+    /// Reservation lands in a worker queue.
+    Reservation { worker: usize, res: Reservation },
+    /// Worker offers its free slot to `job`'s scheduler.
+    Response {
+        worker: usize,
+        job: usize,
+        kind: ResponseKind,
+    },
+    /// Scheduler assigns a task to the worker's promised slot.
+    Assign {
+        worker: usize,
+        job: usize,
+        task: TaskRef,
+        speculative: bool,
+    },
+    /// Scheduler declines the offer (with optional unsatisfied-job info).
+    Refusal {
+        worker: usize,
+        job: usize,
+        unsatisfied: Option<UnsatisfiedJob>,
+    },
+    /// A copy finished on `worker`.
+    Finish { job: usize, copy: CopyRef, worker: usize },
+    /// Kill notification reaches the worker running a lost sibling.
+    Kill { worker: usize, job: usize },
+    /// Periodic straggler scan (all schedulers).
+    Scan,
+}
+
+struct WorkerState {
+    queue: Vec<Reservation>,
+    /// Slots neither running a copy nor promised to an in-flight episode.
+    free: usize,
+    /// Active late-binding episode (at most one in flight per worker).
+    episode: Option<FreeSlotEpisode>,
+}
+
+struct Decentral<'a> {
+    policy: DecPolicy,
+    cfg: &'a DecConfig,
+    queue: EventQueue<Ev>,
+    machines: Machines,
+    workers: Vec<WorkerState>,
+    jobs: Vec<JobRun>,
+    done: Vec<bool>,
+    active_count: usize,
+    arrivals_pending: usize,
+    /// Scheduler-side occupancy (running + in-flight assignments) per job.
+    occupied: Vec<usize>,
+    pending_orig: Vec<usize>,
+    /// Originals with an assignment in flight (guards against two
+    /// concurrent slot offers claiming the same task).
+    claimed: Vec<std::collections::HashSet<TaskRef>>,
+    /// Live (unconsumed) reservations per job; when a job still has
+    /// launchable work but its probes were all consumed (e.g. by stale
+    /// speculative assignments), the scheduler re-probes at the next scan.
+    live_res: Vec<usize>,
+    candidates: Vec<Vec<Candidate>>,
+    /// job → owning scheduler (round-robin).
+    owner: Vec<usize>,
+    /// Per-scheduler β estimator (learned from its own jobs' completions).
+    beta_est: Vec<BetaEstimator>,
+    scan_armed: bool,
+    rng: StdRng,
+    results: Vec<JobResult>,
+    stats: DecStats,
+    /// Event-type counters (diagnostics): arrive, reservation, response,
+    /// assign, refusal, finish, kill, scan.
+    ev_counts: [u64; 8],
+}
+
+impl<'a> Decentral<'a> {
+    fn new(trace: &Trace, policy: DecPolicy, cfg: &'a DecConfig) -> Self {
+        let seq = SeedSequence::new(cfg.seed);
+        let mut placement_rng = seq.child_rng(0xB10C);
+        let jobs: Vec<JobRun> = trace
+            .jobs
+            .iter()
+            .map(|spec| JobRun::new(spec.clone(), &cfg.cluster, &mut placement_rng))
+            .collect();
+        let n = jobs.len();
+        let mut queue = EventQueue::new();
+        for j in &trace.jobs {
+            queue.push(j.arrival, Ev::JobArrive(j.id));
+        }
+        let pending_orig = jobs
+            .iter()
+            .map(|j| {
+                j.phases
+                    .iter()
+                    .filter(|p| p.eligible)
+                    .map(|p| p.num_tasks())
+                    .sum()
+            })
+            .collect();
+        Decentral {
+            policy,
+            cfg,
+            queue,
+            machines: Machines::new(&cfg.cluster),
+            workers: (0..cfg.cluster.machines)
+                .map(|_| WorkerState {
+                    queue: Vec::new(),
+                    free: cfg.cluster.slots_per_machine,
+                    episode: None,
+                })
+                .collect(),
+            done: vec![false; n],
+            active_count: 0,
+            arrivals_pending: n,
+            occupied: vec![0; n],
+            pending_orig,
+            claimed: vec![std::collections::HashSet::new(); n],
+            live_res: vec![0; n],
+            candidates: vec![Vec::new(); n],
+            owner: (0..n).map(|j| j % cfg.num_schedulers.max(1)).collect(),
+            beta_est: (0..cfg.num_schedulers.max(1))
+                .map(|_| BetaEstimator::with_prior(1.5))
+                .collect(),
+            scan_armed: false,
+            rng: seq.child_rng(0xDEC),
+            results: Vec::with_capacity(n),
+            stats: DecStats::default(),
+            ev_counts: [0; 8],
+            jobs,
+        }
+    }
+
+    /// The scheduler's current view of a job's virtual size (Pseudocode 1
+    /// inputs, computed locally from the scheduler's own state).
+    fn vsize(&self, j: usize) -> f64 {
+        let beta = {
+            let est = &self.beta_est[self.owner[j]];
+            if est.observations() >= 20 {
+                est.beta()
+            } else {
+                self.jobs[j].spec.beta
+            }
+        };
+        virtual_size(
+            self.jobs[j].current_remaining() as f64,
+            beta,
+            self.jobs[j].alpha().max(1.0),
+        )
+    }
+
+    fn run(mut self) -> DecOutput {
+        while let Some((now, ev)) = self.queue.pop() {
+            self.stats.events += 1;
+            if self.stats.events > self.cfg.max_events {
+                let stuck: Vec<String> = (0..self.jobs.len())
+                    .filter(|&j| !self.done[j])
+                    .take(5)
+                    .map(|j| {
+                        format!(
+                            "job {j}: pending={} claimed={} occupied={} live_res={} cands={} running={} total_rem={} current_rem={} vsize={:.1}",
+                            self.pending_orig[j],
+                            self.claimed[j].len(),
+                            self.occupied[j],
+                            self.live_res[j],
+                            self.candidates[j].len(),
+                            self.jobs[j].occupied_slots(),
+                            self.jobs[j].total_remaining(),
+                            self.jobs[j].current_remaining(),
+                            self.vsize(j),
+                        )
+                    })
+                    .collect();
+                let active_eps = self.workers.iter().filter(|w| w.episode.is_some()).count();
+                let queued_res: usize = self.workers.iter().map(|w| w.queue.len()).sum();
+                panic!(
+                    "event budget exceeded ({}) at t={now}; active_count={} pending_events={} worker_episodes={} queued_reservations={} ev_counts(arr/res/resp/asgn/ref/fin/kill/scan)={:?} unfinished: {stuck:#?}",
+                    self.policy.name(),
+                    self.active_count,
+                    self.queue.len(),
+                    active_eps,
+                    queued_res,
+                    self.ev_counts,
+                );
+            }
+            self.ev_counts[match &ev {
+                Ev::JobArrive(_) => 0,
+                Ev::Reservation { .. } => 1,
+                Ev::Response { .. } => 2,
+                Ev::Assign { .. } => 3,
+                Ev::Refusal { .. } => 4,
+                Ev::Finish { .. } => 5,
+                Ev::Kill { .. } => 6,
+                Ev::Scan => 7,
+            }] += 1;
+            match ev {
+                Ev::JobArrive(j) => self.on_job_arrive(j, now),
+                Ev::Reservation { worker, res } => {
+                    self.workers[worker].queue.push(res);
+                    self.maybe_start_episode(worker, now);
+                }
+                Ev::Response { worker, job, kind } => self.on_response(worker, job, kind, now),
+                Ev::Assign {
+                    worker,
+                    job,
+                    task,
+                    speculative,
+                } => self.on_assign(worker, job, task, speculative, now),
+                Ev::Refusal {
+                    worker,
+                    job,
+                    unsatisfied,
+                } => self.on_refusal(worker, job, unsatisfied, now),
+                Ev::Finish { job, copy, worker } => self.on_finish(job, copy, worker, now),
+                Ev::Kill { worker, job } => {
+                    // The lost sibling's slot frees when the kill arrives.
+                    self.workers[worker].free += 1;
+                    self.machines.release_to(MachineId(worker), job);
+                    self.occupied[job] = self.occupied[job].saturating_sub(1);
+                    self.maybe_start_episode(worker, now);
+                }
+                Ev::Scan => {
+                    self.scan_armed = false;
+                    for j in 0..self.jobs.len() {
+                        if !self.done[j] && self.jobs[j].occupied_slots() > 0 {
+                            self.candidates[j] =
+                                self.cfg.speculator.candidates(&self.jobs[j], now);
+                        }
+                    }
+                    // Re-probe jobs whose reservations were all consumed
+                    // while launchable work remains (otherwise they starve).
+                    for j in 0..self.jobs.len() {
+                        if self.done[j] || self.live_res[j] > 0 {
+                            continue;
+                        }
+                        let launchable =
+                            self.pending_orig[j] > 0 || !self.candidates[j].is_empty();
+                        if launchable {
+                            let want = ((self.jobs[j].current_remaining() as f64
+                                * self.cfg.probe_ratio)
+                                .ceil() as usize)
+                                .max(1);
+                            self.send_probes(j, want);
+                        }
+                    }
+                    self.arm_scan();
+                    // Re-poll dormant workers: new candidates may make
+                    // previously-refusing jobs worth offering again.
+                    for w in 0..self.workers.len() {
+                        self.maybe_start_episode(w, now);
+                    }
+                }
+            }
+        }
+        assert!(
+            self.results.len() == self.jobs.len() && self.arrivals_pending == 0,
+            "decentralized run drained with {} of {} jobs finished",
+            self.results.len(),
+            self.jobs.len()
+        );
+        let mut jobs = self.results;
+        jobs.sort_by_key(|r| r.job);
+        DecOutput {
+            jobs,
+            stats: self.stats,
+        }
+    }
+
+    fn arm_scan(&mut self) {
+        if !self.scan_armed && (self.active_count > 0 || self.arrivals_pending > 0) {
+            self.queue.push_after(self.cfg.scan_interval, Ev::Scan);
+            self.scan_armed = true;
+        }
+    }
+
+    fn on_job_arrive(&mut self, j: usize, _now: SimTime) {
+        self.arrivals_pending -= 1;
+        self.active_count += 1;
+        self.arm_scan();
+        // Place probe_ratio × tasks reservations. Input tasks probe their
+        // replica machines first (§6.1), the remainder go to random
+        // workers.
+        let tasks = self.jobs[j].spec.size_tasks().max(1);
+        let probes = ((tasks as f64 * self.cfg.probe_ratio).ceil() as usize).max(1);
+        let vsize = self.vsize(j);
+        let remaining = self.jobs[j].current_remaining() as f64;
+        let mut targets: Vec<usize> = Vec::with_capacity(probes);
+        for t in &self.jobs[j].phases[0].tasks {
+            for r in &t.replicas {
+                if targets.len() < probes {
+                    targets.push(r.0);
+                }
+            }
+        }
+        while targets.len() < probes {
+            targets.push(self.rng.gen_range(0..self.workers.len()));
+        }
+        for w in targets {
+            self.stats.reservations += 1;
+            self.live_res[j] += 1;
+            self.queue.push_after(
+                self.cfg.msg_latency,
+                Ev::Reservation {
+                    worker: w,
+                    res: Reservation {
+                        scheduler: self.owner[j],
+                        job: j as u64,
+                        virtual_size: vsize,
+                        remaining_tasks: remaining,
+                    },
+                },
+            );
+        }
+    }
+
+    /// Send `count` fresh reservations for `job` to random workers.
+    fn send_probes(&mut self, job: usize, count: usize) {
+        let vsize = self.vsize(job);
+        let rem = self.jobs[job].current_remaining() as f64;
+        for _ in 0..count {
+            let w = self.rng.gen_range(0..self.workers.len());
+            self.stats.reservations += 1;
+            self.live_res[job] += 1;
+            self.queue.push_after(
+                self.cfg.msg_latency,
+                Ev::Reservation {
+                    worker: w,
+                    res: Reservation {
+                        scheduler: self.owner[job],
+                        job: job as u64,
+                        virtual_size: vsize,
+                        remaining_tasks: rem,
+                    },
+                },
+            );
+        }
+    }
+
+    /// Start a late-binding episode if the worker has a free slot, no
+    /// episode in flight, and a non-empty queue.
+    fn maybe_start_episode(&mut self, w: usize, now: SimTime) {
+        // Purge reservations of finished jobs first (piggybacked
+        // completion notifications).
+        let done = &self.done;
+        self.workers[w].queue.retain(|r| !done[r.job as usize]);
+        if self.workers[w].free == 0
+            || self.workers[w].episode.is_some()
+            || self.workers[w].queue.is_empty()
+        {
+            return;
+        }
+        self.workers[w].free -= 1; // promise the slot to this episode
+        self.workers[w].episode = Some(FreeSlotEpisode::new(self.cfg.refusal_threshold));
+        self.episode_step(w, now);
+    }
+
+    /// Advance the worker's episode by one protocol step.
+    fn episode_step(&mut self, w: usize, _now: SimTime) {
+        if self.workers[w].episode.is_none() {
+            return; // defensive: stray refusal after the episode resolved
+        }
+        let action = match self.policy {
+            DecPolicy::Sparrow => match pick_fcfs(&self.workers[w].queue) {
+                Some(r) => WorkerAction::Respond {
+                    scheduler: r.scheduler,
+                    job: r.job,
+                    kind: ResponseKind::NonRefusable,
+                },
+                None => WorkerAction::Idle,
+            },
+            DecPolicy::SparrowSrpt => match pick_srpt(&self.workers[w].queue) {
+                Some(r) => WorkerAction::Respond {
+                    scheduler: r.scheduler,
+                    job: r.job,
+                    kind: ResponseKind::NonRefusable,
+                },
+                None => WorkerAction::Idle,
+            },
+            DecPolicy::Hopper => {
+                let mut ep = self.workers[w].episode.take().expect("episode in flight");
+                if ep.refusals() >= self.cfg.refusal_threshold {
+                    self.stats.guideline3_switches += 1;
+                }
+                let action = ep.next_action(&self.workers[w].queue, &mut self.rng);
+                self.workers[w].episode = Some(ep);
+                action
+            }
+        };
+        match action {
+            WorkerAction::Respond { scheduler, job, kind } => {
+                let _ = scheduler;
+                if let Some(ep) = self.workers[w].episode.as_mut() {
+                    ep.mark_probed(scheduler);
+                }
+                self.stats.responses += 1;
+                self.queue.push_after(
+                    self.cfg.msg_latency,
+                    Ev::Response {
+                        worker: w,
+                        job: job as usize,
+                        kind,
+                    },
+                );
+            }
+            WorkerAction::Idle => {
+                // Episode dies; slot returns to the free pool.
+                self.workers[w].episode = None;
+                self.workers[w].free += 1;
+            }
+        }
+    }
+
+    /// Scheduler-side handling of a worker's slot offer (Pseudocode 2).
+    fn on_response(&mut self, worker: usize, job: usize, kind: ResponseKind, now: SimTime) {
+        if self.done[job] {
+            self.send_refusal(worker, job, now);
+            return;
+        }
+        let accepts = match self.policy {
+            // Sparrow variants never refuse; they answer task-or-no-task.
+            DecPolicy::Sparrow | DecPolicy::SparrowSrpt => true,
+            DecPolicy::Hopper => {
+                let below_fair_floor = self.below_fair_floor(job);
+                scheduler_accepts(kind, self.occupied[job] as f64, self.vsize(job))
+                    || below_fair_floor
+            }
+        };
+        // Under Hopper an accepted offer always places work: the virtual
+        // size *is* the speculation budget, so when no pending original or
+        // flagged candidate exists the scheduler sends an extra speculative
+        // copy of its longest-remaining running task ("faster clearing of
+        // tasks is overall beneficial", §4.1 footnote; non-refusable offers
+        // are Guideline-3 extra slots beyond the virtual size).
+        let allow_extra_spec = matches!(self.policy, DecPolicy::Hopper);
+        let launch = if accepts {
+            self.pick_work(job, worker, allow_extra_spec, now)
+        } else {
+            None
+        };
+        match launch {
+            Some((task, speculative)) => {
+                self.occupied[job] += 1;
+                if speculative {
+                    // Consume the candidate so the next offer goes to the
+                    // next straggler.
+                    self.candidates[job].retain(|c| c.task != task);
+                } else {
+                    self.pending_orig[job] -= 1;
+                }
+                self.queue.push_after(
+                    self.cfg.msg_latency,
+                    Ev::Assign {
+                        worker,
+                        job,
+                        task,
+                        speculative,
+                    },
+                );
+            }
+            None => self.send_refusal(worker, job, now),
+        }
+    }
+
+    /// Whether `job` is below its ε-fair share `(1−ε)·S/N` (§4.3). The
+    /// active-job count is piggybacked on scheduler↔worker traffic, so
+    /// every scheduler tracks it without extra messages.
+    fn below_fair_floor(&self, job: usize) -> bool {
+        let Some(eps) = self.cfg.fairness_eps else {
+            return false;
+        };
+        if self.active_count == 0 {
+            return false;
+        }
+        let fair = self.cfg.cluster.total_slots() as f64 / self.active_count as f64;
+        // Capped at the job's virtual size, exactly like the centralized
+        // projection: fairness never forces slots a job cannot use.
+        let floor = ((1.0 - eps) * fair).floor().min(self.vsize(job));
+        (self.occupied[job] as f64) < floor
+    }
+
+    /// Choose the next work item for `job` on `worker`: pending original
+    /// (preferring data-local, skipping tasks already claimed by an
+    /// in-flight assignment) first, then the best speculation candidate.
+    fn pick_work(
+        &mut self,
+        job: usize,
+        worker: usize,
+        allow_extra_spec: bool,
+        now: SimTime,
+    ) -> Option<(TaskRef, bool)> {
+        if self.pending_orig[job] > 0 {
+            if let Some(task) = self.next_unclaimed_original(job, MachineId(worker)) {
+                self.claimed[job].insert(task);
+                return Some((task, false));
+            }
+        }
+        while let Some(cand) = self.candidates[job].first().copied() {
+            let t = &self.jobs[job].phases[cand.task.phase].tasks[cand.task.task];
+            if t.is_finished() || t.running_copies() == 0 || t.running_copies() >= 2 {
+                self.candidates[job].remove(0);
+                continue;
+            }
+            return Some((cand.task, true));
+        }
+        if allow_extra_spec {
+            // Longest-estimated-remaining running task with copy headroom,
+            // but only where a fresh copy could plausibly finish first
+            // (t_rem > t_new — the same benefit rule the §3 example uses).
+            let mut best: Option<(SimTime, TaskRef)> = None;
+            for (task, obs) in self.jobs[job].observe_running(now) {
+                if obs.len() >= 2 {
+                    continue; // copy cap for unsolicited extras
+                }
+                let rem = obs.iter().map(|o| o.est_remaining).min().unwrap();
+                if rem <= self.jobs[job].estimated_new_copy_duration(task) {
+                    continue;
+                }
+                if best.map_or(true, |(b, _)| rem > b) {
+                    best = Some((rem, task));
+                }
+            }
+            if let Some((_, task)) = best {
+                return Some((task, true));
+            }
+        }
+        None
+    }
+
+    /// First unlaunched, unclaimed original in eligible phases, preferring
+    /// one whose input is local to `m`.
+    fn next_unclaimed_original(&self, job: usize, m: MachineId) -> Option<TaskRef> {
+        let mut fallback = None;
+        for (pi, p) in self.jobs[job].phases.iter().enumerate() {
+            if !p.eligible || p.is_complete() {
+                continue;
+            }
+            for (ti, t) in p.tasks.iter().enumerate() {
+                let tr = TaskRef::new(pi, ti);
+                if t.is_launched() || t.is_finished() || self.claimed[job].contains(&tr) {
+                    continue;
+                }
+                if t.replicas.is_empty() || t.replicas.contains(&m) {
+                    return Some(tr);
+                }
+                if fallback.is_none() {
+                    fallback = Some(tr);
+                }
+            }
+        }
+        fallback
+    }
+
+    fn send_refusal(&mut self, worker: usize, job: usize, now: SimTime) {
+        let _ = now;
+        self.stats.refusals += 1;
+        // Advertise this scheduler's smallest unsatisfied job (Pseudocode
+        // 3's refusal payload): below its virtual size with launchable
+        // work.
+        let sched = self.owner.get(job).copied().unwrap_or(0);
+        let mut best: Option<UnsatisfiedJob> = None;
+        for j in 0..self.jobs.len() {
+            if self.owner[j] != sched || self.done[j] || j == job {
+                continue;
+            }
+            let v = self.vsize(j);
+            let launchable = self.pending_orig[j] > 0 || !self.candidates[j].is_empty();
+            if !launchable {
+                continue;
+            }
+            // ε-fairness (§4.3), decentralized approximation: a job below
+            // its (1−ε) fair-share floor is advertised as unsatisfied even
+            // when it is at its virtual size, so the refusal channel tops
+            // it up. Deficient jobs keep their virtual-size order — the
+            // serial refusal channel delivers one slot per round, and a
+            // hard priority inversion (large deficient jobs pre-empting
+            // every small job) costs far more than the guarantee is worth
+            // (see DESIGN.md, deviations).
+            // Fairness floors are capped at the job's own virtual size
+            // (exactly like the centralized projection), so the advertised
+            // set is simply the unsatisfied jobs; ε's remaining effect is
+            // the acceptance forcing in `on_response`. See DESIGN.md —
+            // the decentralized ε enforcement is deliberately conservative.
+            let advertised = ((self.occupied[j] as f64) < v).then_some(v);
+            if let Some(adv) = advertised {
+                let better = best.map_or(true, |b| adv < b.virtual_size);
+                if better {
+                    best = Some(UnsatisfiedJob {
+                        scheduler: sched,
+                        job: j as u64,
+                        virtual_size: adv,
+                    });
+                }
+            }
+        }
+        self.queue.push_after(
+            self.cfg.msg_latency,
+            Ev::Refusal {
+                worker,
+                job,
+                unsatisfied: best,
+            },
+        );
+    }
+
+    fn on_refusal(
+        &mut self,
+        worker: usize,
+        job: usize,
+        unsatisfied: Option<UnsatisfiedJob>,
+        now: SimTime,
+    ) {
+        match self.policy {
+            DecPolicy::Sparrow | DecPolicy::SparrowSrpt => {
+                // Sparrow consumes the reservation on no-task and moves on.
+                if let Some(pos) = self.workers[worker]
+                    .queue
+                    .iter()
+                    .position(|r| r.job as usize == job)
+                {
+                    self.workers[worker].queue.remove(pos);
+                    self.live_res[job] = self.live_res[job].saturating_sub(1);
+                }
+                self.episode_step(worker, now);
+            }
+            DecPolicy::Hopper => {
+                // Reservations stay (the job may want Guideline-3 extras
+                // later); the episode just records the refusal.
+                let sched = self.owner.get(job).copied().unwrap_or(0);
+                if let Some(ep) = self.workers[worker].episode.as_mut() {
+                    ep.record_refusal(sched, job as u64, unsatisfied);
+                }
+                self.episode_step(worker, now);
+            }
+        }
+    }
+
+    /// A task assignment arrives at the worker: consume a reservation and
+    /// start executing.
+    fn on_assign(
+        &mut self,
+        worker: usize,
+        job: usize,
+        task: TaskRef,
+        speculative: bool,
+        now: SimTime,
+    ) {
+        // Episode resolved successfully; the promised slot is consumed.
+        self.workers[worker].episode = None;
+        // Consume one reservation of this job at this worker (if present).
+        if let Some(pos) = self.workers[worker]
+            .queue
+            .iter()
+            .position(|r| r.job as usize == job)
+        {
+            self.workers[worker].queue.remove(pos);
+            self.live_res[job] = self.live_res[job].saturating_sub(1);
+        }
+        // Validate against races: the task may have finished while the
+        // assignment was in flight.
+        if !speculative {
+            self.claimed[job].remove(&task);
+        }
+        let t = &self.jobs[job].phases[task.phase].tasks[task.task];
+        let stale = self.done[job]
+            || t.is_finished()
+            || (speculative && t.running_copies() == 0)
+            || (!speculative && t.is_launched());
+        if stale {
+            self.occupied[job] = self.occupied[job].saturating_sub(1);
+            if !speculative {
+                // Return the unlaunched original to the pending pool only
+                // if it truly is still pending.
+                let t = &self.jobs[job].phases[task.phase].tasks[task.task];
+                if !t.is_launched() && !t.is_finished() {
+                    self.pending_orig[job] += 1;
+                }
+            }
+            self.workers[worker].free += 1;
+            self.maybe_start_episode(worker, now);
+            return;
+        }
+        self.machines.occupy_for(MachineId(worker), job);
+        let (copy, dur) = self.jobs[job].launch_copy(
+            task,
+            MachineId(worker),
+            speculative,
+            now,
+            SimTime::ZERO,
+            &self.cfg.cluster,
+            &mut self.rng,
+        );
+        if speculative {
+            self.stats.spec_launched += 1;
+        } else {
+            self.stats.orig_launched += 1;
+        }
+        self.queue.push(
+            now + dur,
+            Ev::Finish {
+                job,
+                copy,
+                worker,
+            },
+        );
+        // Piggyback a virtual-size update on this assignment for all of
+        // the job's reservations parked at this worker (§5.3).
+        let v = self.vsize(job);
+        let rem = self.jobs[job].current_remaining() as f64;
+        for r in self.workers[worker].queue.iter_mut() {
+            if r.job as usize == job {
+                r.virtual_size = v;
+                r.remaining_tasks = rem;
+            }
+        }
+        self.maybe_start_episode(worker, now);
+    }
+
+    fn on_finish(&mut self, job: usize, copy: CopyRef, worker: usize, now: SimTime) {
+        // Collect running siblings *before* resolving the race: their
+        // kill notifications travel over the network.
+        let siblings: Vec<MachineId> = self.jobs[job].phases[copy.task.phase].tasks
+            [copy.task.task]
+            .copies
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                *i != copy.copy && c.status == hopper_cluster::CopyStatus::Running
+            })
+            .map(|(_, c)| c.machine)
+            .collect();
+        let Some(out) = self.jobs[job].finish_copy(copy, now) else {
+            return; // stale (copy killed earlier)
+        };
+        let was_spec = self.jobs[job].phases[copy.task.phase].tasks[copy.task.task].copies
+            [copy.copy]
+            .speculative;
+        if was_spec {
+            self.stats.spec_won += 1;
+        }
+        // The winner's slot frees immediately.
+        self.workers[worker].free += 1;
+        self.machines.release_to(MachineId(worker), job);
+        self.occupied[job] = self.occupied[job].saturating_sub(1);
+        // β learning at the owning scheduler.
+        if out.nominal.as_millis() > 0 {
+            self.beta_est[self.owner[job]]
+                .observe(out.duration.as_millis() as f64 / out.nominal.as_millis() as f64);
+        }
+        // Kill messages to losing siblings.
+        for m in siblings {
+            self.queue.push_after(
+                self.cfg.msg_latency,
+                Ev::Kill {
+                    worker: m.0,
+                    job,
+                },
+            );
+        }
+        // New phases: their tasks need reservations too.
+        for &pi in &out.newly_eligible {
+            let tasks = self.jobs[job].phases[pi].num_tasks();
+            self.pending_orig[job] += tasks;
+            let probes = ((tasks as f64 * self.cfg.probe_ratio).ceil() as usize).max(1);
+            self.send_probes(job, probes);
+        }
+        if out.job_done {
+            self.done[job] = true;
+            self.active_count -= 1;
+            self.candidates[job].clear();
+            self.results.push(JobResult {
+                job: self.jobs[job].id,
+                size_tasks: self.jobs[job].spec.size_tasks(),
+                dag_len: self.jobs[job].spec.dag_len(),
+                arrival: self.jobs[job].spec.arrival,
+                completed: now,
+            });
+            self.stats.makespan = self.stats.makespan.max(now);
+        }
+        self.maybe_start_episode(worker, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopper_workload::{TraceGenerator, WorkloadProfile};
+
+    fn small_cfg(seed: u64) -> DecConfig {
+        DecConfig {
+            cluster: ClusterConfig {
+                machines: 100,
+                slots_per_machine: 2,
+                handoff_ms: 0,
+                ..Default::default()
+            },
+            num_schedulers: 5,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn trace(seed: u64, n: usize, util: f64) -> Trace {
+        let profile = WorkloadProfile::facebook()
+            .interactive()
+            .single_phase()
+            .fixed_beta(1.5);
+        TraceGenerator::new(profile, n, seed).generate_with_utilization(200, util)
+    }
+
+    #[test]
+    fn all_jobs_complete_under_every_policy() {
+        let t = trace(1, 40, 0.7);
+        for policy in [DecPolicy::Sparrow, DecPolicy::SparrowSrpt, DecPolicy::Hopper] {
+            let out = run(&t, policy, &small_cfg(1));
+            assert_eq!(out.jobs.len(), t.len(), "{}", policy.name());
+            assert!(out.stats.makespan > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let t = trace(2, 30, 0.7);
+        let a = run(&t, DecPolicy::Hopper, &small_cfg(7));
+        let b = run(&t, DecPolicy::Hopper, &small_cfg(7));
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.completed, y.completed);
+        }
+        assert_eq!(a.stats.events, b.stats.events);
+        assert_eq!(a.stats.responses, b.stats.responses);
+    }
+
+    #[test]
+    fn hopper_beats_sparrow_baselines() {
+        // The paper's headline (Figure 6): decentralized Hopper reduces
+        // average job duration versus both Sparrow and Sparrow-SRPT.
+        // Uses the calibrated operating point (600 slots, 75% util,
+        // heterogeneous β) — see EXPERIMENTS.md for the full sweep.
+        let mut sparrow = 0.0;
+        let mut srpt = 0.0;
+        let mut hopper = 0.0;
+        for seed in 0..3 {
+            let profile = WorkloadProfile::facebook().interactive().single_phase();
+            let t = TraceGenerator::new(profile, 150, seed).generate_with_utilization(600, 0.75);
+            let cfg = DecConfig {
+                cluster: ClusterConfig {
+                    machines: 300,
+                    slots_per_machine: 2,
+                    handoff_ms: 0,
+                    ..Default::default()
+                },
+                seed,
+                ..Default::default()
+            };
+            sparrow += run(&t, DecPolicy::Sparrow, &cfg).mean_duration_ms();
+            srpt += run(&t, DecPolicy::SparrowSrpt, &cfg).mean_duration_ms();
+            hopper += run(&t, DecPolicy::Hopper, &cfg).mean_duration_ms();
+        }
+        assert!(
+            hopper < srpt && hopper < sparrow,
+            "hopper {hopper:.0} vs sparrow-srpt {srpt:.0} vs sparrow {sparrow:.0}"
+        );
+    }
+
+    #[test]
+    fn speculation_happens_and_wins() {
+        let t = trace(5, 60, 0.7);
+        let out = run(&t, DecPolicy::Hopper, &small_cfg(5));
+        assert!(out.stats.spec_launched > 0);
+        assert!(out.stats.spec_won > 0);
+        assert!(out.stats.spec_won <= out.stats.spec_launched);
+    }
+
+    #[test]
+    fn protocol_counters_are_consistent() {
+        let t = trace(6, 50, 0.7);
+        let out = run(&t, DecPolicy::Hopper, &small_cfg(6));
+        let total_tasks: u64 = t.jobs.iter().map(|j| j.num_tasks() as u64).sum();
+        assert_eq!(out.stats.orig_launched, total_tasks, "every original ran once");
+        assert!(out.stats.reservations >= total_tasks * 2);
+        assert!(out.stats.responses > 0);
+    }
+
+    #[test]
+    fn more_probes_help_hopper_under_load() {
+        let mut d2 = 0.0;
+        let mut d4 = 0.0;
+        for seed in 0..3 {
+            let t = trace(seed + 20, 120, 0.85);
+            let mut cfg = small_cfg(seed);
+            cfg.probe_ratio = 2.0;
+            d2 += run(&t, DecPolicy::Hopper, &cfg).mean_duration_ms();
+            cfg.probe_ratio = 4.0;
+            d4 += run(&t, DecPolicy::Hopper, &cfg).mean_duration_ms();
+        }
+        // The power of many choices (§5.1): d=4 should not be worse by
+        // more than noise, and typically clearly better.
+        assert!(d4 < d2 * 1.05, "d=4 {d4:.0} vs d=2 {d2:.0}");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let out = run(&Trace::default(), DecPolicy::Hopper, &small_cfg(1));
+        assert!(out.jobs.is_empty());
+    }
+
+    #[test]
+    fn dag_jobs_complete() {
+        let profile = WorkloadProfile::facebook().interactive().fixed_dag_len(3);
+        let t = TraceGenerator::new(profile, 25, 9).generate_with_utilization(200, 0.6);
+        let out = run(&t, DecPolicy::Hopper, &small_cfg(9));
+        assert_eq!(out.jobs.len(), t.len());
+        assert!(out.jobs.iter().all(|r| r.dag_len == 3));
+    }
+}

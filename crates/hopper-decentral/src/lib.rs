@@ -1,0 +1,13 @@
+//! Decentralized (Sparrow-style) scheduling simulator for the Hopper
+//! reproduction.
+//!
+//! Implements the paper's §5–§6.1: autonomous schedulers placing
+//! reservation probes at workers, late binding with per-message network
+//! latency, and three worker/scheduler policies — stock Sparrow,
+//! Sparrow-SRPT (+ best-effort speculation, the paper's aggressive
+//! baseline), and decentralized Hopper with the refusal protocol
+//! (Pseudocodes 2 & 3) and piggybacked virtual-size updates.
+
+pub mod driver;
+
+pub use driver::{run, DecConfig, DecOutput, DecPolicy, DecStats};

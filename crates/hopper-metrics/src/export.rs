@@ -1,0 +1,110 @@
+//! Plain-text export of experiment results, for plotting outside Rust.
+//!
+//! Bench targets print paper-style tables; for figure regeneration in
+//! external tools (gnuplot, matplotlib), these helpers render the same
+//! data as CSV. No external dependencies — the format is deliberately
+//! minimal: header row, comma separation, no quoting (all fields are
+//! numeric or simple labels).
+
+use crate::stats::JobResult;
+
+/// Render per-job results as CSV (`job,size_tasks,dag_len,arrival_ms,completed_ms,duration_ms`).
+pub fn jobs_to_csv(jobs: &[JobResult]) -> String {
+    let mut out = String::from("job,size_tasks,dag_len,arrival_ms,completed_ms,duration_ms\n");
+    for r in jobs {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            r.job,
+            r.size_tasks,
+            r.dag_len,
+            r.arrival.as_millis(),
+            r.completed.as_millis(),
+            r.duration_ms(),
+        ));
+    }
+    out
+}
+
+/// Render an (x, series...) sweep as CSV. `series` pairs a name with one
+/// value per x — the typical shape of the paper's figures.
+///
+/// Panics if any series length differs from `xs` (a malformed sweep).
+pub fn sweep_to_csv(x_name: &str, xs: &[f64], series: &[(&str, Vec<f64>)]) -> String {
+    for (name, ys) in series {
+        assert_eq!(
+            ys.len(),
+            xs.len(),
+            "series '{name}' length {} != x length {}",
+            ys.len(),
+            xs.len()
+        );
+    }
+    let mut out = String::from(x_name);
+    for (name, _) in series {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for (i, x) in xs.iter().enumerate() {
+        out.push_str(&format!("{x}"));
+        for (_, ys) in series {
+            out.push_str(&format!(",{}", ys[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopper_sim::SimTime;
+
+    #[test]
+    fn jobs_csv_roundtrips_fields() {
+        let jobs = vec![JobResult {
+            job: 3,
+            size_tasks: 12,
+            dag_len: 2,
+            arrival: SimTime::from_millis(100),
+            completed: SimTime::from_millis(450),
+        }];
+        let csv = jobs_to_csv(&jobs);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "job,size_tasks,dag_len,arrival_ms,completed_ms,duration_ms"
+        );
+        assert_eq!(lines.next().unwrap(), "3,12,2,100,450,350");
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn sweep_csv_layout() {
+        let csv = sweep_to_csv(
+            "util",
+            &[0.6, 0.8],
+            &[("sparrow", vec![44.9, 49.1]), ("srpt", vec![26.3, 6.7])],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "util,sparrow,srpt");
+        assert_eq!(lines[1], "0.6,44.9,26.3");
+        assert_eq!(lines[2], "0.8,49.1,6.7");
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn sweep_csv_rejects_ragged_series() {
+        let _ = sweep_to_csv("x", &[1.0, 2.0], &[("bad", vec![1.0])]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(
+            jobs_to_csv(&[]),
+            "job,size_tasks,dag_len,arrival_ms,completed_ms,duration_ms\n"
+        );
+        let csv = sweep_to_csv("x", &[], &[("s", vec![])]);
+        assert_eq!(csv, "x,s\n");
+    }
+}

@@ -1,0 +1,218 @@
+//! A stable discrete-event queue.
+//!
+//! Events are popped in nondecreasing time order; events scheduled for the
+//! same instant are popped in the order they were pushed (FIFO). That
+//! stability is what makes whole-simulation determinism cheap: no hash-map
+//! iteration order or heap tie ambiguity ever leaks into results.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event plus its scheduling metadata, as stored in the queue.
+#[derive(Debug, Clone)]
+pub struct EventEntry<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotonic insertion sequence number; breaks same-time ties FIFO.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for EventEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for EventEntry<E> {}
+
+impl<E> PartialOrd for EventEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for EventEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event priority queue with stable (FIFO) tie-breaking.
+///
+/// The queue also tracks the simulation clock: [`EventQueue::pop`] advances
+/// `now` to the popped event's time, and pushing an event strictly in the
+/// past panics in debug builds (an event sourced from time *t* may fire at
+/// *t* — zero-latency self-messages are common in schedulers).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<EventEntry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time (the time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever pushed (diagnostics).
+    pub fn pushed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Debug-panics if `at` is before the current clock; the engine never
+    /// rewrites history.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let entry = EventEntry {
+            time: at,
+            seq: self.next_seq,
+            event,
+        };
+        self.next_seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Schedule `event` at `delay` after the current clock.
+    pub fn push_after(&mut self, delay: SimTime, event: E) {
+        self.push(self.now + delay, event);
+    }
+
+    /// Pop the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Drop every pending event (the clock is unchanged).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), "c");
+        q.push(SimTime::from_millis(10), "a");
+        q.push(SimTime::from_millis(20), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_millis(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((SimTime::from_millis(5), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(42));
+    }
+
+    #[test]
+    fn push_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), 0u32);
+        q.pop();
+        q.push_after(SimTime::from_millis(5), 1u32);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(15), 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    #[cfg(debug_assertions)]
+    fn pushing_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), ());
+        q.pop();
+        q.push(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_millis(7), ());
+        q.push(SimTime::from_millis(3), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pushed(), 2);
+    }
+
+    #[test]
+    fn zero_latency_self_message_allowed() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), 0u8);
+        q.pop();
+        // An event may fire at the current instant.
+        q.push(q.now(), 1u8);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), 1)));
+    }
+}

@@ -1,0 +1,18 @@
+//! Workload synthesis for the Hopper reproduction.
+//!
+//! The paper evaluates on proprietary Facebook-Hadoop and Bing-Dryad traces
+//! (Oct–Dec 2012). This crate provides the synthetic equivalent: heavy-tailed
+//! distributions ([`dist`]), a trace data model ([`trace`]), published-
+//! statistics workload profiles ([`profile`]), and a deterministic generator
+//! ([`generator`]) that calibrates Poisson arrivals to a target average
+//! cluster utilization (the 60–90% sweep of the paper's Figure 6).
+
+pub mod dist;
+pub mod generator;
+pub mod profile;
+pub mod trace;
+
+pub use dist::Dist;
+pub use generator::TraceGenerator;
+pub use profile::WorkloadProfile;
+pub use trace::{single_phase_job, CommPattern, JobId, Trace, TraceJob, TracePhase};

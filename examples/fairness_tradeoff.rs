@@ -1,0 +1,61 @@
+//! The ε-fairness knob (§4.3): trading a bounded amount of unfairness for
+//! performance — the paper's Figure 10 in miniature.
+//!
+//! ```text
+//! cargo run --release --example fairness_tradeoff
+//! ```
+
+use hopper::central::{run, HopperConfig, Policy, SimConfig};
+use hopper::core::AllocConfig;
+use hopper::metrics::{reduction_pct, GainCdf, Table};
+use hopper::workload::{TraceGenerator, WorkloadProfile};
+
+fn main() {
+    let profile = WorkloadProfile::facebook().interactive();
+    let trace = TraceGenerator::new(profile, 120, 3).generate_with_utilization(100, 0.7);
+    let mut cfg = SimConfig::default();
+    cfg.cluster.machines = 25;
+    cfg.cluster.slots_per_machine = 4;
+
+    let hopper_with_eps = |eps: f64| {
+        Policy::Hopper(HopperConfig {
+            alloc: AllocConfig {
+                fairness_eps: eps,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    };
+
+    // ε = 0 is perfectly fair Hopper: every job always gets its fair share.
+    let fair = run(&trace, &hopper_with_eps(0.0), &cfg);
+    let fair_mean = fair.mean_duration_ms();
+
+    let mut table = Table::new(
+        "ε-fairness sensitivity (baseline: ε = 0, perfectly fair)",
+        &[
+            "ε",
+            "mean JCT (ms)",
+            "gain vs ε=0",
+            "jobs slowed",
+            "avg slowdown",
+            "worst slowdown",
+        ],
+    );
+    for eps in [0.0, 0.05, 0.10, 0.15, 0.20, 0.30] {
+        let out = run(&trace, &hopper_with_eps(eps), &cfg);
+        let cdf = GainCdf::between(&fair.jobs, &out.jobs);
+        let (avg, worst) = cdf.slowdown_magnitude();
+        table.row(&[
+            format!("{:.0}%", eps * 100.0),
+            format!("{:.0}", out.mean_duration_ms()),
+            format!("{:+.1}%", reduction_pct(fair_mean, out.mean_duration_ms())),
+            format!("{:.1}%", cdf.fraction_slowed() * 100.0),
+            format!("{avg:.1}%"),
+            format!("{worst:.1}%"),
+        ]);
+    }
+    table.print();
+    println!("\nThe paper (Fig. 10) finds gains flatten past ε ≈ 15% while fewer");
+    println!("than ~4% of jobs slow down at ε = 10% — the default used throughout.");
+}

@@ -1,0 +1,261 @@
+//! `hopper` — command-line experiment runner.
+//!
+//! ```text
+//! hopper central   [--policy srpt|fifo|fair|budgeted|hopper] [--jobs N]
+//!                  [--machines N] [--slots N] [--util F] [--seed N]
+//!                  [--workload facebook|bing] [--interactive] [--eps F]
+//! hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--jobs N]
+//!                  [--workers N] [--slots N] [--util F] [--seed N]
+//!                  [--probe-ratio F] [--refusals N] [--workload facebook|bing]
+//! hopper example   # the §3 motivating example (Table 1 / Figures 1-2)
+//! ```
+//!
+//! Prints a one-line summary plus a per-size-bin table; exit code 0 on
+//! success. Flags may appear in any order; unknown flags abort with usage.
+
+use hopper::central;
+use hopper::cluster::ClusterConfig;
+use hopper::decentral;
+use hopper::metrics::{mean_duration_in_bin, JobResult, SizeBin, Table};
+use hopper::workload::{Trace, TraceGenerator, WorkloadProfile};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let flags = Flags::parse(&args[1..]);
+    match mode.as_str() {
+        "central" => run_central(&flags),
+        "decentral" => run_decentral(&flags),
+        "example" => run_example(),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown mode: {other}");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+struct Flags {
+    policy: String,
+    jobs: usize,
+    machines: usize,
+    slots: usize,
+    util: f64,
+    seed: u64,
+    workload: String,
+    interactive: bool,
+    eps: f64,
+    probe_ratio: f64,
+    refusals: usize,
+}
+
+impl Flags {
+    fn parse(rest: &[String]) -> Flags {
+        let mut f = Flags {
+            policy: "hopper".into(),
+            jobs: 100,
+            machines: 50,
+            slots: 4,
+            util: 0.7,
+            seed: 1,
+            workload: "facebook".into(),
+            interactive: false,
+            eps: 0.1,
+            probe_ratio: 4.0,
+            refusals: 2,
+        };
+        let mut it = rest.iter();
+        while let Some(flag) = it.next() {
+            let mut next = |name: &str| {
+                it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("flag {name} needs a value");
+                    exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--policy" => f.policy = next("--policy"),
+                "--jobs" => f.jobs = parse(&next("--jobs")),
+                "--machines" | "--workers" => f.machines = parse(&next("--machines")),
+                "--slots" => f.slots = parse(&next("--slots")),
+                "--util" => f.util = parse(&next("--util")),
+                "--seed" => f.seed = parse(&next("--seed")),
+                "--workload" => f.workload = next("--workload"),
+                "--interactive" => f.interactive = true,
+                "--eps" => f.eps = parse(&next("--eps")),
+                "--probe-ratio" => f.probe_ratio = parse(&next("--probe-ratio")),
+                "--refusals" => f.refusals = parse(&next("--refusals")),
+                other => {
+                    eprintln!("unknown flag: {other}");
+                    usage();
+                    exit(2);
+                }
+            }
+        }
+        f
+    }
+
+    fn trace(&self, total_slots: usize) -> Trace {
+        let mut profile = match self.workload.as_str() {
+            "facebook" => WorkloadProfile::facebook(),
+            "bing" => WorkloadProfile::bing(),
+            other => {
+                eprintln!("unknown workload: {other}");
+                exit(2);
+            }
+        };
+        if self.interactive {
+            profile = profile.interactive();
+        }
+        TraceGenerator::new(profile, self.jobs, self.seed)
+            .generate_with_utilization(total_slots, self.util)
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("could not parse value: {s}");
+        exit(2);
+    })
+}
+
+fn run_central(f: &Flags) {
+    let policy = match f.policy.as_str() {
+        "fifo" => central::Policy::Fifo,
+        "fair" => central::Policy::Fair,
+        "srpt" => central::Policy::Srpt,
+        "budgeted" => central::Policy::BudgetedSrpt {
+            budget_fraction: 0.2,
+        },
+        "hopper" => central::Policy::Hopper(central::HopperConfig {
+            alloc: hopper::core::AllocConfig {
+                fairness_eps: f.eps,
+                ..Default::default()
+            },
+            ..Default::default()
+        }),
+        other => {
+            eprintln!("unknown central policy: {other}");
+            exit(2);
+        }
+    };
+    let cfg = central::SimConfig {
+        cluster: ClusterConfig {
+            machines: f.machines,
+            slots_per_machine: f.slots,
+            ..Default::default()
+        },
+        seed: f.seed,
+        ..Default::default()
+    };
+    let trace = f.trace(cfg.cluster.total_slots());
+    let out = central::run(&trace, &policy, &cfg);
+    println!(
+        "{} on {} jobs ({} workload, util {:.0}%): mean JCT {:.0} ms, makespan {:.1} s, spec {}/{} won, events {}",
+        policy.name(),
+        trace.len(),
+        f.workload,
+        f.util * 100.0,
+        out.mean_duration_ms(),
+        out.stats.makespan.as_secs_f64(),
+        out.stats.spec_won,
+        out.stats.spec_launched,
+        out.stats.events,
+    );
+    print_bins(&out.jobs);
+}
+
+fn run_decentral(f: &Flags) {
+    let policy = match f.policy.as_str() {
+        "sparrow" => decentral::DecPolicy::Sparrow,
+        "sparrow-srpt" => decentral::DecPolicy::SparrowSrpt,
+        "hopper" => decentral::DecPolicy::Hopper,
+        other => {
+            eprintln!("unknown decentral policy: {other}");
+            exit(2);
+        }
+    };
+    let cfg = decentral::DecConfig {
+        cluster: ClusterConfig {
+            machines: f.machines.max(10),
+            slots_per_machine: f.slots.min(4),
+            handoff_ms: 0,
+            ..Default::default()
+        },
+        probe_ratio: f.probe_ratio,
+        refusal_threshold: f.refusals,
+        fairness_eps: Some(f.eps),
+        seed: f.seed,
+        ..Default::default()
+    };
+    let trace = f.trace(cfg.cluster.total_slots());
+    let out = decentral::run(&trace, policy, &cfg);
+    println!(
+        "{} on {} jobs ({} workload, util {:.0}%): mean JCT {:.0} ms, spec {}/{} won, msgs {} res / {} resp / {} refusals",
+        policy.name(),
+        trace.len(),
+        f.workload,
+        f.util * 100.0,
+        out.mean_duration_ms(),
+        out.stats.spec_won,
+        out.stats.spec_launched,
+        out.stats.reservations,
+        out.stats.responses,
+        out.stats.refusals,
+    );
+    print_bins(&out.jobs);
+}
+
+fn print_bins(jobs: &[JobResult]) {
+    let mut t = Table::new("mean JCT by job size", &["bin", "jobs", "mean JCT (ms)"]);
+    for bin in SizeBin::all() {
+        let n = jobs
+            .iter()
+            .filter(|r| SizeBin::of(r.size_tasks) == bin)
+            .count();
+        let cell = mean_duration_in_bin(jobs, bin)
+            .map_or("n/a".to_string(), |m| format!("{m:.0}"));
+        t.row(&[bin.label().into(), n.to_string(), cell]);
+    }
+    t.print();
+}
+
+fn run_example() {
+    use hopper::central::scenario::{motivating_sim_config, motivating_trace};
+    let (trace, _) = motivating_trace();
+    let cfg = motivating_sim_config();
+    let mut t = Table::new(
+        "§3 motivating example (paper: 20/30, 12/32, 12/22 s)",
+        &["strategy", "A (s)", "B (s)"],
+    );
+    let cases: Vec<(&str, central::Policy)> = vec![
+        ("best-effort", central::Policy::Srpt),
+        (
+            "budgeted",
+            central::Policy::BudgetedSrpt {
+                budget_fraction: 3.0 / 7.0,
+            },
+        ),
+        (
+            "hopper",
+            central::Policy::Hopper(central::HopperConfig::pure()),
+        ),
+    ];
+    for (name, policy) in cases {
+        let out = central::run(&trace, &policy, &cfg);
+        let a = out.jobs.iter().find(|r| r.job == 0).unwrap().duration_ms() / 1000;
+        let b = out.jobs.iter().find(|r| r.job == 1).unwrap().duration_ms() / 1000;
+        t.row(&[name.into(), a.to_string(), b.to_string()]);
+    }
+    t.print();
+}
+
+fn usage() {
+    eprintln!(
+        "usage:\n  hopper central   [--policy srpt|fifo|fair|budgeted|hopper] [--jobs N] \\\n                   [--machines N] [--slots N] [--util F] [--seed N] \\\n                   [--workload facebook|bing] [--interactive] [--eps F]\n  hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--workers N] \\\n                   [--slots N] [--jobs N] [--util F] [--seed N] \\\n                   [--probe-ratio F] [--refusals N]\n  hopper example"
+    );
+}

@@ -1,0 +1,45 @@
+//! Integration test: the §3 motivating example end-to-end through the
+//! public API, reproducing Table 1 / Figures 1a, 1b, and 2 exactly.
+
+use hopper::central::scenario::{motivating_sim_config, motivating_trace};
+use hopper::central::{run, HopperConfig, Policy};
+
+fn durations(policy: &Policy) -> (u64, u64) {
+    let (trace, _) = motivating_trace();
+    let out = run(&trace, policy, &motivating_sim_config());
+    let a = out.jobs.iter().find(|r| r.job == 0).unwrap().duration_ms();
+    let b = out.jobs.iter().find(|r| r.job == 1).unwrap().duration_ms();
+    (a, b)
+}
+
+#[test]
+fn figure_1a_best_effort() {
+    assert_eq!(durations(&Policy::Srpt), (20_000, 30_000));
+}
+
+#[test]
+fn figure_1b_budgeted() {
+    let p = Policy::BudgetedSrpt {
+        budget_fraction: 3.0 / 7.0,
+    };
+    assert_eq!(durations(&p), (12_000, 32_000));
+}
+
+#[test]
+fn figure_2_hopper() {
+    let p = Policy::Hopper(HopperConfig::pure());
+    assert_eq!(durations(&p), (12_000, 22_000));
+}
+
+#[test]
+fn coordination_beats_both_strawmen_on_average() {
+    let best_effort = durations(&Policy::Srpt);
+    let budgeted = durations(&Policy::BudgetedSrpt {
+        budget_fraction: 3.0 / 7.0,
+    });
+    let hopper = durations(&Policy::Hopper(HopperConfig::pure()));
+    let avg = |(a, b): (u64, u64)| (a + b) / 2;
+    assert!(avg(hopper) < avg(best_effort));
+    assert!(avg(hopper) < avg(budgeted));
+    assert_eq!(avg(hopper), 17_000);
+}

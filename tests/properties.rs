@@ -1,0 +1,184 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use hopper::core::{allocate, AllocConfig, FreeSlotEpisode, JobDemand, Reservation, WorkerAction};
+use hopper::metrics::percentile;
+use hopper::sim::{rng_from_seed, EventQueue, SimTime};
+use hopper::workload::Dist;
+use proptest::prelude::*;
+
+fn demand_strategy() -> impl Strategy<Value = JobDemand> {
+    (
+        0usize..50,
+        0.0f64..2000.0,
+        0.0f64..500.0,
+        0.05f64..20.0,
+        1.05f64..2.5,
+        0.1f64..4.0,
+    )
+        .prop_map(|(job, rem, down, alpha, beta, weight)| JobDemand {
+            job,
+            remaining_tasks: rem,
+            downstream_tasks: down,
+            alpha,
+            beta,
+            weight,
+        })
+}
+
+proptest! {
+    /// Allocation never exceeds capacity, for any demand set and any ε.
+    #[test]
+    fn allocation_respects_capacity(
+        demands in prop::collection::vec(demand_strategy(), 0..40),
+        capacity in 0usize..5000,
+        eps in 0.0f64..=1.0,
+    ) {
+        let cfg = AllocConfig { fairness_eps: eps, ..Default::default() };
+        let allocs = allocate(&demands, capacity, &cfg);
+        let total: usize = allocs.iter().map(|a| a.slots).sum();
+        prop_assert!(total <= capacity, "total {total} > capacity {capacity}");
+        prop_assert_eq!(allocs.len(), demands.len());
+        // Output order matches input order.
+        for (a, d) in allocs.iter().zip(&demands) {
+            prop_assert_eq!(a.job, d.job);
+        }
+    }
+
+    /// With ε-fairness on, every job gets at least its floor
+    /// min((1−ε)·S·w/Σw − 1, ⌈V⌉, cap) slots (−1 absorbs integer floors).
+    #[test]
+    fn fairness_floor_holds(
+        demands in prop::collection::vec(demand_strategy(), 1..30),
+        capacity in 1usize..2000,
+        eps in 0.0f64..0.9,
+    ) {
+        let cfg = AllocConfig { fairness_eps: eps, ..Default::default() };
+        let allocs = allocate(&demands, capacity, &cfg);
+        let total_w: f64 = demands.iter().map(|d| d.weight).sum();
+        // Floors are trimmed only when their sum exceeds capacity; skip
+        // that regime (it is exercised by the capacity property anyway).
+        let floor_sum: f64 = demands
+            .iter()
+            .map(|d| ((1.0 - eps) * capacity as f64 * d.weight / total_w).floor())
+            .sum();
+        prop_assume!(floor_sum <= capacity as f64);
+        for (a, d) in allocs.iter().zip(&demands) {
+            let fair = capacity as f64 * d.weight / total_w;
+            let floor = ((1.0 - eps) * fair).floor();
+            let cap = (d.remaining_tasks * cfg.max_useful_factor).ceil();
+            let entitled = floor.min(d.virtual_size().ceil()).min(cap);
+            prop_assert!(
+                a.slots as f64 >= entitled - 1.0,
+                "job {} got {} slots, entitled to {entitled}",
+                d.job, a.slots
+            );
+        }
+    }
+
+    /// Allocation is work-conserving in the constrained regime: if demand
+    /// exceeds capacity (ΣV > S) the allocator hands out every slot.
+    #[test]
+    fn constrained_regime_is_work_conserving(
+        demands in prop::collection::vec(demand_strategy(), 1..30),
+        capacity in 1usize..1000,
+    ) {
+        let total_v: f64 = demands.iter().map(|d| d.virtual_size()).sum();
+        prop_assume!(total_v > capacity as f64 * 1.5);
+        // Also require the *useful* demand (caps) to cover capacity.
+        let cfg = AllocConfig::no_fairness();
+        let total_cap: f64 = demands
+            .iter()
+            .map(|d| (d.remaining_tasks * cfg.max_useful_factor).ceil())
+            .sum();
+        prop_assume!(total_cap >= capacity as f64);
+        let allocs = allocate(&demands, capacity, &cfg);
+        let total: usize = allocs.iter().map(|a| a.slots).sum();
+        prop_assert!(
+            total >= capacity.saturating_sub(demands.len()),
+            "left {} slots unallocated under overload",
+            capacity - total
+        );
+    }
+
+    /// The event queue pops in nondecreasing time order, FIFO on ties.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..10_000, 0..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "FIFO violated on tie");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Pareto sampler honours its analytic complementary CDF.
+    #[test]
+    fn pareto_tail_is_correct(shape in 1.1f64..2.5, scale in 0.1f64..10.0, seed in 0u64..50) {
+        let d = Dist::Pareto { shape, scale };
+        let mut rng = rng_from_seed(seed);
+        let n = 4000;
+        let x = scale * 4.0;
+        let hits = (0..n).filter(|_| d.sample(&mut rng) > x).count() as f64 / n as f64;
+        let expect = d.ccdf(x);
+        prop_assert!((hits - expect).abs() < 0.05, "empirical {hits} analytic {expect}");
+    }
+
+    /// Percentile is monotone in p and bounded by the sample range.
+    #[test]
+    fn percentile_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let p25 = percentile(&xs, 0.25);
+        let p50 = percentile(&xs, 0.50);
+        let p75 = percentile(&xs, 0.75);
+        prop_assert!(p25 <= p50 && p50 <= p75);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p25 >= min && p75 <= max);
+    }
+
+    /// A worker episode never responds twice to the same scheduler within
+    /// an episode, and always terminates within its response bound.
+    #[test]
+    fn episode_terminates_and_never_reprobes(
+        entries in prop::collection::vec((0usize..8, 0u64..40, 1.0f64..300.0), 0..60),
+        threshold in 0usize..6,
+        seed in 0u64..20,
+    ) {
+        let queue: Vec<Reservation> = entries
+            .iter()
+            .map(|&(s, j, v)| Reservation {
+                scheduler: s,
+                job: j,
+                virtual_size: v,
+                remaining_tasks: v,
+            })
+            .collect();
+        let mut ep = FreeSlotEpisode::new(threshold);
+        let mut rng = rng_from_seed(seed);
+        let mut probed: Vec<usize> = Vec::new();
+        let mut steps = 0;
+        loop {
+            match ep.next_action(&queue, &mut rng) {
+                WorkerAction::Respond { scheduler, job, kind } => {
+                    if kind == hopper::core::ResponseKind::Refusable {
+                        prop_assert!(!probed.contains(&scheduler), "re-probed {scheduler}");
+                    }
+                    probed.push(scheduler);
+                    ep.mark_probed(scheduler);
+                    // Simulate a refusal so the episode keeps going.
+                    ep.record_refusal(scheduler, job, None);
+                }
+                WorkerAction::Idle => break,
+            }
+            steps += 1;
+            prop_assert!(steps <= threshold + 4, "episode exceeded its bound");
+        }
+    }
+}
