@@ -16,7 +16,12 @@ fn main() {
 
     let variants: Vec<(&str, Policy)> = vec![
         ("Fair", Policy::Fair),
-        ("Budgeted-SRPT 20%", Policy::BudgetedSrpt { budget_fraction: 0.2 }),
+        (
+            "Budgeted-SRPT 20%",
+            Policy::BudgetedSrpt {
+                budget_fraction: 0.2,
+            },
+        ),
         ("Hopper (default)", Policy::Hopper(HopperConfig::default())),
         (
             "Hopper w/o alpha",

@@ -14,7 +14,13 @@ fn main() {
 
     let mut table = Table::new(
         "decentralized Hopper at 60% utilization (baseline: ε = 0)",
-        &["ε", "gain vs SparrowSRPT", "jobs slowed vs ε=0", "avg slowdown", "worst"],
+        &[
+            "ε",
+            "gain vs SparrowSRPT",
+            "jobs slowed vs ε=0",
+            "avg slowdown",
+            "worst",
+        ],
     );
     for eps in [0.0, 0.05, 0.10, 0.15, 0.20, 0.30] {
         let mut srpt = 0.0;

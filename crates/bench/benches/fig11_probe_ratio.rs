@@ -13,7 +13,13 @@ fn main() {
 
     let mut table = Table::new(
         "reduction (%) in average JCT vs Sparrow-SRPT (probe ratio 2)",
-        &["probe ratio", "util 60%", "util 70%", "util 80%", "util 90%"],
+        &[
+            "probe ratio",
+            "util 60%",
+            "util 70%",
+            "util 80%",
+            "util 90%",
+        ],
     );
     for ratio in [2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0] {
         let mut cells = vec![format!("{ratio:.1}")];

@@ -9,13 +9,14 @@
 //! our idealized zero-latency SRPT baseline narrows the gap.
 
 use hopper_central::{run, HopperConfig, Policy};
-use hopper_metrics::{
-    mean_duration_for_dag, mean_duration_in_bin, reduction_pct, SizeBin, Table,
-};
+use hopper_metrics::{mean_duration_for_dag, mean_duration_in_bin, reduction_pct, SizeBin, Table};
 use hopper_workload::{TraceGenerator, WorkloadProfile};
 
 fn main() {
-    hopper_bench::banner("Figure 12", "centralized Hopper vs SRPT: bins and DAG lengths");
+    hopper_bench::banner(
+        "Figure 12",
+        "centralized Hopper vs SRPT: bins and DAG lengths",
+    );
     let seeds = hopper_bench::seeds();
 
     for (name, interactive) in [("Hadoop-style", false), ("Spark-style", true)] {
@@ -32,7 +33,14 @@ fn main() {
             let trace = TraceGenerator::new(profile, hopper_bench::jobs(), seed)
                 .generate_with_utilization(slots, 0.8);
             let base = run(&trace, &Policy::Srpt, &cfg);
-            let hop = run(&trace, &Policy::Hopper(HopperConfig { learn_beta: false, ..Default::default() }), &cfg);
+            let hop = run(
+                &trace,
+                &Policy::Hopper(HopperConfig {
+                    learn_beta: false,
+                    ..Default::default()
+                }),
+                &cfg,
+            );
             overall.0 += base.mean_duration_ms();
             overall.1 += hop.mean_duration_ms();
             for (i, bin) in SizeBin::all().into_iter().enumerate() {
@@ -49,7 +57,10 @@ fn main() {
             &format!("(a) {name} profile, 80% utilization, single-phase jobs"),
             &["job bin", "reduction vs SRPT"],
         );
-        table.row(&["Overall".into(), format!("{:.1}%", reduction_pct(overall.0, overall.1))]);
+        table.row(&[
+            "Overall".into(),
+            format!("{:.1}%", reduction_pct(overall.0, overall.1)),
+        ]);
         for (i, bin) in SizeBin::all().into_iter().enumerate() {
             let cell = if bins[i].0 == 0.0 {
                 "n/a".to_string()
@@ -74,10 +85,17 @@ fn main() {
             let profile = WorkloadProfile::facebook().interactive().fixed_dag_len(len);
             let trace = TraceGenerator::new(profile, hopper_bench::jobs() / 2, seed)
                 .generate_with_utilization(slots, 0.7);
-            b += mean_duration_for_dag(&run(&trace, &Policy::Srpt, &cfg).jobs, len)
-                .unwrap_or(0.0);
+            b += mean_duration_for_dag(&run(&trace, &Policy::Srpt, &cfg).jobs, len).unwrap_or(0.0);
             h += mean_duration_for_dag(
-                &run(&trace, &Policy::Hopper(HopperConfig { learn_beta: false, ..Default::default() }), &cfg).jobs,
+                &run(
+                    &trace,
+                    &Policy::Hopper(HopperConfig {
+                        learn_beta: false,
+                        ..Default::default()
+                    }),
+                    &cfg,
+                )
+                .jobs,
                 len,
             )
             .unwrap_or(0.0);

@@ -10,7 +10,10 @@ use hopper_metrics::{reduction_pct, Table};
 use hopper_workload::{TraceGenerator, WorkloadProfile};
 
 fn main() {
-    hopper_bench::banner("Figure 13", "locality allowance k: gains and local fraction");
+    hopper_bench::banner(
+        "Figure 13",
+        "locality allowance k: gains and local fraction",
+    );
     let seeds = hopper_bench::seeds();
 
     for (name, interactive) in [("Spark-style", true), ("Hadoop-style", false)] {

@@ -53,8 +53,7 @@ fn main() {
                     seed,
                     ..Default::default()
                 };
-                mean += run(&trace, &Policy::Hopper(HopperConfig::pure()), &cfg)
-                    .mean_duration_ms();
+                mean += run(&trace, &Policy::Hopper(HopperConfig::pure()), &cfg).mean_duration_ms();
             }
             let norm = mean / reps as f64 / work_ms as f64;
             let marker = match last {
@@ -62,7 +61,11 @@ fn main() {
                 Some(_) => "- flat",
                 None => "",
             };
-            table.row(&[format!("{frac:.2}"), format!("{norm:.3}"), marker.to_string()]);
+            table.row(&[
+                format!("{frac:.2}"),
+                format!("{norm:.3}"),
+                marker.to_string(),
+            ]);
             last = Some(norm);
         }
         table.print();

@@ -12,7 +12,10 @@ use hopper_metrics::Table;
 use hopper_workload::{TraceGenerator, WorkloadProfile};
 
 fn main() {
-    hopper_bench::banner("Figure 5a", "JCT ratio over centralized Hopper vs probe count d");
+    hopper_bench::banner(
+        "Figure 5a",
+        "JCT ratio over centralized Hopper vs probe count d",
+    );
     let seeds = hopper_bench::seeds();
     let utils = [0.6, 0.8, 0.9];
     let ds = [2.0, 3.0, 4.0, 6.0, 8.0, 10.0];
@@ -43,7 +46,10 @@ fn main() {
         central_mean /= seeds as f64;
 
         let mut table = Table::new(
-            &format!("utilization {:.0}% (centralized Hopper = 1.0)", util * 100.0),
+            &format!(
+                "utilization {:.0}% (centralized Hopper = 1.0)",
+                util * 100.0
+            ),
             &["d", "Hopper(dec) ratio", "Sparrow ratio"],
         );
         for d in ds {

@@ -11,7 +11,10 @@ use hopper_metrics::Table;
 use hopper_workload::{TraceGenerator, WorkloadProfile};
 
 fn main() {
-    hopper_bench::banner("Figure 5b", "JCT ratio over centralized Hopper vs refusal count");
+    hopper_bench::banner(
+        "Figure 5b",
+        "JCT ratio over centralized Hopper vs refusal count",
+    );
     let seeds = hopper_bench::seeds();
 
     for util in [0.6, 0.8] {
@@ -39,7 +42,10 @@ fn main() {
         central_mean /= seeds as f64;
 
         let mut table = Table::new(
-            &format!("utilization {:.0}% (centralized Hopper = 1.0)", util * 100.0),
+            &format!(
+                "utilization {:.0}% (centralized Hopper = 1.0)",
+                util * 100.0
+            ),
             &["refusal threshold", "Hopper(dec) ratio", "G3 switches/run"],
         );
         for threshold in [0usize, 1, 2, 3, 5, 10] {

@@ -9,7 +9,10 @@ use hopper_decentral::{run, DecPolicy};
 use hopper_metrics::{mean_duration_in_bin, reduction_pct, SizeBin, Table};
 
 fn main() {
-    hopper_bench::banner("Figure 7", "gains over Sparrow-SRPT by job-size bin, 60% util");
+    hopper_bench::banner(
+        "Figure 7",
+        "gains over Sparrow-SRPT by job-size bin, 60% util",
+    );
     let seeds = hopper_bench::seeds();
 
     for workload in ["facebook", "bing"] {
@@ -42,7 +45,11 @@ fn main() {
                 ) {
                     bin_base[i] += b;
                     bin_hopper[i] += h;
-                    bin_count[i] += base.jobs.iter().filter(|r| SizeBin::of(r.size_tasks) == bin).count();
+                    bin_count[i] += base
+                        .jobs
+                        .iter()
+                        .filter(|r| SizeBin::of(r.size_tasks) == bin)
+                        .count();
                 }
             }
         }

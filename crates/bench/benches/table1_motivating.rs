@@ -11,7 +11,10 @@ use hopper_central::{run, HopperConfig, Policy};
 use hopper_metrics::Table;
 
 fn main() {
-    hopper_bench::banner("Table 1 / Figures 1-2", "motivating example, scripted durations");
+    hopper_bench::banner(
+        "Table 1 / Figures 1-2",
+        "motivating example, scripted durations",
+    );
 
     let (trace, scripted) = motivating_trace();
     let cfg = motivating_sim_config();

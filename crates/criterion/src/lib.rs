@@ -1,0 +1,295 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace's bench
+//! targets use — [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a simple wall-clock timer:
+//! warm up briefly, then run batches until ~`measurement_time` elapses and
+//! report the mean per-iteration time. No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque benchmark label (mirror of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new<N: Display, P: Display>(name: N, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter (group name supplies the rest).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher<'a> {
+    budget: Duration,
+    /// Mean ns/iter of the measured routine, written back for reporting.
+    result_ns: &'a mut f64,
+    iters: &'a mut u64,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly and record its mean per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until ~10% of the budget or at least once.
+        let warm_until = Instant::now() + self.budget / 10;
+        let mut batch = 1u64;
+        loop {
+            black_box(routine());
+            if Instant::now() >= warm_until {
+                break;
+            }
+            batch += 1;
+            if batch > 1_000_000 {
+                break;
+            }
+        }
+        // Measure in growing batches until the budget is spent.
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        let mut batch = 1u64;
+        while total_time < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_time += start.elapsed();
+            total_iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        *self.result_ns = total_time.as_nanos() as f64 / total_iters as f64;
+        *self.iters = total_iters;
+    }
+}
+
+/// Top-level harness handle (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Far shorter than upstream's 5 s: these benches are smoke
+            // timers, not statistics. Override with HOPPER_CRIT_MS.
+            measurement_time: Duration::from_millis(
+                std::env::var("HOPPER_CRIT_MS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(300),
+            ),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Upstream parses CLI args here; the shim accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.measurement_time, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+
+    /// Upstream prints the summary here; the shim prints per-bench lines
+    /// as it goes, so this is a no-op kept for API compatibility.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the measurement budget for benches in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted and ignored (shim does not do sample statistics).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.measurement_time, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, budget: Duration, mut f: F) {
+    let mut ns = f64::NAN;
+    let mut iters = 0u64;
+    {
+        let mut b = Bencher {
+            budget,
+            result_ns: &mut ns,
+            iters: &mut iters,
+        };
+        f(&mut b);
+    }
+    if iters == 0 {
+        println!("bench {label:<40} (no iterations recorded)");
+    } else {
+        println!(
+            "bench {label:<40} {:>12} ns/iter  ({iters} iters)",
+            human(ns)
+        );
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2e}", ns)
+    } else if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else {
+        format!("{ns:.2}")
+    }
+}
+
+/// Identity function opaque to the optimizer (re-export surface parity
+/// with `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle bench functions into a runnable group (mirror of upstream).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` from bench groups (mirror of upstream).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_time() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_input() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("g");
+        let data = vec![1u64, 2, 3];
+        g.bench_with_input(BenchmarkId::from_parameter(3), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>());
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("n", 5).id, "n/5");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -51,7 +51,7 @@ impl Default for SimConfig {
 }
 
 /// Aggregate counters of one run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Original copies launched.
     pub orig_launched: u64,
@@ -226,10 +226,9 @@ impl<'a> Central<'a> {
                     for &m in &out.freed {
                         self.machines.release_to(m, job);
                     }
-                    let was_spec =
-                        self.jobs[job].phases[copy.task.phase].tasks[copy.task.task].copies
-                            [copy.copy]
-                            .speculative;
+                    let was_spec = self.jobs[job].phases[copy.task.phase].tasks[copy.task.task]
+                        .copies[copy.copy]
+                        .speculative;
                     let freed_of_job = out.freed.len();
                     self.usage[job] -= freed_of_job;
                     let killed = freed_of_job - 1;
@@ -410,7 +409,7 @@ impl<'a> Central<'a> {
                 if self.machines.total_free() == 0 {
                     return;
                 }
-                let can_orig = orig_cap.map_or(true, |cap| self.orig_running < cap);
+                let can_orig = orig_cap.is_none_or(|cap| self.orig_running < cap);
                 let launched = if can_orig && self.pending_orig[j] > 0 {
                     self.launch_original(j, now)
                 } else {
@@ -439,7 +438,7 @@ impl<'a> Central<'a> {
             for &j in &self.active {
                 if self.usage[j] < share && self.runnable(j) > 0 {
                     let key = (self.usage[j], j);
-                    if best.map_or(true, |b| key < b) {
+                    if best.is_none_or(|b| key < b) {
                         best = Some(key);
                     }
                 }
@@ -450,7 +449,7 @@ impl<'a> Central<'a> {
                 for &j in &self.active {
                     if self.runnable(j) > 0 {
                         let key = (self.usage[j], j);
-                        if best.map_or(true, |b| key < b) {
+                        if best.is_none_or(|b| key < b) {
                             best = Some(key);
                         }
                     }
@@ -638,9 +637,9 @@ impl<'a> Central<'a> {
         let temp = self.machines.occupy_for(m, j);
         let delay = self.handoff_delay(temp);
         let (copy, dur) =
-            self.jobs[j]
-                .launch_copy(task, m, false, now, delay, &self.cfg.cluster, &mut self.rng);
-        self.queue.push(now + delay + dur, Event::Finish { job: j, copy });
+            self.jobs[j].launch_copy(task, m, false, now, delay, &self.cfg.cluster, &mut self.rng);
+        self.queue
+            .push(now + delay + dur, Event::Finish { job: j, copy });
         self.usage[j] += 1;
         self.pending_orig[j] -= 1;
         self.orig_running += 1;
@@ -701,7 +700,11 @@ mod tests {
     use hopper_workload::{TraceGenerator, WorkloadProfile};
 
     fn dur(out: &RunOutput, job: usize) -> u64 {
-        out.jobs.iter().find(|r| r.job == job).unwrap().duration_ms()
+        out.jobs
+            .iter()
+            .find(|r| r.job == job)
+            .unwrap()
+            .duration_ms()
     }
 
     /// Figure 1a: SRPT + best-effort speculation → A = 20 s, B = 30 s.
@@ -821,8 +824,7 @@ mod tests {
         for seed in 0..3u64 {
             let mut profile = WorkloadProfile::facebook().single_phase();
             profile.beta_range = (1.2, 1.4);
-            let trace = TraceGenerator::new(profile, 200, seed)
-                .generate_with_utilization(200, 0.8);
+            let trace = TraceGenerator::new(profile, 200, seed).generate_with_utilization(200, 0.8);
             let cfg = SimConfig {
                 cluster: ClusterConfig {
                     machines: 50,
@@ -948,8 +950,8 @@ mod tests {
         // Divergent event interleavings make small per-job deltas noisy;
         // the meaningful claim is that *severe* slowdowns stay rare and
         // the average does not regress.
-        let severely_slowed = cdf.gains.iter().filter(|&&g| g < -30.0).count() as f64
-            / cdf.gains.len() as f64;
+        let severely_slowed =
+            cdf.gains.iter().filter(|&&g| g < -30.0).count() as f64 / cdf.gains.len() as f64;
         assert!(
             severely_slowed < 0.25,
             "too many severely slowed jobs: {severely_slowed}"

@@ -232,9 +232,7 @@ impl JobRun {
             let upstream_mb: f64 = p
                 .upstream
                 .iter()
-                .map(|&u| {
-                    spec.phases[u].output_mb_per_task * spec.phases[u].num_tasks() as f64
-                })
+                .map(|&u| spec.phases[u].output_mb_per_task * spec.phases[u].num_tasks() as f64)
                 .sum();
             let transfer_ms_per_task = if p.num_tasks() > 0 {
                 cfg.transfer_ms(upstream_mb / p.num_tasks() as f64)
@@ -316,6 +314,7 @@ impl JobRun {
     /// Returns the copy id and its (hidden) duration so the driver can
     /// schedule the completion event at `now + delay + duration`. Panics if the task already finished or its phase is not
     /// eligible — drivers must not launch dead work.
+    #[allow(clippy::too_many_arguments)]
     pub fn launch_copy(
         &mut self,
         task: TaskRef,
@@ -513,9 +512,9 @@ impl JobRun {
         self.phases.iter().any(|p| {
             p.eligible
                 && !p.is_complete()
-                && p.tasks.iter().any(|t| {
-                    !t.is_launched() && !t.is_finished() && t.replicas.contains(&machine)
-                })
+                && p.tasks
+                    .iter()
+                    .any(|t| !t.is_launched() && !t.is_finished() && t.replicas.contains(&machine))
         })
     }
 
@@ -540,8 +539,7 @@ impl JobRun {
                         let progress = if c.duration.as_millis() == 0 {
                             1.0
                         } else {
-                            (elapsed.as_millis() as f64 / c.duration.as_millis() as f64)
-                                .min(1.0)
+                            (elapsed.as_millis() as f64 / c.duration.as_millis() as f64).min(1.0)
                         };
                         CopyObservation {
                             copy: CopyRef::new(pi, ti, ci),
@@ -617,12 +615,7 @@ impl JobRun {
             .filter(|t| !t.is_finished())
             .map(|t| t.work.as_millis() as f64)
             .sum();
-        let Some((pi, next)) = self
-            .phases
-            .iter()
-            .enumerate()
-            .find(|(_, p)| !p.eligible)
-        else {
+        let Some((pi, next)) = self.phases.iter().enumerate().find(|(_, p)| !p.eligible) else {
             return 1.0;
         };
         let upstream_tasks: usize = next
@@ -699,12 +692,7 @@ mod tests {
     }
 
     fn two_phase_job() -> JobRun {
-        let mut spec = single_phase_job(
-            0,
-            SimTime::ZERO,
-            vec![SimTime::from_millis(1000); 4],
-            1.5,
-        );
+        let mut spec = single_phase_job(0, SimTime::ZERO, vec![SimTime::from_millis(1000); 4], 1.5);
         spec.phases[0].output_mb_per_task = 50.0;
         spec.phases.push(hopper_workload::TracePhase {
             task_works: vec![SimTime::from_millis(500); 2],
@@ -743,10 +731,15 @@ mod tests {
         // Run all 4 upstream tasks to completion.
         let mut finish_times = Vec::new();
         for ti in 0..4 {
-            let (cr, d) = j.launch_copy(TaskRef::new(0, ti),
+            let (cr, d) = j.launch_copy(
+                TaskRef::new(0, ti),
                 MachineId(0),
                 false,
-                SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+                SimTime::ZERO,
+                SimTime::ZERO,
+                &c,
+                &mut rng,
+            );
             finish_times.push((cr, d));
         }
         let mut eligible_seen = false;
@@ -784,9 +777,24 @@ mod tests {
         let mut rng = rng_from_seed(2);
         let c = cfg();
         let task = TaskRef::new(0, 0);
-        let (orig, _) = j.launch_copy(task, MachineId(0), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
-        let (spec, _) =
-            j.launch_copy(task, MachineId(1), true, SimTime::from_millis(100), SimTime::ZERO, &c, &mut rng);
+        let (orig, _) = j.launch_copy(
+            task,
+            MachineId(0),
+            false,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+        );
+        let (spec, _) = j.launch_copy(
+            task,
+            MachineId(1),
+            true,
+            SimTime::from_millis(100),
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+        );
         assert_eq!(j.occupied_slots(), 2);
 
         let out = j.finish_copy(spec, SimTime::from_millis(600)).unwrap();
@@ -806,7 +814,15 @@ mod tests {
         let mut rng = rng_from_seed(2);
         let c = cfg();
         let t0 = TaskRef::new(0, 0);
-        let (c0, _) = j.launch_copy(t0, MachineId(0), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+        let (c0, _) = j.launch_copy(
+            t0,
+            MachineId(0),
+            false,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+        );
         let out = j.finish_copy(c0, SimTime::from_millis(500)).unwrap();
         assert!(!out.job_done);
         assert!(!out.phase_done);
@@ -819,13 +835,25 @@ mod tests {
         let mut j = JobRun::scripted(0, SimTime::ZERO, &[(30_000, 10_000), (10_000, 10_000)]);
         let mut rng = rng_from_seed(5);
         let c = cfg();
-        let (_, d0) =
-            j.launch_copy(TaskRef::new(0, 0), MachineId(0), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+        let (_, d0) = j.launch_copy(
+            TaskRef::new(0, 0),
+            MachineId(0),
+            false,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+        );
         assert_eq!(d0, SimTime::from_millis(30_000));
-        let (_, d0s) = j.launch_copy(TaskRef::new(0, 0),
+        let (_, d0s) = j.launch_copy(
+            TaskRef::new(0, 0),
             MachineId(1),
             true,
-            SimTime::from_millis(2000), SimTime::ZERO, &c, &mut rng);
+            SimTime::from_millis(2000),
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+        );
         assert_eq!(d0s, SimTime::from_millis(10_000));
     }
 
@@ -834,7 +862,15 @@ mod tests {
         let mut j = JobRun::scripted(0, SimTime::ZERO, &[(10_000, 5_000)]);
         let mut rng = rng_from_seed(5);
         let c = cfg();
-        j.launch_copy(TaskRef::new(0, 0), MachineId(0), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+        j.launch_copy(
+            TaskRef::new(0, 0),
+            MachineId(0),
+            false,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+        );
         let obs = j.observe_running(SimTime::from_millis(2_500));
         assert_eq!(obs.len(), 1);
         let (task, copies) = &obs[0];
@@ -875,8 +911,24 @@ mod tests {
         }
         let mut rng = rng_from_seed(2);
         let c = cfg();
-        j.launch_copy(TaskRef::new(0, 0), MachineId(1), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
-        j.launch_copy(TaskRef::new(0, 1), MachineId(2), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+        j.launch_copy(
+            TaskRef::new(0, 0),
+            MachineId(1),
+            false,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+        );
+        j.launch_copy(
+            TaskRef::new(0, 1),
+            MachineId(2),
+            false,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+        );
         assert_eq!(j.local_launches, 1);
         assert_eq!(j.nonlocal_launches, 1);
         assert!((j.locality_fraction().unwrap() - 0.5).abs() < 1e-9);
@@ -902,7 +954,15 @@ mod tests {
         assert_eq!(j.pending_originals(), 3);
         let mut rng = rng_from_seed(2);
         let c = cfg();
-        j.launch_copy(TaskRef::new(0, 0), MachineId(0), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+        j.launch_copy(
+            TaskRef::new(0, 0),
+            MachineId(0),
+            false,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+        );
         assert_eq!(j.pending_originals(), 2);
         assert_eq!(j.current_remaining(), 3);
         assert_eq!(j.total_remaining(), 3);
@@ -920,7 +980,15 @@ mod tests {
         );
         let mut rng = rng_from_seed(2);
         let c = cfg();
-        let (c0, d0) = j.launch_copy(task, MachineId(0), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+        let (c0, d0) = j.launch_copy(
+            task,
+            MachineId(0),
+            false,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+        );
         j.finish_copy(c0, d0).unwrap();
         assert_eq!(j.estimated_new_copy_duration(TaskRef::new(0, 1)), d0);
     }
@@ -931,7 +999,15 @@ mod tests {
         let mut j = two_phase_job();
         let mut rng = rng_from_seed(2);
         let c = cfg();
-        j.launch_copy(TaskRef::new(1, 0), MachineId(0), false, SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+        j.launch_copy(
+            TaskRef::new(1, 0),
+            MachineId(0),
+            false,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+        );
     }
 
     #[test]
@@ -940,16 +1016,25 @@ mod tests {
         // than a light tail (β=1.9) over many draws.
         let c = cfg();
         let max_mult = |beta: f64, seed: u64| -> f64 {
-            let spec =
-                single_phase_job(0, SimTime::ZERO, vec![SimTime::from_millis(1000); 400], beta);
+            let spec = single_phase_job(
+                0,
+                SimTime::ZERO,
+                vec![SimTime::from_millis(1000); 400],
+                beta,
+            );
             let mut j = JobRun::new(spec, &c, &mut rng_from_seed(seed));
             let mut rng = rng_from_seed(seed + 1);
             let mut max = 0.0f64;
             for ti in 0..400 {
-                let (_, d) = j.launch_copy(TaskRef::new(0, ti),
+                let (_, d) = j.launch_copy(
+                    TaskRef::new(0, ti),
                     MachineId(0),
                     false,
-                    SimTime::ZERO, SimTime::ZERO, &c, &mut rng);
+                    SimTime::ZERO,
+                    SimTime::ZERO,
+                    &c,
+                    &mut rng,
+                );
                 max = max.max(d.as_millis() as f64 / 1000.0);
             }
             max

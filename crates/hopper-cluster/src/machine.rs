@@ -241,11 +241,7 @@ impl Machines {
 
     /// A free machine for `job`, preferring one where the job has a warm
     /// slot, skipping `exclude`.
-    pub fn preferred_free_machine(
-        &self,
-        job: usize,
-        exclude: &[MachineId],
-    ) -> Option<MachineId> {
+    pub fn preferred_free_machine(&self, job: usize, exclude: &[MachineId]) -> Option<MachineId> {
         self.machines_with_free()
             .filter(|m| !exclude.contains(m))
             .max_by_key(|&m| (self.warm_on(m, job).min(1), usize::MAX - m.0))

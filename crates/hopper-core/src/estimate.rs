@@ -78,11 +78,7 @@ impl BetaEstimator {
         if self.window.len() < self.min_samples {
             return self.prior;
         }
-        let x_min = self
-            .window
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        let x_min = self.window.iter().copied().fold(f64::INFINITY, f64::min);
         if !(x_min.is_finite() && x_min > 0.0) {
             return self.prior;
         }
@@ -205,9 +201,46 @@ mod tests {
     fn beta_mle_recovers_shape() {
         for beta in [1.2, 1.5, 1.8] {
             let hat = pareto_recovery(beta);
+            assert!((hat - beta).abs() / beta < 0.08, "β={beta} estimated {hat}");
+        }
+    }
+
+    #[test]
+    fn beta_mle_recovery_is_scale_invariant() {
+        // The MLE plugs in the window minimum as x_min, so the estimate
+        // must not depend on the multiplier scale (nominal-work units).
+        for scale in [0.25, 1.0, 7.5] {
+            let mut rng = rng_from_seed(42);
+            let mut est = BetaEstimator::new(1.5, 4000, 20);
+            let beta_true = 1.4;
+            for _ in 0..4000 {
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                est.observe(scale / u.powf(1.0 / beta_true));
+            }
+            let hat = est.beta();
             assert!(
-                (hat - beta).abs() / beta < 0.08,
-                "β={beta} estimated {hat}"
+                (hat - beta_true).abs() / beta_true < 0.08,
+                "scale {scale}: β={beta_true} estimated {hat}"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_mle_recovery_holds_across_seeds() {
+        // Guard against a lucky-seed pass: recovery tolerance must hold
+        // for several independent sample streams.
+        let beta_true = 1.6;
+        for seed in [7, 21, 303, 9999] {
+            let mut rng = rng_from_seed(seed);
+            let mut est = BetaEstimator::new(1.5, 4000, 20);
+            for _ in 0..4000 {
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                est.observe(1.0 / u.powf(1.0 / beta_true));
+            }
+            let hat = est.beta();
+            assert!(
+                (hat - beta_true).abs() / beta_true < 0.10,
+                "seed {seed}: β={beta_true} estimated {hat}"
             );
         }
     }
@@ -310,5 +343,16 @@ mod tests {
         assert_eq!(alpha_from_work(1.0, 0.0), 1.0);
         assert_eq!(alpha_from_work(1e9, 1.0), 20.0);
         assert_eq!(alpha_from_work(0.0, 100.0), 0.05);
+    }
+
+    #[test]
+    fn alpha_from_work_degenerate_inputs_stay_in_band() {
+        // Negative compute means "no upstream work left": neutral α = 1.
+        assert_eq!(alpha_from_work(100.0, -5.0), 1.0);
+        // Negative transfer clamps to the band floor rather than going
+        // negative (√α is taken downstream).
+        assert_eq!(alpha_from_work(-100.0, 50.0), 0.05);
+        let a = alpha_from_work(f64::INFINITY, 1.0);
+        assert!((0.05..=20.0).contains(&a));
     }
 }

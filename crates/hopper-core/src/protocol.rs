@@ -282,14 +282,14 @@ fn pick_weighted_by_virtual_size<'a, R: Rng + ?Sized>(
 }
 
 /// FCFS pick (stock Sparrow): the earliest queued reservation.
-pub fn pick_fcfs<'a>(queue: &'a [Reservation]) -> Option<&'a Reservation> {
+pub fn pick_fcfs(queue: &[Reservation]) -> Option<&Reservation> {
     queue.first()
 }
 
 /// SRPT pick (Sparrow-SRPT baseline of §7.1): the job with the fewest
 /// remaining tasks ("when a worker has a slot free, it picks the task of
 /// the job that has the least unfinished tasks").
-pub fn pick_srpt<'a>(queue: &'a [Reservation]) -> Option<&'a Reservation> {
+pub fn pick_srpt(queue: &[Reservation]) -> Option<&Reservation> {
     queue.iter().min_by(|a, b| {
         a.remaining_tasks
             .partial_cmp(&b.remaining_tasks)
@@ -326,11 +326,19 @@ mod tests {
 
     #[test]
     fn first_action_targets_smallest_virtual_size() {
-        let q = vec![res(0, 1, 50.0, 40.0), res(1, 2, 10.0, 8.0), res(2, 3, 30.0, 25.0)];
+        let q = vec![
+            res(0, 1, 50.0, 40.0),
+            res(1, 2, 10.0, 8.0),
+            res(2, 3, 30.0, 25.0),
+        ];
         let mut ep = FreeSlotEpisode::new(2);
         let mut rng = rng_from_seed(1);
         match ep.next_action(&q, &mut rng) {
-            WorkerAction::Respond { scheduler, job, kind } => {
+            WorkerAction::Respond {
+                scheduler,
+                job,
+                kind,
+            } => {
                 assert_eq!((scheduler, job), (1, 2));
                 assert_eq!(kind, ResponseKind::Refusable);
             }
@@ -340,7 +348,11 @@ mod tests {
 
     #[test]
     fn refusal_moves_to_second_smallest() {
-        let q = vec![res(0, 1, 50.0, 40.0), res(1, 2, 10.0, 8.0), res(2, 3, 30.0, 25.0)];
+        let q = vec![
+            res(0, 1, 50.0, 40.0),
+            res(1, 2, 10.0, 8.0),
+            res(2, 3, 30.0, 25.0),
+        ];
         let mut ep = FreeSlotEpisode::new(5);
         let mut rng = rng_from_seed(1);
         ep.mark_probed(1);
@@ -358,7 +370,11 @@ mod tests {
     fn same_scheduler_not_probed_twice() {
         // Jobs 2 and 3 share scheduler 1; after job 2's refusal, job 3 is
         // skipped even though it is next by virtual size.
-        let q = vec![res(1, 2, 10.0, 8.0), res(1, 3, 20.0, 15.0), res(0, 9, 90.0, 80.0)];
+        let q = vec![
+            res(1, 2, 10.0, 8.0),
+            res(1, 3, 20.0, 15.0),
+            res(0, 9, 90.0, 80.0),
+        ];
         let mut ep = FreeSlotEpisode::new(5);
         let mut rng = rng_from_seed(1);
         ep.mark_probed(1);
@@ -377,10 +393,30 @@ mod tests {
         let q = vec![res(0, 1, 50.0, 40.0), res(1, 2, 10.0, 8.0)];
         let mut ep = FreeSlotEpisode::new(2);
         let mut rng = rng_from_seed(1);
-        ep.record_refusal(1, 2, Some(UnsatisfiedJob { scheduler: 1, job: 7, virtual_size: 12.0 }));
-        ep.record_refusal(0, 1, Some(UnsatisfiedJob { scheduler: 0, job: 8, virtual_size: 5.0 }));
+        ep.record_refusal(
+            1,
+            2,
+            Some(UnsatisfiedJob {
+                scheduler: 1,
+                job: 7,
+                virtual_size: 12.0,
+            }),
+        );
+        ep.record_refusal(
+            0,
+            1,
+            Some(UnsatisfiedJob {
+                scheduler: 0,
+                job: 8,
+                virtual_size: 5.0,
+            }),
+        );
         match ep.next_action(&q, &mut rng) {
-            WorkerAction::Respond { scheduler, job, kind } => {
+            WorkerAction::Respond {
+                scheduler,
+                job,
+                kind,
+            } => {
                 assert_eq!((scheduler, job), (0, 8), "smallest unsatisfied wins");
                 assert_eq!(kind, ResponseKind::NonRefusable);
             }
@@ -420,9 +456,21 @@ mod tests {
         ep.mark_probed(0);
         ep.record_refusal(0, 1, None);
         assert_eq!(ep.next_action(&q, &mut rng), WorkerAction::Idle);
-        ep.record_refusal(0, 1, Some(UnsatisfiedJob { scheduler: 3, job: 4, virtual_size: 2.0 }));
+        ep.record_refusal(
+            0,
+            1,
+            Some(UnsatisfiedJob {
+                scheduler: 3,
+                job: 4,
+                virtual_size: 2.0,
+            }),
+        );
         match ep.next_action(&q, &mut rng) {
-            WorkerAction::Respond { scheduler, job, kind } => {
+            WorkerAction::Respond {
+                scheduler,
+                job,
+                kind,
+            } => {
                 assert_eq!((scheduler, job), (3, 4));
                 assert_eq!(kind, ResponseKind::NonRefusable);
             }
@@ -448,7 +496,11 @@ mod tests {
 
     #[test]
     fn fcfs_and_srpt_picks() {
-        let q = vec![res(0, 5, 50.0, 40.0), res(1, 6, 10.0, 3.0), res(2, 7, 30.0, 25.0)];
+        let q = vec![
+            res(0, 5, 50.0, 40.0),
+            res(1, 6, 10.0, 3.0),
+            res(2, 7, 30.0, 25.0),
+        ];
         assert_eq!(pick_fcfs(&q).unwrap().job, 5);
         assert_eq!(pick_srpt(&q).unwrap().job, 6);
         assert!(pick_fcfs(&[]).is_none());
@@ -483,7 +535,7 @@ mod tests {
 
     #[test]
     fn zero_virtual_sizes_still_pick_something() {
-        let q = vec![res(0, 1, 0.0, 0.0), res(1, 2, 0.0, 0.0)];
+        let q = [res(0, 1, 0.0, 0.0), res(1, 2, 0.0, 0.0)];
         let refs: Vec<&Reservation> = q.iter().collect();
         let mut rng = rng_from_seed(4);
         assert!(pick_weighted_by_virtual_size(&refs, &mut rng).is_some());

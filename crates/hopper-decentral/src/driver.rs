@@ -116,7 +116,7 @@ impl Default for DecConfig {
 }
 
 /// Aggregate counters of one decentralized run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DecStats {
     /// Original copies launched.
     pub orig_launched: u64,
@@ -163,7 +163,10 @@ pub fn run(trace: &Trace, policy: DecPolicy, cfg: &DecConfig) -> DecOutput {
 enum Ev {
     JobArrive(usize),
     /// Reservation lands in a worker queue.
-    Reservation { worker: usize, res: Reservation },
+    Reservation {
+        worker: usize,
+        res: Reservation,
+    },
     /// Worker offers its free slot to `job`'s scheduler.
     Response {
         worker: usize,
@@ -184,9 +187,16 @@ enum Ev {
         unsatisfied: Option<UnsatisfiedJob>,
     },
     /// A copy finished on `worker`.
-    Finish { job: usize, copy: CopyRef, worker: usize },
+    Finish {
+        job: usize,
+        copy: CopyRef,
+        worker: usize,
+    },
     /// Kill notification reaches the worker running a lost sibling.
-    Kill { worker: usize, job: usize },
+    Kill {
+        worker: usize,
+        job: usize,
+    },
     /// Periodic straggler scan (all schedulers).
     Scan,
 }
@@ -207,6 +217,9 @@ struct Decentral<'a> {
     workers: Vec<WorkerState>,
     jobs: Vec<JobRun>,
     done: Vec<bool>,
+    /// Whether the job's `JobArrive` event has been processed; jobs are
+    /// invisible to the scan rescue path until then.
+    arrived: Vec<bool>,
     active_count: usize,
     arrivals_pending: usize,
     /// Scheduler-side occupancy (running + in-flight assignments) per job.
@@ -270,6 +283,7 @@ impl<'a> Decentral<'a> {
                 })
                 .collect(),
             done: vec![false; n],
+            arrived: vec![false; n],
             active_count: 0,
             arrivals_pending: n,
             occupied: vec![0; n],
@@ -382,18 +396,16 @@ impl<'a> Decentral<'a> {
                     self.scan_armed = false;
                     for j in 0..self.jobs.len() {
                         if !self.done[j] && self.jobs[j].occupied_slots() > 0 {
-                            self.candidates[j] =
-                                self.cfg.speculator.candidates(&self.jobs[j], now);
+                            self.candidates[j] = self.cfg.speculator.candidates(&self.jobs[j], now);
                         }
                     }
                     // Re-probe jobs whose reservations were all consumed
                     // while launchable work remains (otherwise they starve).
                     for j in 0..self.jobs.len() {
-                        if self.done[j] || self.live_res[j] > 0 {
+                        if self.done[j] || !self.arrived[j] || self.live_res[j] > 0 {
                             continue;
                         }
-                        let launchable =
-                            self.pending_orig[j] > 0 || !self.candidates[j].is_empty();
+                        let launchable = self.pending_orig[j] > 0 || !self.candidates[j].is_empty();
                         if launchable {
                             let want = ((self.jobs[j].current_remaining() as f64
                                 * self.cfg.probe_ratio)
@@ -435,6 +447,7 @@ impl<'a> Decentral<'a> {
     fn on_job_arrive(&mut self, j: usize, _now: SimTime) {
         self.arrivals_pending -= 1;
         self.active_count += 1;
+        self.arrived[j] = true;
         self.arm_scan();
         // Place probe_ratio × tasks reservations. Input tasks probe their
         // replica machines first (§6.1), the remainder go to random
@@ -546,7 +559,11 @@ impl<'a> Decentral<'a> {
             }
         };
         match action {
-            WorkerAction::Respond { scheduler, job, kind } => {
+            WorkerAction::Respond {
+                scheduler,
+                job,
+                kind,
+            } => {
                 let _ = scheduler;
                 if let Some(ep) = self.workers[w].episode.as_mut() {
                     ep.mark_probed(scheduler);
@@ -674,7 +691,7 @@ impl<'a> Decentral<'a> {
                 if rem <= self.jobs[job].estimated_new_copy_duration(task) {
                     continue;
                 }
-                if best.map_or(true, |(b, _)| rem > b) {
+                if best.is_none_or(|(b, _)| rem > b) {
                     best = Some((rem, task));
                 }
             }
@@ -718,7 +735,7 @@ impl<'a> Decentral<'a> {
         let sched = self.owner.get(job).copied().unwrap_or(0);
         let mut best: Option<UnsatisfiedJob> = None;
         for j in 0..self.jobs.len() {
-            if self.owner[j] != sched || self.done[j] || j == job {
+            if self.owner[j] != sched || self.done[j] || !self.arrived[j] || j == job {
                 continue;
             }
             let v = self.vsize(j);
@@ -741,7 +758,7 @@ impl<'a> Decentral<'a> {
             // the decentralized ε enforcement is deliberately conservative.
             let advertised = ((self.occupied[j] as f64) < v).then_some(v);
             if let Some(adv) = advertised {
-                let better = best.map_or(true, |b| adv < b.virtual_size);
+                let better = best.is_none_or(|b| adv < b.virtual_size);
                 if better {
                     best = Some(UnsatisfiedJob {
                         scheduler: sched,
@@ -853,14 +870,7 @@ impl<'a> Decentral<'a> {
         } else {
             self.stats.orig_launched += 1;
         }
-        self.queue.push(
-            now + dur,
-            Ev::Finish {
-                job,
-                copy,
-                worker,
-            },
-        );
+        self.queue.push(now + dur, Ev::Finish { job, copy, worker });
         // Piggyback a virtual-size update on this assignment for all of
         // the job's reservations parked at this worker (§5.3).
         let v = self.vsize(job);
@@ -877,14 +887,11 @@ impl<'a> Decentral<'a> {
     fn on_finish(&mut self, job: usize, copy: CopyRef, worker: usize, now: SimTime) {
         // Collect running siblings *before* resolving the race: their
         // kill notifications travel over the network.
-        let siblings: Vec<MachineId> = self.jobs[job].phases[copy.task.phase].tasks
-            [copy.task.task]
+        let siblings: Vec<MachineId> = self.jobs[job].phases[copy.task.phase].tasks[copy.task.task]
             .copies
             .iter()
             .enumerate()
-            .filter(|(i, c)| {
-                *i != copy.copy && c.status == hopper_cluster::CopyStatus::Running
-            })
+            .filter(|(i, c)| *i != copy.copy && c.status == hopper_cluster::CopyStatus::Running)
             .map(|(_, c)| c.machine)
             .collect();
         let Some(out) = self.jobs[job].finish_copy(copy, now) else {
@@ -907,13 +914,8 @@ impl<'a> Decentral<'a> {
         }
         // Kill messages to losing siblings.
         for m in siblings {
-            self.queue.push_after(
-                self.cfg.msg_latency,
-                Ev::Kill {
-                    worker: m.0,
-                    job,
-                },
-            );
+            self.queue
+                .push_after(self.cfg.msg_latency, Ev::Kill { worker: m.0, job });
         }
         // New phases: their tasks need reservations too.
         for &pi in &out.newly_eligible {
@@ -969,7 +971,11 @@ mod tests {
     #[test]
     fn all_jobs_complete_under_every_policy() {
         let t = trace(1, 40, 0.7);
-        for policy in [DecPolicy::Sparrow, DecPolicy::SparrowSrpt, DecPolicy::Hopper] {
+        for policy in [
+            DecPolicy::Sparrow,
+            DecPolicy::SparrowSrpt,
+            DecPolicy::Hopper,
+        ] {
             let out = run(&t, policy, &small_cfg(1));
             assert_eq!(out.jobs.len(), t.len(), "{}", policy.name());
             assert!(out.stats.makespan > SimTime::ZERO);
@@ -1034,7 +1040,10 @@ mod tests {
         let t = trace(6, 50, 0.7);
         let out = run(&t, DecPolicy::Hopper, &small_cfg(6));
         let total_tasks: u64 = t.jobs.iter().map(|j| j.num_tasks() as u64).sum();
-        assert_eq!(out.stats.orig_launched, total_tasks, "every original ran once");
+        assert_eq!(
+            out.stats.orig_launched, total_tasks,
+            "every original ran once"
+        );
         assert!(out.stats.reservations >= total_tasks * 2);
         assert!(out.stats.responses > 0);
     }

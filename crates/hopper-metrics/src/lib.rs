@@ -11,9 +11,9 @@ pub mod export;
 pub mod stats;
 pub mod table;
 
+pub use export::{jobs_to_csv, sweep_to_csv};
 pub use stats::{
     mean, mean_duration, mean_duration_for_dag, mean_duration_in_bin, percentile, reduction_pct,
     summarize, DistSummary, GainCdf, JobResult, SizeBin,
 };
-pub use export::{jobs_to_csv, sweep_to_csv};
 pub use table::{f1, pct, Table};

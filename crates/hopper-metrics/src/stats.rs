@@ -121,7 +121,11 @@ pub fn summarize(xs: &[f64]) -> DistSummary {
         p10: percentile(xs, 0.10),
         p50: percentile(xs, 0.50),
         p90: percentile(xs, 0.90),
-        max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0),
+        max: xs
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(0.0),
     }
 }
 
@@ -182,7 +186,12 @@ impl GainCdf {
     /// Average and worst slowdown (%) among slowed jobs — Figure 10c.
     /// Returns (avg, worst), both ≥ 0; (0, 0) when nothing slowed.
     pub fn slowdown_magnitude(&self) -> (f64, f64) {
-        let slowed: Vec<f64> = self.gains.iter().filter(|&&g| g < 0.0).map(|g| -g).collect();
+        let slowed: Vec<f64> = self
+            .gains
+            .iter()
+            .filter(|&&g| g < 0.0)
+            .map(|g| -g)
+            .collect();
         if slowed.is_empty() {
             (0.0, 0.0)
         } else {

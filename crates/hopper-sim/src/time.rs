@@ -93,7 +93,7 @@ impl Sub for SimTime {
 
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1000 && self.0 % 100 == 0 {
+        if self.0 >= 1000 && self.0.is_multiple_of(100) {
             write!(f, "{:.1}s", self.as_secs_f64())
         } else {
             write!(f, "{}ms", self.0)
@@ -133,8 +133,12 @@ mod tests {
 
     #[test]
     fn scale_rounds() {
-        assert_eq!(SimTime::from_millis(100).scale(0.5), SimTime::from_millis(50));
-        assert_eq!(SimTime::from_millis(3).scale(0.5), SimTime::from_millis(2)); // 1.5 rounds to 2
+        assert_eq!(
+            SimTime::from_millis(100).scale(0.5),
+            SimTime::from_millis(50)
+        );
+        assert_eq!(SimTime::from_millis(3).scale(0.5), SimTime::from_millis(2));
+        // 1.5 rounds to 2
     }
 
     #[test]

@@ -104,12 +104,8 @@ impl Dist {
     /// The analytic mean, where finite; `None` for a Pareto with shape ≤ 1.
     pub fn mean(&self) -> Option<f64> {
         match *self {
-            Dist::Pareto { shape, scale } => {
-                (shape > 1.0).then(|| scale * shape / (shape - 1.0))
-            }
-            Dist::BoundedPareto { shape, min, max } => {
-                Some(bounded_pareto_mean(shape, min, max))
-            }
+            Dist::Pareto { shape, scale } => (shape > 1.0).then(|| scale * shape / (shape - 1.0)),
+            Dist::BoundedPareto { shape, min, max } => Some(bounded_pareto_mean(shape, min, max)),
             Dist::Exp { mean } => Some(mean),
             Dist::LogNormal { mu, sigma } => Some((mu + sigma * sigma / 2.0).exp()),
             Dist::Uniform { lo, hi } => Some((lo + hi) / 2.0),

@@ -49,7 +49,10 @@ impl TraceGenerator {
     /// Generate a full trace whose offered load against `total_slots` slots
     /// averages `target_util` (0 < u ≤ 1) over the arrival window.
     pub fn generate_with_utilization(&self, total_slots: usize, target_util: f64) -> Trace {
-        assert!(target_util > 0.0 && target_util <= 1.5, "unreasonable utilization");
+        assert!(
+            target_util > 0.0 && target_util <= 1.5,
+            "unreasonable utilization"
+        );
         assert!(total_slots > 0);
         let mut jobs = self.generate_jobs();
         let total_work: f64 = jobs.iter().map(|j| j.total_work_ms() as f64).sum();
@@ -106,9 +109,7 @@ impl TraceGenerator {
         // Bushy DAGs: a second input branch is generated alongside the
         // first phase and the next phase joins both. Decided only when the
         // profile enables it, so chain-only generation stays byte-stable.
-        let bushy = dag_len >= 2
-            && p.bushy_fraction > 0.0
-            && rng.gen::<f64>() < p.bushy_fraction;
+        let bushy = dag_len >= 2 && p.bushy_fraction > 0.0 && rng.gen::<f64>() < p.bushy_fraction;
 
         let mut phases = Vec::with_capacity(dag_len + usize::from(bushy));
         let mut phase_tasks = size;
@@ -171,8 +172,7 @@ impl TraceGenerator {
             if !is_last {
                 let ratio = p.downstream_ratio.sample(rng).clamp(0.02, 1.0);
                 phase_tasks = ((phase_tasks as f64 * ratio).round() as usize).max(1);
-                phase_mean =
-                    (phase_mean * p.downstream_work_factor.sample(rng)).max(50.0);
+                phase_mean = (phase_mean * p.downstream_work_factor.sample(rng)).max(50.0);
             }
         }
 

@@ -108,7 +108,11 @@ impl TraceJob {
         for (i, p) in self.phases.iter().enumerate() {
             assert!(!p.task_works.is_empty(), "job {} phase {i} empty", self.id);
             for &u in &p.upstream {
-                assert!(u < i, "job {} phase {i} upstream {u} not topological", self.id);
+                assert!(
+                    u < i,
+                    "job {} phase {i} upstream {u} not topological",
+                    self.id
+                );
             }
         }
     }

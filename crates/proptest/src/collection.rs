@@ -1,0 +1,57 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "vec strategy with empty length range");
+    VecStrategy { element, len }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.sample_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_length_in_range() {
+        let s = vec(0usize..100, 2..7);
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let v = s.sample_value(&mut r);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn vec_can_be_empty_when_range_allows() {
+        let s = vec(0usize..10, 0..3);
+        let mut r = StdRng::seed_from_u64(2);
+        let mut saw_empty = false;
+        for _ in 0..200 {
+            if s.sample_value(&mut r).is_empty() {
+                saw_empty = true;
+            }
+        }
+        assert!(saw_empty);
+    }
+}

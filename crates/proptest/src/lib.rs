@@ -1,0 +1,100 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the API surface this workspace's property tests use — the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, range and tuple
+//! strategies, `prop::collection::vec`, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros — implemented as plain
+//! random-sampling tests (no shrinking, no persisted failure files).
+//!
+//! Each `proptest!` test runs [`NUM_CASES`] sampled cases from an RNG
+//! seeded by the test's module path and name, so failures are exactly
+//! reproducible run-over-run. Set `PROPTEST_CASES` to override the case
+//! count.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Default number of sampled cases per property (override with the
+/// `PROPTEST_CASES` environment variable).
+pub const NUM_CASES: usize = 128;
+
+/// The `proptest::prelude`, mirroring upstream's layout: the [`Strategy`]
+/// trait, the macros, and a `prop` module namespace (`prop::collection`,
+/// ...).
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror of upstream `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests. Each function item becomes a `#[test]` that
+/// samples its arguments [`NUM_CASES`] times and runs the body on each
+/// sample. Attributes written inside the macro (including `#[test]` and
+/// doc comments) are passed through.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::Strategy as _;
+                let mut __pt_rng = $crate::test_runner::rng_for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __pt_case in 0..$crate::test_runner::cases() {
+                    $(let $arg = ($strat).sample_value(&mut __pt_rng);)*
+                    // The body runs in a closure so that `prop_assume!`
+                    // can skip the rest of a case with `return`.
+                    let __pt_body = move || -> () { $body };
+                    __pt_body();
+                    let _ = __pt_case;
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property body (panics with the case's values in scope).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current case when a sampled precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

@@ -1,0 +1,165 @@
+//! Value-generation strategies (sampling only; no shrinking).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Mirrors the upstream trait name and the `prop_map` combinator; the
+/// generation model is plain random sampling from the test's RNG.
+pub trait Strategy {
+    /// Type of values this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_for_inclusive_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_inclusive_int_ranges!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_for_inclusive_float_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy on empty range");
+                // Upper bound inclusive: widen by one ulp-ish step by
+                // sampling [0, 1) and scaling onto [lo, hi]; hitting hi
+                // exactly is measure-zero but permitted.
+                lo + (hi - lo) * rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_inclusive_float_ranges!(f32, f64);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuples! {
+    (S0.0)
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = (3usize..10).sample_value(&mut r);
+            assert!((3..10).contains(&x));
+            let y = (0.5f64..2.5).sample_value(&mut r);
+            assert!((0.5..2.5).contains(&y));
+            let z = (0.0f64..=1.0).sample_value(&mut r);
+            assert!((0.0..=1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let s = (1usize..5).prop_map(|x| x * 10);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.sample_value(&mut r);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let s = (0usize..4, 0.0f64..1.0, 1u64..9);
+        let mut r = rng();
+        let (a, b, c) = s.sample_value(&mut r);
+        assert!(a < 4 && (0.0..1.0).contains(&b) && (1..9).contains(&c));
+    }
+
+    #[test]
+    fn just_clones() {
+        let s = Just(vec![1, 2, 3]);
+        assert_eq!(s.sample_value(&mut rng()), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Per-test RNG derivation and case-count configuration.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of cases to run: `PROPTEST_CASES` env var or [`crate::NUM_CASES`].
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(crate::NUM_CASES)
+}
+
+/// Deterministic RNG for one named test: FNV-1a over the fully qualified
+/// test name, so every test gets a distinct but stable sample stream.
+pub fn rng_for_test(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn rng_is_stable_per_name() {
+        let a = rng_for_test("x::y").next_u64();
+        let b = rng_for_test("x::y").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, rng_for_test("x::z").next_u64());
+    }
+
+    #[test]
+    fn default_cases() {
+        assert!(cases() >= 1);
+    }
+}

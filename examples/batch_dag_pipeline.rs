@@ -38,16 +38,15 @@ fn main() {
         sample.alpha()
     );
 
-    let mut cfg = SimConfig::default();
-    cfg.cluster = cluster;
+    let cfg = SimConfig {
+        cluster,
+        ..Default::default()
+    };
     let mut table = Table::new(
         "3-phase DAG pipelines, centralized scheduling",
         &["policy", "mean JCT (s)", "spec wins", "α accuracy"],
     );
-    for policy in [
-        Policy::Srpt,
-        Policy::Hopper(HopperConfig::default()),
-    ] {
+    for policy in [Policy::Srpt, Policy::Hopper(HopperConfig::default())] {
         let out = run(&trace, &policy, &cfg);
         table.row(&[
             policy.name().to_string(),

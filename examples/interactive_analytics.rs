@@ -40,7 +40,11 @@ fn main() {
         ],
     );
     let baseline = run(&trace, DecPolicy::SparrowSrpt, &cfg).mean_duration_ms();
-    for policy in [DecPolicy::Sparrow, DecPolicy::SparrowSrpt, DecPolicy::Hopper] {
+    for policy in [
+        DecPolicy::Sparrow,
+        DecPolicy::SparrowSrpt,
+        DecPolicy::Hopper,
+    ] {
         let out = run(&trace, policy, &cfg);
         let durs: Vec<f64> = out.jobs.iter().map(|j| j.duration_ms() as f64).collect();
         table.row(&[

@@ -27,7 +27,13 @@ fn main() {
 
     let mut table = Table::new(
         "centralized schedulers on the same trace",
-        &["policy", "mean JCT (ms)", "spec copies", "spec wins", "vs SRPT"],
+        &[
+            "policy",
+            "mean JCT (ms)",
+            "spec copies",
+            "spec wins",
+            "vs SRPT",
+        ],
     );
     let srpt = run(&trace, &Policy::Srpt, &cfg);
     let base = srpt.mean_duration_ms();

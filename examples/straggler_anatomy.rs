@@ -38,8 +38,14 @@ fn main() {
         ..Default::default()
     };
 
-    println!("β = {beta}: P(task runs >2× nominal) = {:.1}%", tail_prob(beta, 2.0) * 100.0);
-    println!("          P(task runs >8× nominal) = {:.2}%\n", tail_prob(beta, 8.0) * 100.0);
+    println!(
+        "β = {beta}: P(task runs >2× nominal) = {:.1}%",
+        tail_prob(beta, 2.0) * 100.0
+    );
+    println!(
+        "          P(task runs >8× nominal) = {:.2}%\n",
+        tail_prob(beta, 8.0) * 100.0
+    );
 
     for (name, policy) in [
         ("no speculation", Policy::Srpt),

@@ -217,8 +217,7 @@ fn print_bins(jobs: &[JobResult]) {
             .iter()
             .filter(|r| SizeBin::of(r.size_tasks) == bin)
             .count();
-        let cell = mean_duration_in_bin(jobs, bin)
-            .map_or("n/a".to_string(), |m| format!("{m:.0}"));
+        let cell = mean_duration_in_bin(jobs, bin).map_or("n/a".to_string(), |m| format!("{m:.0}"));
         t.row(&[bin.label().into(), n.to_string(), cell]);
     }
     t.print();

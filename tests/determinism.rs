@@ -1,0 +1,107 @@
+//! Determinism regression tests: the `rng_from_seed` / `SeedSequence`
+//! contract says a single `u64` seed reproduces an entire experiment
+//! bit-for-bit, in both drivers. These tests guard that contract end to
+//! end — same seed ⇒ identical `RunStats` / `DecStats` and per-job
+//! results; different seeds ⇒ observably different runs.
+
+use hopper::central;
+use hopper::cluster::ClusterConfig;
+use hopper::decentral;
+use hopper::workload::{Trace, TraceGenerator, WorkloadProfile};
+
+fn trace(seed: u64) -> Trace {
+    let profile = WorkloadProfile::facebook().interactive();
+    TraceGenerator::new(profile, 30, seed).generate_with_utilization(100, 0.7)
+}
+
+fn central_cfg(seed: u64) -> central::SimConfig {
+    central::SimConfig {
+        cluster: ClusterConfig {
+            machines: 25,
+            slots_per_machine: 4,
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    }
+}
+
+fn decentral_cfg(seed: u64) -> decentral::DecConfig {
+    decentral::DecConfig {
+        cluster: ClusterConfig {
+            machines: 50,
+            slots_per_machine: 2,
+            handoff_ms: 0,
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn central_run_is_bit_identical_for_same_seed() {
+    let t = trace(5);
+    let policy = central::Policy::Hopper(central::HopperConfig::default());
+    let a = central::run(&t, &policy, &central_cfg(5));
+    let b = central::run(&t, &policy, &central_cfg(5));
+    assert_eq!(a.stats, b.stats, "RunStats must be bit-identical");
+    assert_eq!(a.jobs, b.jobs, "per-job results must be bit-identical");
+}
+
+#[test]
+fn central_runs_differ_across_seeds() {
+    // Same trace, different simulation seed: the straggler draws differ,
+    // so some observable output must differ.
+    let t = trace(5);
+    let policy = central::Policy::Hopper(central::HopperConfig::default());
+    let a = central::run(&t, &policy, &central_cfg(5));
+    let b = central::run(&t, &policy, &central_cfg(6));
+    assert!(
+        a.stats != b.stats || a.jobs != b.jobs,
+        "different seeds produced identical central runs"
+    );
+}
+
+#[test]
+fn central_traces_differ_across_workload_seeds() {
+    let a = trace(5);
+    let b = trace(6);
+    assert_ne!(
+        a.total_work_ms(),
+        b.total_work_ms(),
+        "different workload seeds produced identical traces"
+    );
+}
+
+#[test]
+fn decentral_run_is_bit_identical_for_same_seed() {
+    let t = trace(7);
+    for policy in [decentral::DecPolicy::Sparrow, decentral::DecPolicy::Hopper] {
+        let a = decentral::run(&t, policy, &decentral_cfg(7));
+        let b = decentral::run(&t, policy, &decentral_cfg(7));
+        assert_eq!(
+            a.stats,
+            b.stats,
+            "DecStats must be bit-identical ({})",
+            policy.name()
+        );
+        assert_eq!(
+            a.jobs,
+            b.jobs,
+            "per-job results must be bit-identical ({})",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn decentral_runs_differ_across_seeds() {
+    let t = trace(7);
+    let a = decentral::run(&t, decentral::DecPolicy::Hopper, &decentral_cfg(7));
+    let b = decentral::run(&t, decentral::DecPolicy::Hopper, &decentral_cfg(8));
+    assert!(
+        a.stats != b.stats || a.jobs != b.jobs,
+        "different seeds produced identical decentralized runs"
+    );
+}

@@ -16,10 +16,12 @@ fn fb_trace(seed: u64, n: usize, slots: usize, util: f64) -> hopper::workload::T
 #[test]
 fn centralized_policies_complete_same_trace() {
     let trace = fb_trace(1, 40, 100, 0.7);
-    let mut cfg = central::SimConfig::default();
-    cfg.cluster = ClusterConfig {
-        machines: 25,
-        slots_per_machine: 4,
+    let cfg = central::SimConfig {
+        cluster: ClusterConfig {
+            machines: 25,
+            slots_per_machine: 4,
+            ..Default::default()
+        },
         ..Default::default()
     };
     for policy in [
@@ -187,10 +189,12 @@ fn bushy_dags_run_to_completion_in_both_drivers() {
     let trace = TraceGenerator::new(profile, 15, 21).generate_with_utilization(200, 0.6);
     assert!(trace.jobs.iter().all(|j| j.dag_len() == 4));
 
-    let mut ccfg = central::SimConfig::default();
-    ccfg.cluster = ClusterConfig {
-        machines: 50,
-        slots_per_machine: 4,
+    let ccfg = central::SimConfig {
+        cluster: ClusterConfig {
+            machines: 50,
+            slots_per_machine: 4,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let out = central::run(

@@ -100,6 +100,57 @@ proptest! {
         );
     }
 
+    /// Jobs with no remaining work (zero remaining and downstream tasks)
+    /// receive zero slots in either regime: the fairness floor is capped by
+    /// ⌈V⌉ = 0 and the useful-slots cap is 0.
+    #[test]
+    fn zero_demand_jobs_get_zero_slots(
+        demands in prop::collection::vec(demand_strategy(), 0..30),
+        zeros in prop::collection::vec(0usize..30, 1..10),
+        capacity in 0usize..3000,
+        eps in 0.0f64..=1.0,
+    ) {
+        let mut demands = demands;
+        // Splice zero-demand jobs in among the live ones.
+        for (k, z) in zeros.iter().enumerate() {
+            let mut d = JobDemand::simple(1000 + k, 0.0, 1.5);
+            d.downstream_tasks = 0.0;
+            let at = (*z).min(demands.len());
+            demands.insert(at, d);
+        }
+        let cfg = AllocConfig { fairness_eps: eps, ..Default::default() };
+        let allocs = allocate(&demands, capacity, &cfg);
+        for (a, d) in allocs.iter().zip(&demands) {
+            if d.remaining_tasks == 0.0 && d.downstream_tasks == 0.0 {
+                prop_assert_eq!(
+                    a.slots, 0,
+                    "zero-demand job {} was granted {} slots", d.job, a.slots
+                );
+            }
+        }
+    }
+
+    /// All allocations from one call report the same regime, and that
+    /// regime agrees with the paper's switch condition ΣV vs S.
+    #[test]
+    fn regime_is_uniform_and_matches_total_demand(
+        demands in prop::collection::vec(demand_strategy(), 1..30),
+        capacity in 1usize..2000,
+    ) {
+        use hopper::core::Regime;
+        let cfg = AllocConfig::no_fairness();
+        let allocs = allocate(&demands, capacity, &cfg);
+        let total_v: f64 = demands.iter().map(|d| d.virtual_size()).sum();
+        let expect = if total_v > capacity as f64 {
+            Regime::Constrained
+        } else {
+            Regime::Proportional
+        };
+        for a in &allocs {
+            prop_assert_eq!(a.regime, expect, "job {} regime mismatch", a.job);
+        }
+    }
+
     /// The event queue pops in nondecreasing time order, FIFO on ties.
     #[test]
     fn event_queue_total_order(times in prop::collection::vec(0u64..10_000, 0..300)) {
@@ -164,19 +215,15 @@ proptest! {
         let mut rng = rng_from_seed(seed);
         let mut probed: Vec<usize> = Vec::new();
         let mut steps = 0;
-        loop {
-            match ep.next_action(&queue, &mut rng) {
-                WorkerAction::Respond { scheduler, job, kind } => {
-                    if kind == hopper::core::ResponseKind::Refusable {
-                        prop_assert!(!probed.contains(&scheduler), "re-probed {scheduler}");
-                    }
-                    probed.push(scheduler);
-                    ep.mark_probed(scheduler);
-                    // Simulate a refusal so the episode keeps going.
-                    ep.record_refusal(scheduler, job, None);
-                }
-                WorkerAction::Idle => break,
+        while let WorkerAction::Respond { scheduler, job, kind } = ep.next_action(&queue, &mut rng)
+        {
+            if kind == hopper::core::ResponseKind::Refusable {
+                prop_assert!(!probed.contains(&scheduler), "re-probed {scheduler}");
             }
+            probed.push(scheduler);
+            ep.mark_probed(scheduler);
+            // Simulate a refusal so the episode keeps going.
+            ep.record_refusal(scheduler, job, None);
             steps += 1;
             prop_assert!(steps <= threshold + 4, "episode exceeded its bound");
         }
