@@ -1,0 +1,164 @@
+//! Simulator throughput at production scale (`cargo bench --bench throughput`).
+//!
+//! Unlike the `fig*` / `table1` targets this does not reproduce a paper
+//! figure; it tracks the raw events/sec of both drivers on a large scenario
+//! (default: 10 000 jobs on a 2 000-machine cluster) so that performance
+//! regressions are caught by trajectory, not anecdote. Each run prints one
+//! machine-parseable JSON line to stdout — append them to `BENCH_*.json`.
+//!
+//! Sizing knobs (smoke mode in CI uses `HOPPER_BENCH_JOBS=30
+//! HOPPER_BENCH_SEEDS=1`):
+//!
+//! - `HOPPER_BENCH_JOBS`     — jobs per trace (default 10 000 here; the
+//!   figure benches default to 150)
+//! - `HOPPER_BENCH_MACHINES` — cluster size (default 2 000)
+//! - `HOPPER_BENCH_SEEDS`    — repetitions (default 1)
+
+use std::time::Instant;
+
+use hopper_central::{self as central, Policy, SimConfig};
+use hopper_cluster::ClusterConfig;
+use hopper_decentral::{self as decentral, DecConfig, DecPolicy};
+use hopper_sim::SimTime;
+use hopper_workload::{Trace, TraceGenerator, WorkloadProfile};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Interactive single-phase Facebook-style workload: the shape the paper's
+/// scale simulations use, and the one that stresses per-event dispatch
+/// rather than straggler modelling.
+fn trace(seed: u64, jobs: usize, total_slots: usize) -> Trace {
+    let profile = WorkloadProfile::facebook().interactive().single_phase();
+    TraceGenerator::new(profile, jobs, seed).generate_with_utilization(total_slots, 0.7)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report(
+    driver: &str,
+    policy: &str,
+    jobs: usize,
+    tasks: usize,
+    machines: usize,
+    total_slots: usize,
+    seed: u64,
+    events: u64,
+    wall_ms: f64,
+    mean_duration_ms: f64,
+    makespan: SimTime,
+) {
+    let eps = if wall_ms > 0.0 {
+        events as f64 / (wall_ms / 1000.0)
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "{{\"bench\":\"throughput\",\"driver\":\"{driver}\",\"policy\":\"{policy}\",\
+         \"jobs\":{jobs},\"tasks\":{tasks},\"machines\":{machines},\
+         \"total_slots\":{total_slots},\"seed\":{seed},\"events\":{events},\
+         \"wall_ms\":{wall_ms:.1},\"events_per_sec\":{eps:.0},\
+         \"mean_job_duration_ms\":{mean_duration_ms:.1},\"makespan_ms\":{}}}",
+        makespan.as_millis()
+    );
+}
+
+fn bench_central(policy: &Policy, jobs: usize, machines: usize, seed: u64) {
+    let cluster = ClusterConfig {
+        machines,
+        slots_per_machine: 4,
+        ..Default::default()
+    };
+    let total_slots = cluster.total_slots();
+    let t = trace(seed, jobs, total_slots);
+    let tasks: usize = t.jobs.iter().map(|j| j.num_tasks()).sum();
+    let cfg = SimConfig {
+        cluster,
+        scan_interval: SimTime::from_millis(1000),
+        seed,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let out = central::run(&t, policy, &cfg);
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    report(
+        "central",
+        policy.name(),
+        jobs,
+        tasks,
+        machines,
+        total_slots,
+        seed,
+        out.stats.events,
+        wall_ms,
+        out.mean_duration_ms(),
+        out.stats.makespan,
+    );
+}
+
+fn bench_decentral(policy: DecPolicy, jobs: usize, machines: usize, seed: u64) {
+    let cluster = ClusterConfig {
+        machines,
+        slots_per_machine: 2,
+        handoff_ms: 0,
+        ..Default::default()
+    };
+    let total_slots = cluster.total_slots();
+    let t = trace(seed, jobs, total_slots);
+    let tasks: usize = t.jobs.iter().map(|j| j.num_tasks()).sum();
+    let cfg = DecConfig {
+        cluster,
+        num_schedulers: 20,
+        scan_interval: SimTime::from_millis(1000),
+        seed,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let out = decentral::run(&t, policy, &cfg);
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    report(
+        "decentral",
+        policy.name(),
+        jobs,
+        tasks,
+        machines,
+        total_slots,
+        seed,
+        out.stats.events,
+        wall_ms,
+        out.mean_duration_ms(),
+        out.stats.makespan,
+    );
+}
+
+fn main() {
+    let jobs = env_usize("HOPPER_BENCH_JOBS", 10_000);
+    let machines = env_usize("HOPPER_BENCH_MACHINES", 2_000);
+    let seeds = env_usize("HOPPER_BENCH_SEEDS", 1) as u64;
+    // Comma-separated driver filter ("central", "decentral"); both by
+    // default. Lets CI smoke or baseline comparisons run one driver.
+    let drivers =
+        std::env::var("HOPPER_BENCH_DRIVERS").unwrap_or_else(|_| "central,decentral".into());
+    let enabled: Vec<&str> = drivers.split(',').map(str::trim).collect();
+    eprintln!(
+        "throughput bench: {jobs} jobs, {machines} machines, {seeds} seed(s), drivers {enabled:?} \
+         (HOPPER_BENCH_JOBS / HOPPER_BENCH_MACHINES / HOPPER_BENCH_SEEDS / HOPPER_BENCH_DRIVERS)"
+    );
+    for seed in 1..=seeds {
+        if enabled.contains(&"central") {
+            bench_central(&Policy::Srpt, jobs, machines, seed);
+            bench_central(
+                &Policy::Hopper(central::HopperConfig::default()),
+                jobs,
+                machines,
+                seed,
+            );
+        }
+        if enabled.contains(&"decentral") {
+            bench_decentral(DecPolicy::Hopper, jobs, machines, seed);
+        }
+    }
+}

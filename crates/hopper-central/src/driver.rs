@@ -8,6 +8,8 @@
 //! is spent on them — which is exactly the coordination gap the paper
 //! closes with Hopper.
 
+use std::collections::VecDeque;
+
 use hopper_cluster::{ClusterConfig, CopyRef, JobRun, MachineId, Machines, TaskRef};
 use hopper_core::{allocate, AlphaEstimator, BetaEstimator, JobDemand, Regime};
 use hopper_metrics::JobResult;
@@ -121,15 +123,26 @@ struct Central<'a> {
     usage: Vec<usize>,
     /// Driver-maintained unlaunched-original count per job.
     pending_orig: Vec<usize>,
-    /// Cached speculation candidates per job (refreshed at scans).
-    candidates: Vec<Vec<Candidate>>,
+    /// Cached speculation candidates per job (refreshed at scans);
+    /// consumed front-first, so a deque instead of a `Vec::remove(0)`.
+    candidates: Vec<VecDeque<Candidate>>,
     /// Cached α per job (refreshed at scans / phase transitions).
     alpha_cache: Vec<f64>,
     /// Whether a job's first allocation regime has been recorded.
     regime_counted: Vec<bool>,
+    /// Active job ids, maintained in ascending id order (insertion by
+    /// binary search) so per-event dispatch never re-sorts.
     active: Vec<usize>,
     arrivals_pending: usize,
     scan_armed: bool,
+    /// Bumped whenever an input of `allocate` changes (arrivals,
+    /// completions, task finishes, α/β updates). When unchanged since the
+    /// last Hopper dispatch, the cached targets/order are reused instead
+    /// of recomputing `allocate` over every active job.
+    demand_epoch: u64,
+    /// `(epoch, per-job slot targets, priority order)` of the last fresh
+    /// allocation.
+    alloc_cache: Option<(u64, Vec<usize>, Vec<usize>)>,
     /// Cluster-wide running original copies (BudgetedSrpt's cap input).
     orig_running: usize,
     rng: StdRng,
@@ -183,12 +196,14 @@ impl<'a> Central<'a> {
             done: vec![false; n],
             usage: vec![0; n],
             pending_orig,
-            candidates: vec![Vec::new(); n],
+            candidates: vec![VecDeque::new(); n],
             alpha_cache: vec![1.0; n],
             regime_counted: vec![false; n],
             active: Vec::new(),
             arrivals_pending: n,
             scan_armed: false,
+            demand_epoch: 0,
+            alloc_cache: None,
             orig_running: 0,
             rng: seq.child_rng(0xD00D),
             beta_est: BetaEstimator::with_prior(1.5),
@@ -212,7 +227,9 @@ impl<'a> Central<'a> {
                 Event::Arrival(j) => {
                     self.arrived[j] = true;
                     self.arrivals_pending -= 1;
-                    self.active.push(j);
+                    let pos = self.active.binary_search(&j).unwrap_err();
+                    self.active.insert(pos, j);
+                    self.demand_epoch += 1;
                     self.predicted_mb[j] = self.alpha_est.predict(self.jobs[j].spec.template);
                     self.refresh_alpha(j);
                     self.arm_scan();
@@ -222,6 +239,9 @@ impl<'a> Central<'a> {
                     let Some(out) = self.jobs[job].finish_copy(copy, now) else {
                         continue; // stale: the copy lost its race earlier
                     };
+                    // Remaining-task counts (and, below, the β estimate)
+                    // changed: the next Hopper dispatch must re-allocate.
+                    self.demand_epoch += 1;
                     // Slot bookkeeping for winner + killed siblings.
                     for &m in &out.freed {
                         self.machines.release_to(m, job);
@@ -290,7 +310,8 @@ impl<'a> Central<'a> {
                     self.scan_armed = false;
                     for idx in 0..self.active.len() {
                         let j = self.active[idx];
-                        self.candidates[j] = self.cfg.speculator.candidates(&self.jobs[j], now);
+                        self.candidates[j] =
+                            self.cfg.speculator.candidates(&self.jobs[j], now).into();
                         self.refresh_alpha(j);
                     }
                     self.arm_scan();
@@ -328,7 +349,10 @@ impl<'a> Central<'a> {
 
     fn complete_job(&mut self, j: usize, now: SimTime) {
         self.done[j] = true;
-        self.active.retain(|&x| x != j);
+        if let Ok(pos) = self.active.binary_search(&j) {
+            self.active.remove(pos);
+        }
+        self.demand_epoch += 1;
         self.candidates[j].clear();
         self.results.push(JobResult {
             job: self.jobs[j].id,
@@ -349,7 +373,7 @@ impl<'a> Central<'a> {
 
     fn refresh_alpha(&mut self, j: usize) {
         let learn = matches!(self.policy, Policy::Hopper(h) if h.learn_alpha);
-        self.alpha_cache[j] = if learn {
+        let fresh = if learn {
             match self.predicted_mb[j] {
                 Some(mb) => self.jobs[j].alpha_with_predicted_output(mb, &self.cfg.cluster),
                 None => self.jobs[j].alpha(), // cold start: ground truth
@@ -357,6 +381,12 @@ impl<'a> Central<'a> {
         } else {
             self.jobs[j].alpha()
         };
+        // Only an actual α change invalidates the cached allocation — a
+        // no-op scan refresh keeps the epoch (and the cache) intact.
+        if fresh.to_bits() != self.alpha_cache[j].to_bits() {
+            self.alpha_cache[j] = fresh;
+            self.demand_epoch += 1;
+        }
     }
 
     /// Effective β used for a job's virtual size.
@@ -378,8 +408,8 @@ impl<'a> Central<'a> {
         match self.policy {
             Policy::Hopper(h) => self.dispatch_hopper(now, h),
             Policy::Fifo => {
-                let mut order = self.active.clone();
-                order.sort();
+                // `active` is maintained in ascending id order already.
+                let order = self.active.clone();
                 self.dispatch_priority(now, &order, None);
             }
             Policy::Srpt => {
@@ -472,56 +502,68 @@ impl<'a> Central<'a> {
         if self.active.is_empty() || self.machines.total_free() == 0 {
             return;
         }
-        // Build demands in a fixed order.
-        let mut ids: Vec<usize> = self.active.clone();
-        ids.sort();
-        let demands: Vec<JobDemand> = ids
-            .iter()
-            .map(|&j| JobDemand {
-                job: j,
-                // Allocation is sized by the *runnable* (current-phase)
-                // work; the priority key max(V, V') additionally sees all
-                // downstream work so a deep DAG is not mistaken for a
-                // small job (ordering stays SRPT-consistent).
-                remaining_tasks: self.jobs[j].current_remaining() as f64,
-                downstream_tasks: (self.jobs[j].total_remaining()
-                    - self.jobs[j].current_remaining()) as f64,
-                // α *amplifies* the virtual size of communication-heavy
-                // jobs (§4.2); flooring at 1 keeps map-heavy jobs from
-                // being allocated fewer slots than their running phase can
-                // use (√α < 1 would starve the upstream phase into extra
-                // waves — see DESIGN.md, deviations).
-                alpha: if hcfg.use_alpha {
-                    self.alpha_cache[j].max(1.0)
-                } else {
-                    1.0
-                },
-                beta: self.beta_for(j),
-                weight: self.jobs[j].spec.weight,
-            })
-            .collect();
-        // Allocation is over *all* slots; a job's target includes its
-        // currently running copies.
-        let allocs = allocate(&demands, self.cfg.cluster.total_slots(), &hcfg.alloc);
-        let mut target = vec![0usize; self.jobs.len()];
-        for a in &allocs {
-            target[a.job] = a.slots;
-            if !self.regime_counted[a.job] {
-                self.regime_counted[a.job] = true;
-                match a.regime {
-                    Regime::Constrained => self.stats.constrained_jobs += 1,
-                    Regime::Proportional => self.stats.proportional_jobs += 1,
+        // Recompute the allocation only when a demand input changed since
+        // the last fresh compute; `allocate` is a pure function of the
+        // demands, so reusing its output across unchanged epochs (e.g.
+        // scans that moved no α) is exact, not an approximation.
+        let cache_valid = matches!(&self.alloc_cache, Some((e, _, _)) if *e == self.demand_epoch);
+        if !cache_valid {
+            // Build demands in a fixed order (`active` is id-sorted).
+            let demands: Vec<JobDemand> = self
+                .active
+                .iter()
+                .map(|&j| JobDemand {
+                    job: j,
+                    // Allocation is sized by the *runnable* (current-phase)
+                    // work; the priority key max(V, V') additionally sees all
+                    // downstream work so a deep DAG is not mistaken for a
+                    // small job (ordering stays SRPT-consistent).
+                    remaining_tasks: self.jobs[j].current_remaining() as f64,
+                    downstream_tasks: (self.jobs[j].total_remaining()
+                        - self.jobs[j].current_remaining())
+                        as f64,
+                    // α *amplifies* the virtual size of communication-heavy
+                    // jobs (§4.2); flooring at 1 keeps map-heavy jobs from
+                    // being allocated fewer slots than their running phase can
+                    // use (√α < 1 would starve the upstream phase into extra
+                    // waves — see DESIGN.md, deviations).
+                    alpha: if hcfg.use_alpha {
+                        self.alpha_cache[j].max(1.0)
+                    } else {
+                        1.0
+                    },
+                    beta: self.beta_for(j),
+                    weight: self.jobs[j].spec.weight,
+                })
+                .collect();
+            // Allocation is over *all* slots; a job's target includes its
+            // currently running copies.
+            let allocs = allocate(&demands, self.cfg.cluster.total_slots(), &hcfg.alloc);
+            let mut target = vec![0usize; self.jobs.len()];
+            for a in &allocs {
+                target[a.job] = a.slots;
+                if !self.regime_counted[a.job] {
+                    self.regime_counted[a.job] = true;
+                    match a.regime {
+                        Regime::Constrained => self.stats.constrained_jobs += 1,
+                        Regime::Proportional => self.stats.proportional_jobs += 1,
+                    }
                 }
             }
+            // Priority: ascending max(V, V'), as in the allocator's fill.
+            let mut keyed: Vec<(f64, usize)> =
+                demands.iter().map(|d| (d.priority(), d.job)).collect();
+            keyed.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.cmp(&b.1))
+            });
+            let order: Vec<usize> = keyed.into_iter().map(|(_, j)| j).collect();
+            self.alloc_cache = Some((self.demand_epoch, target, order));
         }
-        // Priority: ascending max(V, V'), as in the allocator's fill.
-        let mut keyed: Vec<(f64, usize)> = demands.iter().map(|d| (d.priority(), d.job)).collect();
-        keyed.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
-        let order: Vec<usize> = keyed.into_iter().map(|(_, j)| j).collect();
+        // Borrow the cache by value for the launch loop (which needs `&mut
+        // self`) and put it back afterwards — no per-event O(jobs) clone.
+        let (epoch, target, order) = self.alloc_cache.take().expect("just filled");
 
         let bracket = ((hcfg.locality_relax_pct / 100.0 * order.len() as f64).ceil() as usize)
             .min(order.len());
@@ -577,6 +619,7 @@ impl<'a> Central<'a> {
                 self.machines.bind_idle(j, hold - have);
             }
         }
+        self.alloc_cache = Some((epoch, target, order));
     }
 
     /// Slots job `j` may hold idle in anticipation of speculation: the
@@ -595,14 +638,24 @@ impl<'a> Central<'a> {
     }
 
     /// Whether `j`'s next original launch would be data-local on some
-    /// currently free machine.
+    /// currently free machine. O(replica machines with pending work), via
+    /// the job's inverted replica index, instead of O(free machines ×
+    /// tasks).
     fn would_launch_local(&self, j: usize) -> bool {
         if self.pending_orig[j] == 0 {
             return false; // speculative copies have no locality preference
         }
-        self.machines
-            .machines_with_free()
-            .any(|m| self.jobs[j].has_local_task_for(m))
+        let indexed = self.jobs[j]
+            .machines_with_local_pending()
+            .any(|m| self.machines.free_on(m) > 0);
+        debug_assert_eq!(
+            indexed,
+            self.machines
+                .machines_with_free()
+                .any(|m| self.jobs[j].has_local_task_for(m)),
+            "locality index disagrees with the free-machine scan"
+        );
+        indexed
     }
 
     /// Hand-off delay for a cold slot.
@@ -617,14 +670,40 @@ impl<'a> Central<'a> {
 
     /// Launch the next pending original of job `j`, preferring a machine
     /// that makes it data-local. Returns false when nothing could launch.
+    ///
+    /// The locality probe replaces the old "every free machine ×
+    /// `next_task_for`" sweep: when the job has a replica-free pending
+    /// task the first free machine already wins (the old scan returned
+    /// `local = true` there), otherwise the smallest-id machine that is
+    /// both free and in the job's replica index is exactly the machine the
+    /// ascending free-machine scan would have stopped at.
     fn launch_original(&mut self, j: usize, now: SimTime) -> bool {
-        // Prefer a free machine holding a replica of some pending task.
         let mut pick: Option<(TaskRef, MachineId)> = None;
-        for m in self.machines.machines_with_free() {
-            if let Some((task, true)) = self.jobs[j].next_task_for(Some(m)) {
-                pick = Some((task, m));
-                break;
+        if self.jobs[j].has_pending_no_replica() {
+            if let Some(m) = self.machines.machines_with_free().next() {
+                if let Some((task, true)) = self.jobs[j].next_task_for(Some(m)) {
+                    pick = Some((task, m));
+                }
             }
+        } else if let Some(m) = self.jobs[j]
+            .machines_with_local_pending()
+            .find(|&m| self.machines.free_on(m) > 0)
+        {
+            let task = self.jobs[j]
+                .first_local_pending(m)
+                .expect("indexed machine has pending local work");
+            pick = Some((task, m));
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut scanned: Option<(TaskRef, MachineId)> = None;
+            for m in self.machines.machines_with_free() {
+                if let Some((task, true)) = self.jobs[j].next_task_for(Some(m)) {
+                    scanned = Some((task, m));
+                    break;
+                }
+            }
+            assert_eq!(pick, scanned, "local launch pick drifted from scan");
         }
         if pick.is_none() {
             if let Some(m) = self.machines.preferred_free_machine(j, &[]) {
@@ -648,12 +727,13 @@ impl<'a> Central<'a> {
     }
 
     /// Launch the best valid speculation candidate of job `j`.
-    /// Returns false when no valid candidate (stale entries are pruned).
+    /// Returns false when no valid candidate (stale entries are pruned —
+    /// `pop_front` on the deque, not a `Vec::remove(0)` shift).
     fn try_speculative(&mut self, j: usize, now: SimTime) -> bool {
-        while let Some(cand) = self.candidates[j].first().copied() {
+        while let Some(cand) = self.candidates[j].front().copied() {
             let t = &self.jobs[j].phases[cand.task.phase].tasks[cand.task.task];
             if t.is_finished() || t.running_copies() == 0 || t.running_copies() >= 2 {
-                self.candidates[j].remove(0);
+                self.candidates[j].pop_front();
                 continue;
             }
             // Prefer a machine not already running a copy of this task.
@@ -685,7 +765,7 @@ impl<'a> Central<'a> {
                 .push(now + delay + dur, Event::Finish { job: j, copy });
             self.usage[j] += 1;
             self.stats.spec_launched += 1;
-            self.candidates[j].remove(0);
+            self.candidates[j].pop_front();
             return true;
         }
         false

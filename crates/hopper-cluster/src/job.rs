@@ -17,6 +17,8 @@
 //!   include the per-task intermediate-data transfer time, which also
 //!   feeds the job's α (remaining transfer vs remaining compute, §4.2).
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use hopper_sim::SimTime;
 use hopper_workload::{Dist, TraceJob, TracePhase};
 use rand::rngs::StdRng;
@@ -85,6 +87,9 @@ pub struct TaskRun {
     pub copies: Vec<Copy>,
     /// When the task finished (first copy completion).
     pub finished_at: Option<SimTime>,
+    /// Maintained count of copies in [`CopyStatus::Running`] (kept in sync
+    /// by [`JobRun::launch_copy`] / [`JobRun::finish_copy`]).
+    running: u32,
 }
 
 impl TaskRun {
@@ -98,8 +103,16 @@ impl TaskRun {
         !self.copies.is_empty()
     }
 
-    /// Number of currently running copies.
+    /// Number of currently running copies (O(1); counter maintained by the
+    /// launch / finish transitions).
     pub fn running_copies(&self) -> usize {
+        debug_assert_eq!(self.running as usize, self.scan_running_copies());
+        self.running as usize
+    }
+
+    /// Ground-truth running-copy count by scanning copy statuses (the
+    /// pre-index implementation; retained as the cross-check oracle).
+    fn scan_running_copies(&self) -> usize {
         self.copies
             .iter()
             .filter(|c| c.status == CopyStatus::Running)
@@ -198,6 +211,47 @@ pub struct CopyObservation {
     pub speculative: bool,
 }
 
+/// Incremental indices over a job's phase/task state.
+///
+/// Pure caches: every field is derivable by a full scan (the `scan_*`
+/// methods on [`JobRun`]), and `debug_assert!` cross-checks re-run those
+/// scans after every state transition in debug builds (all of `cargo
+/// test`). The counters turn the per-event O(tasks) queries of both
+/// drivers into O(1) reads; the `BTreeMap`/`BTreeSet` structures iterate
+/// in ascending `(phase, task)` / machine order, which is exactly the
+/// order the replaced scans visited, so tie-breaking is bit-identical.
+/// See DESIGN.md, "Index invariants".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct JobIndex {
+    /// Remaining tasks in eligible phases — `current_remaining()`.
+    current_remaining: usize,
+    /// Remaining tasks across all phases — `total_remaining()`.
+    total_remaining: usize,
+    /// Unlaunched originals in eligible phases — `pending_originals()`.
+    pending_originals: usize,
+    /// Running copies across the job — `occupied_slots()`.
+    running_copies: usize,
+    /// Exact integer sum of unfinished tasks' nominal work (ms) in
+    /// eligible phases — the compute term of `alpha()`. Integer so that
+    /// incremental updates reproduce the old f64 scan bit-for-bit (task
+    /// works are integral millis and job totals stay far below 2^53).
+    remaining_compute_ms: u64,
+    /// Index of the first not-yet-eligible phase — `downstream_remaining()`
+    /// and the transfer term of `alpha()`.
+    first_ineligible: Option<usize>,
+    /// Pending (unlaunched, unfinished, eligible-phase) tasks.
+    pending: BTreeSet<TaskRef>,
+    /// Pending tasks with an empty replica set (no locality preference).
+    pending_no_replica: BTreeSet<TaskRef>,
+    /// Inverted replica index: machine → pending tasks with a replica
+    /// there. Sets are non-empty by invariant (emptied entries removed).
+    pending_local: BTreeMap<MachineId, BTreeSet<TaskRef>>,
+    /// Running copies on tasks with *exactly one* running copy, keyed by
+    /// the copy's completion instant — the candidate set of
+    /// `best_extra_speculation`.
+    solo_running: BTreeSet<(SimTime, TaskRef)>,
+}
+
 /// Runtime state of a job.
 #[derive(Debug, Clone)]
 pub struct JobRun {
@@ -219,6 +273,8 @@ pub struct JobRun {
     pub local_launches: usize,
     /// Non-local input-phase launches.
     pub nonlocal_launches: usize,
+    /// Incremental indices (pure caches; see [`JobIndex`]).
+    idx: JobIndex,
 }
 
 impl JobRun {
@@ -252,6 +308,7 @@ impl JobRun {
                     scripted: None,
                     copies: Vec::new(),
                     finished_at: None,
+                    running: 0,
                 })
                 .collect();
             phases.push(PhaseRun {
@@ -265,7 +322,7 @@ impl JobRun {
             });
         }
         let beta = spec.beta;
-        JobRun {
+        let mut job = JobRun {
             id: spec.id,
             spec,
             phases,
@@ -274,6 +331,102 @@ impl JobRun {
             beta_estimate: beta,
             local_launches: 0,
             nonlocal_launches: 0,
+            idx: JobIndex::default(),
+        };
+        job.rebuild_index();
+        job
+    }
+
+    /// Recompute every incremental index from scratch. Called at
+    /// construction, and by callers that mutate task state directly (e.g.
+    /// tests rewriting replica sets).
+    pub fn rebuild_index(&mut self) {
+        self.idx = self.scan_index();
+    }
+
+    /// Ground-truth index state by full scan — the pre-index query code,
+    /// retained as the oracle for `debug_assert!` cross-checks.
+    fn scan_index(&self) -> JobIndex {
+        let mut idx = JobIndex {
+            current_remaining: self.scan_current_remaining(),
+            total_remaining: self.scan_total_remaining(),
+            pending_originals: self.scan_pending_originals(),
+            running_copies: self.scan_occupied_slots(),
+            remaining_compute_ms: 0,
+            first_ineligible: self.phases.iter().position(|p| !p.eligible),
+            pending: BTreeSet::new(),
+            pending_no_replica: BTreeSet::new(),
+            pending_local: BTreeMap::new(),
+            solo_running: BTreeSet::new(),
+        };
+        for (pi, p) in self.phases.iter().enumerate() {
+            if !p.eligible {
+                continue;
+            }
+            for (ti, t) in p.tasks.iter().enumerate() {
+                if !t.is_finished() {
+                    idx.remaining_compute_ms += t.work.as_millis();
+                }
+                let tr = TaskRef::new(pi, ti);
+                if !t.is_launched() && !t.is_finished() {
+                    idx.pending.insert(tr);
+                    if t.replicas.is_empty() {
+                        idx.pending_no_replica.insert(tr);
+                    }
+                    for &r in &t.replicas {
+                        idx.pending_local.entry(r).or_default().insert(tr);
+                    }
+                }
+                if t.scan_running_copies() == 1 {
+                    let c = t
+                        .copies
+                        .iter()
+                        .find(|c| c.status == CopyStatus::Running)
+                        .expect("one running copy");
+                    idx.solo_running.insert((c.finish_time(), tr));
+                }
+            }
+        }
+        idx
+    }
+
+    /// Debug-build oracle: the maintained index must equal a fresh scan.
+    /// Sampled (every 16th transition) — the full scan is O(tasks), and
+    /// running it on every event would make the dev-profile test suite
+    /// quadratic again; the always-on per-accessor asserts plus the golden
+    /// and determinism suites close the gap between samples.
+    #[cfg(debug_assertions)]
+    fn debug_check_index(&self) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TICK: AtomicU64 = AtomicU64::new(0);
+        if !TICK.fetch_add(1, Ordering::Relaxed).is_multiple_of(16) {
+            return;
+        }
+        let fresh = self.scan_index();
+        assert_eq!(
+            fresh, self.idx,
+            "incremental job index drifted from scan ground truth (job {})",
+            self.id
+        );
+    }
+
+    /// Remove a newly-launched or no-longer-pending task from the pending
+    /// index structures.
+    fn index_remove_pending(&mut self, tr: TaskRef) {
+        if !self.idx.pending.remove(&tr) {
+            return;
+        }
+        let t = &self.phases[tr.phase].tasks[tr.task];
+        if t.replicas.is_empty() {
+            self.idx.pending_no_replica.remove(&tr);
+        }
+        for r in &t.replicas {
+            if let Some(set) = self.idx.pending_local.get_mut(r) {
+                set.remove(&tr);
+                if set.is_empty() {
+                    self.idx.pending_local.remove(r);
+                }
+            }
         }
     }
 
@@ -355,15 +508,46 @@ impl JobRun {
                 self.nonlocal_launches += 1;
             }
         }
+        let first_launch = t.copies.is_empty();
         let copy_idx = t.copies.len();
+        let start = now + delay;
         t.copies.push(Copy {
             machine,
-            start: now + delay,
+            start,
             duration,
             status: CopyStatus::Running,
             speculative,
             local,
         });
+        t.running += 1;
+        // Index maintenance: running totals, the solo-running set, and (on
+        // the first copy) the pending-original structures.
+        self.idx.running_copies += 1;
+        let running_now = self.phases[task.phase].tasks[task.task].running;
+        match running_now {
+            1 => {
+                self.idx.solo_running.insert((start + duration, task));
+            }
+            2 => {
+                // The task just gained a second copy: its previously solo
+                // copy leaves the candidate set.
+                let prev = self.phases[task.phase].tasks[task.task]
+                    .copies
+                    .iter()
+                    .enumerate()
+                    .find(|(i, c)| *i != copy_idx && c.status == CopyStatus::Running)
+                    .map(|(_, c)| c.finish_time())
+                    .expect("second running copy implies a first");
+                self.idx.solo_running.remove(&(prev, task));
+            }
+            _ => {}
+        }
+        if first_launch {
+            self.idx.pending_originals -= 1;
+            self.index_remove_pending(task);
+        }
+        #[cfg(debug_assertions)]
+        self.debug_check_index();
         (
             CopyRef {
                 task,
@@ -383,9 +567,11 @@ impl JobRun {
         if t.copies[c.copy].status != CopyStatus::Running || t.finished_at.is_some() {
             return None;
         }
+        let prev_running = t.running;
         t.copies[c.copy].status = CopyStatus::Finished;
         t.finished_at = Some(now);
         let duration = t.copies[c.copy].duration;
+        let winner_finish = t.copies[c.copy].finish_time();
         let mut freed = vec![t.copies[c.copy].machine];
         for sibling in t.copies.iter_mut() {
             if sibling.status == CopyStatus::Running {
@@ -393,10 +579,23 @@ impl JobRun {
                 freed.push(sibling.machine);
             }
         }
+        t.running = 0;
+        let work_ms = t.work.as_millis();
         phase.finished += 1;
         phase.completed_duration_sum_ms += duration.as_millis();
         phase.completed_duration_count += 1;
         let phase_done = phase.is_complete();
+
+        // Index maintenance: the finished task leaves every remaining
+        // count, and its running copies (winner + killed) leave the
+        // running totals and the solo-running set.
+        if prev_running == 1 {
+            self.idx.solo_running.remove(&(winner_finish, c.task));
+        }
+        self.idx.running_copies -= prev_running as usize;
+        self.idx.current_remaining -= 1;
+        self.idx.total_remaining -= 1;
+        self.idx.remaining_compute_ms -= work_ms;
 
         // Slow-start: re-evaluate eligibility of downstream phases.
         let mut newly_eligible = Vec::new();
@@ -412,13 +611,19 @@ impl JobRun {
             if ready {
                 self.phases[pi].eligible = true;
                 newly_eligible.push(pi);
+                self.index_phase_eligible(pi);
             }
+        }
+        if !newly_eligible.is_empty() {
+            self.idx.first_ineligible = self.phases.iter().position(|p| !p.eligible);
         }
 
         let job_done = self.phases.iter().all(|p| p.is_complete());
         if job_done && self.completed_at.is_none() {
             self.completed_at = Some(now);
         }
+        #[cfg(debug_assertions)]
+        self.debug_check_index();
         Some(FinishOutcome {
             freed,
             duration,
@@ -435,9 +640,42 @@ impl JobRun {
         1.0
     }
 
+    /// Insert a newly-eligible phase's tasks into the counters and pending
+    /// index structures (tasks of a fresh phase are all unlaunched).
+    fn index_phase_eligible(&mut self, pi: usize) {
+        let p = &self.phases[pi];
+        self.idx.current_remaining += p.remaining();
+        self.idx.pending_originals += p.remaining();
+        for (ti, t) in p.tasks.iter().enumerate() {
+            debug_assert!(!t.is_launched() && !t.is_finished());
+            self.idx.remaining_compute_ms += t.work.as_millis();
+            let tr = TaskRef::new(pi, ti);
+            self.idx.pending.insert(tr);
+            if t.replicas.is_empty() {
+                self.idx.pending_no_replica.insert(tr);
+            }
+        }
+        // Second pass for the replica map (split to appease the borrow
+        // checker: `entry` needs `&mut self.idx` while `p` borrows phases).
+        for (ti, t) in self.phases[pi].tasks.iter().enumerate() {
+            for &r in &t.replicas {
+                self.idx
+                    .pending_local
+                    .entry(r)
+                    .or_default()
+                    .insert(TaskRef::new(pi, ti));
+            }
+        }
+    }
+
     /// Remaining tasks in eligible, incomplete phases — the paper's
-    /// `T_i(t)` (current-phase remaining tasks).
+    /// `T_i(t)` (current-phase remaining tasks). O(1).
     pub fn current_remaining(&self) -> usize {
+        debug_assert_eq!(self.idx.current_remaining, self.scan_current_remaining());
+        self.idx.current_remaining
+    }
+
+    fn scan_current_remaining(&self) -> usize {
         self.phases
             .iter()
             .filter(|p| p.eligible && !p.is_complete())
@@ -445,22 +683,41 @@ impl JobRun {
             .sum()
     }
 
-    /// Remaining tasks across the entire job.
+    /// Remaining tasks across the entire job. O(1).
     pub fn total_remaining(&self) -> usize {
+        debug_assert_eq!(self.idx.total_remaining, self.scan_total_remaining());
+        self.idx.total_remaining
+    }
+
+    fn scan_total_remaining(&self) -> usize {
         self.phases.iter().map(|p| p.remaining()).sum()
     }
 
     /// Tasks of the next not-yet-eligible phase — the paper's `T'_i(t)`
-    /// used in the `max{V, V'}` DAG priority.
+    /// used in the `max{V, V'}` DAG priority. O(1) via the cached
+    /// first-ineligible phase index.
     pub fn downstream_remaining(&self) -> usize {
-        self.phases
-            .iter()
-            .find(|p| !p.eligible)
-            .map_or(0, |p| p.remaining())
+        let indexed = self
+            .idx
+            .first_ineligible
+            .map_or(0, |pi| self.phases[pi].remaining());
+        debug_assert_eq!(
+            indexed,
+            self.phases
+                .iter()
+                .find(|p| !p.eligible)
+                .map_or(0, |p| p.remaining())
+        );
+        indexed
     }
 
-    /// Unlaunched original tasks in eligible phases.
+    /// Unlaunched original tasks in eligible phases. O(1).
     pub fn pending_originals(&self) -> usize {
+        debug_assert_eq!(self.idx.pending_originals, self.scan_pending_originals());
+        self.idx.pending_originals
+    }
+
+    fn scan_pending_originals(&self) -> usize {
         self.phases
             .iter()
             .filter(|p| p.eligible)
@@ -469,18 +726,55 @@ impl JobRun {
             .count()
     }
 
-    /// Currently running copies (slot occupancy of this job).
+    /// Currently running copies (slot occupancy of this job). O(1).
     pub fn occupied_slots(&self) -> usize {
+        debug_assert_eq!(self.idx.running_copies, self.scan_occupied_slots());
+        self.idx.running_copies
+    }
+
+    fn scan_occupied_slots(&self) -> usize {
         self.phases
             .iter()
             .flat_map(|p| &p.tasks)
-            .map(|t| t.running_copies())
+            .map(|t| t.scan_running_copies())
             .sum()
     }
 
     /// Pick the next original task to launch, preferring one whose input
     /// is local to `machine`. Returns the task and whether it is local.
+    ///
+    /// O(log tasks) via the pending index. The replaced scan visited tasks
+    /// in `(phase, task)` order and returned at the first task that was
+    /// either replica-free or local to `machine`; the index reproduces
+    /// that by taking the minimum of the two ordered sets' heads.
     pub fn next_task_for(&self, machine: Option<MachineId>) -> Option<(TaskRef, bool)> {
+        let picked = match machine {
+            Some(m) => {
+                let no_pref = self.idx.pending_no_replica.first().copied();
+                let local = self
+                    .idx
+                    .pending_local
+                    .get(&m)
+                    .and_then(|s| s.first())
+                    .copied();
+                match (no_pref, local) {
+                    (Some(a), Some(b)) => Some((a.min(b), true)),
+                    (Some(a), None) => Some((a, true)),
+                    (None, Some(b)) => Some((b, true)),
+                    (None, None) => self.idx.pending.first().map(|&t| (t, false)),
+                }
+            }
+            None => self
+                .idx
+                .pending
+                .first()
+                .map(|&t| (t, self.phases[t.phase].tasks[t.task].replicas.is_empty())),
+        };
+        debug_assert_eq!(picked, self.scan_next_task_for(machine));
+        picked
+    }
+
+    fn scan_next_task_for(&self, machine: Option<MachineId>) -> Option<(TaskRef, bool)> {
         let mut fallback: Option<TaskRef> = None;
         for (pi, p) in self.phases.iter().enumerate() {
             if !p.eligible || p.is_complete() {
@@ -508,7 +802,14 @@ impl JobRun {
     }
 
     /// Whether the job has a task that would be data-local on `machine`.
+    /// O(log machines) via the inverted replica index.
     pub fn has_local_task_for(&self, machine: MachineId) -> bool {
+        let indexed = self.idx.pending_local.contains_key(&machine);
+        debug_assert_eq!(indexed, self.scan_has_local_task_for(machine));
+        indexed
+    }
+
+    fn scan_has_local_task_for(&self, machine: MachineId) -> bool {
         self.phases.iter().any(|p| {
             p.eligible
                 && !p.is_complete()
@@ -516,6 +817,48 @@ impl JobRun {
                     .iter()
                     .any(|t| !t.is_launched() && !t.is_finished() && t.replicas.contains(&machine))
         })
+    }
+
+    /// Machines holding a replica of at least one pending task, in
+    /// ascending id order (the free-machine probe of the centralized
+    /// driver's `launch_original` walks this instead of every machine).
+    pub fn machines_with_local_pending(&self) -> impl Iterator<Item = MachineId> + '_ {
+        self.idx.pending_local.keys().copied()
+    }
+
+    /// First pending task with a replica on `machine`, if any.
+    pub fn first_local_pending(&self, machine: MachineId) -> Option<TaskRef> {
+        self.idx
+            .pending_local
+            .get(&machine)
+            .and_then(|s| s.first())
+            .copied()
+    }
+
+    /// Whether any pending task has no replica set (such a task launches
+    /// "locally" anywhere, so locality probes can stop at the first free
+    /// machine).
+    pub fn has_pending_no_replica(&self) -> bool {
+        !self.idx.pending_no_replica.is_empty()
+    }
+
+    /// Pending (unlaunched, eligible-phase) tasks in `(phase, task)` order.
+    pub fn pending_tasks(&self) -> impl Iterator<Item = TaskRef> + '_ {
+        self.idx.pending.iter().copied()
+    }
+
+    /// Pending tasks with no replica preference, in `(phase, task)` order.
+    pub fn pending_no_replica_tasks(&self) -> impl Iterator<Item = TaskRef> + '_ {
+        self.idx.pending_no_replica.iter().copied()
+    }
+
+    /// Pending tasks with a replica on `machine`, in `(phase, task)` order.
+    pub fn pending_local_tasks(&self, machine: MachineId) -> impl Iterator<Item = TaskRef> + '_ {
+        self.idx
+            .pending_local
+            .get(&machine)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
     }
 
     /// Observations of all running copies, for speculation policies.
@@ -526,7 +869,7 @@ impl JobRun {
                 continue;
             }
             for (ti, t) in p.tasks.iter().enumerate() {
-                if t.is_finished() {
+                if t.is_finished() || t.running == 0 {
                     continue;
                 }
                 let obs: Vec<CopyObservation> = t
@@ -572,26 +915,103 @@ impl JobRun {
             .unwrap_or_else(|| p.effective_work(task.task))
     }
 
+    /// The best target for an *unsolicited* extra speculative copy: the
+    /// running task with the longest estimated remaining time among tasks
+    /// with exactly one running copy, provided a fresh copy could
+    /// plausibly win the race (`t_rem > t_new`); ties prefer the earliest
+    /// `(phase, task)`. O(log) via the solo-running set instead of an
+    /// O(tasks) `observe_running` sweep.
+    ///
+    /// Contract: copies must have started at or before `now` (true for
+    /// the zero-launch-delay decentralized driver, the only caller) — the
+    /// remaining time is read off the copy's completion instant.
+    pub fn best_extra_speculation(&self, now: SimTime) -> Option<TaskRef> {
+        let mut best: Option<(SimTime, TaskRef)> = None;
+        for &(finish, task) in self.idx.solo_running.iter().rev() {
+            // Descending (finish, task): once below the best finish (or
+            // out of positive-remaining entries) nothing later can win.
+            if finish <= now {
+                break;
+            }
+            if let Some((best_finish, _)) = best {
+                if finish < best_finish {
+                    break;
+                }
+            }
+            let rem = finish.saturating_sub(now);
+            if rem > self.estimated_new_copy_duration(task) {
+                best = match best {
+                    // Equal-finish entries iterate in descending TaskRef,
+                    // so keep the minimum to match the scan's tie-break.
+                    Some((_, prev)) => Some((finish, task.min(prev))),
+                    None => Some((finish, task)),
+                };
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut scan_best: Option<(SimTime, TaskRef)> = None;
+            for (task, obs) in self.observe_running(now) {
+                if obs.len() >= 2 {
+                    continue;
+                }
+                let rem = obs.iter().map(|o| o.est_remaining).min().unwrap();
+                if rem <= self.estimated_new_copy_duration(task) {
+                    continue;
+                }
+                if scan_best.is_none_or(|(b, _)| rem > b) {
+                    scan_best = Some((rem, task));
+                }
+            }
+            assert_eq!(
+                best.map(|(_, t)| t),
+                scan_best.map(|(_, t)| t),
+                "solo-running index disagrees with the observe_running scan"
+            );
+        }
+        best.map(|(_, t)| t)
+    }
+
+    /// Exact remaining compute work (ms) in eligible phases, as the f64
+    /// the pre-index scan produced. The incremental counter is integral,
+    /// and every partial sum of the old task-order f64 accumulation was an
+    /// exact integer (task works are integral millis, totals ≪ 2^53), so
+    /// the two are bit-identical.
+    fn remaining_compute_ms_f64(&self) -> f64 {
+        #[cfg(debug_assertions)]
+        {
+            let scanned: f64 = self
+                .phases
+                .iter()
+                .filter(|p| p.eligible && !p.is_complete())
+                .flat_map(|p| &p.tasks)
+                .filter(|t| !t.is_finished())
+                .map(|t| t.work.as_millis() as f64)
+                .sum();
+            assert_eq!(
+                scanned, self.idx.remaining_compute_ms as f64,
+                "incremental compute-ms counter diverged from the f64 scan"
+            );
+        }
+        self.idx.remaining_compute_ms as f64
+    }
+
     /// The job's DAG weight α: remaining downstream transfer work over
     /// remaining current-phase compute work (§4.2), or the override the
-    /// driver installed from the online estimator.
+    /// driver installed from the online estimator. O(1) via the compute
+    /// counter and cached first-ineligible phase.
     pub fn alpha(&self) -> f64 {
         if let Some(a) = self.alpha_override {
             return a;
         }
-        let compute_ms: f64 = self
-            .phases
-            .iter()
-            .filter(|p| p.eligible && !p.is_complete())
-            .flat_map(|p| &p.tasks)
-            .filter(|t| !t.is_finished())
-            .map(|t| t.work.as_millis() as f64)
-            .sum();
+        let compute_ms = self.remaining_compute_ms_f64();
         let transfer_ms: f64 = self
-            .phases
-            .iter()
-            .find(|p| !p.eligible)
-            .map(|p| p.transfer_ms_per_task * p.remaining() as f64)
+            .idx
+            .first_ineligible
+            .map(|pi| {
+                let p = &self.phases[pi];
+                p.transfer_ms_per_task * p.remaining() as f64
+            })
             .unwrap_or(0.0);
         if transfer_ms <= 0.0 {
             1.0
@@ -607,15 +1027,8 @@ impl JobRun {
     /// intermediate data sizes are unknown until the phase runs, so the
     /// transfer term is built from the recurring-job prediction.
     pub fn alpha_with_predicted_output(&self, mb_per_task: f64, cfg: &ClusterConfig) -> f64 {
-        let compute_ms: f64 = self
-            .phases
-            .iter()
-            .filter(|p| p.eligible && !p.is_complete())
-            .flat_map(|p| &p.tasks)
-            .filter(|t| !t.is_finished())
-            .map(|t| t.work.as_millis() as f64)
-            .sum();
-        let Some((pi, next)) = self.phases.iter().enumerate().find(|(_, p)| !p.eligible) else {
+        let compute_ms = self.remaining_compute_ms_f64();
+        let Some((pi, next)) = self.idx.first_ineligible.map(|pi| (pi, &self.phases[pi])) else {
             return 1.0;
         };
         let upstream_tasks: usize = next
@@ -892,6 +1305,7 @@ mod tests {
                 vec![MachineId(0)]
             };
         }
+        j.rebuild_index();
         let (tr, local) = j.next_task_for(Some(MachineId(9))).unwrap();
         assert_eq!(tr, TaskRef::new(0, 3));
         assert!(local);
@@ -909,6 +1323,7 @@ mod tests {
         for t in j.phases[0].tasks.iter_mut() {
             t.replicas = vec![MachineId(1)];
         }
+        j.rebuild_index();
         let mut rng = rng_from_seed(2);
         let c = cfg();
         j.launch_copy(

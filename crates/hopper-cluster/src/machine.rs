@@ -14,7 +14,7 @@
 //! Figure 2) physically meaningful: binding happens while the slot idles,
 //! so the job's next speculative copy starts immediately.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::ids::MachineId;
 
@@ -90,27 +90,173 @@ pub enum SlotTemp {
 }
 
 /// Dynamic slot occupancy across machines, with per-job slot affinity.
+///
+/// Beyond the per-machine arrays, the struct maintains deterministic
+/// indices — ascending-ordered sets of machines with free / unbound /
+/// bound slots, plus per-job warm-machine sets and warm totals — so that
+/// the hot queries (`machines_with_free`, `preferred_free_machine`,
+/// `warm_total`, `bind_idle`) cost O(log M) or O(1) instead of O(M) /
+/// O(M·jobs) scans. Every index iterates in ascending machine id, the
+/// exact order the replaced scans used, so placement tie-breaking is
+/// bit-identical (see DESIGN.md, "Index invariants").
 #[derive(Debug, Clone)]
 pub struct Machines {
-    /// Per machine: free slots bound (warm) per job.
-    bound: Vec<HashMap<usize, usize>>,
+    /// Per machine: free slots bound (warm) per job. `BTreeMap` so the
+    /// deterministic smallest-id victim pick is a first-key read.
+    bound: Vec<BTreeMap<usize, usize>>,
     /// Per machine: free slots bound to no job.
     unbound: Vec<usize>,
     /// Per machine: total free (cache of unbound + Σ bound).
     free: Vec<usize>,
     slots_per_machine: usize,
     total_free: usize,
+    /// Machines with at least one free slot, ascending.
+    free_set: BTreeSet<usize>,
+    /// Machines with at least one unbound free slot, ascending.
+    unbound_set: BTreeSet<usize>,
+    /// Machines whose bound map is non-empty, ascending.
+    bound_set: BTreeSet<usize>,
+    /// job → machines where the job has ≥ 1 warm slot (entries non-empty).
+    warm_machines: HashMap<usize, BTreeSet<usize>>,
+    /// job → total free slots bound to it (entries non-zero).
+    warm_totals: HashMap<usize, usize>,
+    /// Total bound (warm) slots across the cluster (Σ warm_totals).
+    total_bound: usize,
 }
 
 impl Machines {
     /// All slots free and unbound.
     pub fn new(cfg: &ClusterConfig) -> Self {
+        let all: BTreeSet<usize> = (0..cfg.machines).collect();
         Machines {
-            bound: vec![HashMap::new(); cfg.machines],
+            bound: vec![BTreeMap::new(); cfg.machines],
             unbound: vec![cfg.slots_per_machine; cfg.machines],
             free: vec![cfg.slots_per_machine; cfg.machines],
             slots_per_machine: cfg.slots_per_machine,
             total_free: cfg.total_slots(),
+            free_set: if cfg.slots_per_machine > 0 {
+                all.clone()
+            } else {
+                BTreeSet::new()
+            },
+            unbound_set: if cfg.slots_per_machine > 0 {
+                all
+            } else {
+                BTreeSet::new()
+            },
+            bound_set: BTreeSet::new(),
+            warm_machines: HashMap::new(),
+            warm_totals: HashMap::new(),
+            total_bound: 0,
+        }
+    }
+
+    /// One free slot disappears on `m`.
+    fn free_dec(&mut self, m: usize) {
+        self.free[m] -= 1;
+        self.total_free -= 1;
+        if self.free[m] == 0 {
+            self.free_set.remove(&m);
+        }
+    }
+
+    /// One free slot appears on `m`.
+    fn free_inc(&mut self, m: usize) {
+        if self.free[m] == 0 {
+            self.free_set.insert(m);
+        }
+        self.free[m] += 1;
+        self.total_free += 1;
+    }
+
+    /// One unbound free slot disappears on `m`.
+    fn unbound_dec(&mut self, m: usize) {
+        self.unbound[m] -= 1;
+        if self.unbound[m] == 0 {
+            self.unbound_set.remove(&m);
+        }
+    }
+
+    /// Bind one free slot on `m` to `job` (warm count +1).
+    fn bound_inc(&mut self, m: usize, job: usize) {
+        let c = self.bound[m].entry(job).or_insert(0);
+        *c += 1;
+        if *c == 1 {
+            self.warm_machines.entry(job).or_default().insert(m);
+            self.bound_set.insert(m);
+        }
+        *self.warm_totals.entry(job).or_insert(0) += 1;
+        self.total_bound += 1;
+    }
+
+    /// Unbind one of `job`'s warm slots on `m` (warm count −1).
+    fn bound_dec(&mut self, m: usize, job: usize) {
+        let c = self.bound[m].get_mut(&job).expect("warm slot to consume");
+        *c -= 1;
+        if *c == 0 {
+            self.bound[m].remove(&job);
+            if let Some(set) = self.warm_machines.get_mut(&job) {
+                set.remove(&m);
+                if set.is_empty() {
+                    self.warm_machines.remove(&job);
+                }
+            }
+            if self.bound[m].is_empty() {
+                self.bound_set.remove(&m);
+            }
+        }
+        let t = self.warm_totals.get_mut(&job).expect("warm total");
+        *t -= 1;
+        if *t == 0 {
+            self.warm_totals.remove(&job);
+        }
+        self.total_bound -= 1;
+    }
+
+    /// Debug-build oracle: every index must match the per-machine arrays.
+    /// Sampled (every 64th mutation) — the reconciliation is O(M) and
+    /// would otherwise dominate dev-profile test time on large clusters.
+    #[cfg(debug_assertions)]
+    fn debug_check_index(&self) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TICK: AtomicU64 = AtomicU64::new(0);
+        if !TICK.fetch_add(1, Ordering::Relaxed).is_multiple_of(64) {
+            return;
+        }
+        let free_set: BTreeSet<usize> =
+            (0..self.free.len()).filter(|&m| self.free[m] > 0).collect();
+        assert_eq!(free_set, self.free_set, "free_set drifted");
+        let unbound_set: BTreeSet<usize> = (0..self.unbound.len())
+            .filter(|&m| self.unbound[m] > 0)
+            .collect();
+        assert_eq!(unbound_set, self.unbound_set, "unbound_set drifted");
+        let bound_set: BTreeSet<usize> = (0..self.bound.len())
+            .filter(|&m| !self.bound[m].is_empty())
+            .collect();
+        assert_eq!(bound_set, self.bound_set, "bound_set drifted");
+        let mut warm_machines: HashMap<usize, BTreeSet<usize>> = HashMap::new();
+        let mut warm_totals: HashMap<usize, usize> = HashMap::new();
+        for (m, b) in self.bound.iter().enumerate() {
+            for (&job, &c) in b {
+                assert!(c > 0, "zero-count bound entry survived");
+                warm_machines.entry(job).or_default().insert(m);
+                *warm_totals.entry(job).or_insert(0) += c;
+            }
+        }
+        assert_eq!(warm_machines, self.warm_machines, "warm_machines drifted");
+        assert_eq!(
+            warm_totals.values().sum::<usize>(),
+            self.total_bound,
+            "total_bound drifted"
+        );
+        assert_eq!(warm_totals, self.warm_totals, "warm_totals drifted");
+        for m in 0..self.free.len() {
+            let bound_sum: usize = self.bound[m].values().sum();
+            assert_eq!(
+                self.free[m],
+                self.unbound[m] + bound_sum,
+                "free/unbound/bound accounting broke on machine {m}"
+            );
         }
     }
 
@@ -139,12 +285,17 @@ impl Machines {
         self.bound[m.0].get(&job).copied().unwrap_or(0)
     }
 
-    /// Total free slots bound to `job` across the cluster.
+    /// Total free slots bound to `job` across the cluster. O(1).
     pub fn warm_total(&self, job: usize) -> usize {
-        self.bound
-            .iter()
-            .map(|b| b.get(&job).copied().unwrap_or(0))
-            .sum()
+        let total = self.warm_totals.get(&job).copied().unwrap_or(0);
+        debug_assert_eq!(
+            total,
+            self.bound
+                .iter()
+                .map(|b| b.get(&job).copied().unwrap_or(0))
+                .sum::<usize>()
+        );
+        total
     }
 
     /// Occupy one slot on `m` for `job`, consuming a warm slot when
@@ -152,28 +303,26 @@ impl Machines {
     /// free slot (callers check first).
     pub fn occupy_for(&mut self, m: MachineId, job: usize) -> SlotTemp {
         assert!(self.free[m.0] > 0, "occupy on full machine {}", m.0);
-        self.free[m.0] -= 1;
-        self.total_free -= 1;
-        let slots = &mut self.bound[m.0];
-        if let Some(c) = slots.get_mut(&job) {
-            *c -= 1;
-            if *c == 0 {
-                slots.remove(&job);
-            }
-            return SlotTemp::Warm;
-        }
-        if self.unbound[m.0] > 0 {
-            self.unbound[m.0] -= 1;
-            return SlotTemp::Cold;
-        }
-        // Steal a slot bound to some other job (deterministic: smallest id).
-        let victim = *slots.keys().min().expect("free slot must exist somewhere");
-        let c = slots.get_mut(&victim).unwrap();
-        *c -= 1;
-        if *c == 0 {
-            slots.remove(&victim);
-        }
-        SlotTemp::Cold
+        self.free_dec(m.0);
+        let temp = if self.bound[m.0].contains_key(&job) {
+            self.bound_dec(m.0, job);
+            SlotTemp::Warm
+        } else if self.unbound[m.0] > 0 {
+            self.unbound_dec(m.0);
+            SlotTemp::Cold
+        } else {
+            // Steal a slot bound to some other job (deterministic:
+            // smallest id = the BTreeMap's first key).
+            let victim = *self.bound[m.0]
+                .keys()
+                .next()
+                .expect("free slot must exist somewhere");
+            self.bound_dec(m.0, victim);
+            SlotTemp::Cold
+        };
+        #[cfg(debug_assertions)]
+        self.debug_check_index();
+        temp
     }
 
     /// Release one slot on `m`, leaving it warm (bound) for `job`.
@@ -184,68 +333,111 @@ impl Machines {
             "double release on machine {}",
             m.0
         );
-        self.free[m.0] += 1;
-        self.total_free += 1;
-        *self.bound[m.0].entry(job).or_insert(0) += 1;
+        self.free_inc(m.0);
+        self.bound_inc(m.0, job);
+        #[cfg(debug_assertions)]
+        self.debug_check_index();
     }
 
     /// Re-bind up to `want` currently-free slots to `job` (Hopper's slot
     /// holding: prepare containers while the slot idles). Unbound slots are
     /// consumed first, then slots warm for other jobs. Returns how many
     /// were bound (beyond those already warm for `job`).
+    ///
+    /// Both passes walk machines in ascending id, exactly like the O(M)
+    /// scans they replace — but only over machines that actually hold an
+    /// unbound (pass 1) or foreign-warm (pass 2) slot.
     pub fn bind_idle(&mut self, job: usize, want: usize) -> usize {
         let mut bound = 0;
-        // Pass 1: unbound slots.
-        for m in 0..self.free.len() {
-            while bound < want && self.unbound[m] > 0 {
-                self.unbound[m] -= 1;
-                *self.bound[m].entry(job).or_insert(0) += 1;
-                bound += 1;
-            }
-            if bound == want {
-                return bound;
-            }
-        }
-        // Pass 2: steal from other jobs' warm slots.
-        for m in 0..self.free.len() {
-            while bound < want {
-                let victim = self.bound[m]
-                    .iter()
-                    .filter(|(&j, &c)| j != job && c > 0)
-                    .map(|(&j, _)| j)
-                    .min();
-                let Some(v) = victim else { break };
-                let c = self.bound[m].get_mut(&v).unwrap();
-                *c -= 1;
-                if *c == 0 {
-                    self.bound[m].remove(&v);
-                }
-                *self.bound[m].entry(job).or_insert(0) += 1;
-                bound += 1;
-            }
-            if bound == want {
+        // Pass 1: unbound slots, smallest machine first. Draining the set
+        // head either consumes the machine's last unbound slot (removing
+        // it from the set) or satisfies `want`, so this makes progress
+        // every step without materializing the whole set.
+        while bound < want {
+            let Some(&m) = self.unbound_set.first() else {
                 break;
+            };
+            while bound < want && self.unbound[m] > 0 {
+                self.unbound_dec(m);
+                self.bound_inc(m, job);
+                bound += 1;
             }
         }
+        // Pass 2: steal from other jobs' warm slots (ascending machine,
+        // smallest victim job id first on each machine). `foreign` bounds
+        // the walk: once every remaining warm slot belongs to `job`
+        // itself — the common steady state after a high-priority job has
+        // absorbed the cluster's idle warmth — there is nothing to steal
+        // and the machine scan is skipped outright.
+        let mut foreign = self.total_bound - self.warm_totals.get(&job).copied().unwrap_or(0);
+        let mut cursor: Option<usize> = None;
+        while bound < want && foreign > 0 {
+            let next = match cursor {
+                None => self.bound_set.first().copied(),
+                Some(c) => self
+                    .bound_set
+                    .range((std::ops::Bound::Excluded(c), std::ops::Bound::Unbounded))
+                    .next()
+                    .copied(),
+            };
+            let Some(m) = next else { break };
+            cursor = Some(m);
+            while bound < want {
+                let victim = self.bound[m].keys().copied().find(|&j| j != job);
+                let Some(v) = victim else { break };
+                self.bound_dec(m, v);
+                self.bound_inc(m, job);
+                bound += 1;
+                foreign -= 1;
+            }
+        }
+        #[cfg(debug_assertions)]
+        self.debug_check_index();
         bound
     }
 
-    /// Iterate machines that currently have at least one free slot.
+    /// Iterate machines that currently have at least one free slot, in
+    /// ascending id order. O(free machines), not O(M).
     pub fn machines_with_free(&self) -> impl Iterator<Item = MachineId> + '_ {
-        self.free
-            .iter()
-            .enumerate()
-            .filter(|(_, &f)| f > 0)
-            .map(|(i, _)| MachineId(i))
+        self.free_set.iter().map(|&m| MachineId(m))
     }
 
     /// A free machine for `job`, preferring one where the job has a warm
-    /// slot, skipping `exclude`.
+    /// slot, skipping `exclude`; falls back to the first free machine
+    /// (even an excluded one) when every candidate is excluded — the
+    /// historical contract of the O(M) `max_by_key` scan this replaces.
+    /// `exclude` is at most a couple of busy machines, so the membership
+    /// probe is a small-vec early-out, not the old full rescan.
     pub fn preferred_free_machine(&self, job: usize, exclude: &[MachineId]) -> Option<MachineId> {
-        self.machines_with_free()
-            .filter(|m| !exclude.contains(m))
-            .max_by_key(|&m| (self.warm_on(m, job).min(1), usize::MAX - m.0))
-            .or_else(|| self.machines_with_free().next())
+        let picked = self.pick_preferred(job, exclude);
+        #[cfg(debug_assertions)]
+        {
+            let scanned = self
+                .machines_with_free()
+                .filter(|m| !exclude.contains(m))
+                .max_by_key(|&m| (self.warm_on(m, job).min(1), usize::MAX - m.0))
+                .or_else(|| self.machines_with_free().next());
+            assert_eq!(picked, scanned, "preferred_free_machine drifted");
+        }
+        picked
+    }
+
+    fn pick_preferred(&self, job: usize, exclude: &[MachineId]) -> Option<MachineId> {
+        // Warm machines hold ≥ 1 free slot by construction (`bound` only
+        // counts free slots), so the first non-excluded one wins.
+        if let Some(warm) = self.warm_machines.get(&job) {
+            for &m in warm {
+                if !exclude.contains(&MachineId(m)) {
+                    debug_assert!(self.free[m] > 0, "warm machine without a free slot");
+                    return Some(MachineId(m));
+                }
+            }
+        }
+        self.free_set
+            .iter()
+            .find(|&&m| !exclude.contains(&MachineId(m)))
+            .or(self.free_set.first())
+            .map(|&m| MachineId(m))
     }
 
     /// First free machine among `preferred`, if any.

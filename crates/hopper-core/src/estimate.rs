@@ -26,6 +26,12 @@ pub struct BetaEstimator {
     min_samples: usize,
     prior: f64,
     total_observed: u64,
+    /// Memoized MLE of the current window; invalidated by `observe`. The
+    /// estimate is a pure function of the window, so serving the cached
+    /// value between observations is exact — and it turns the scheduler's
+    /// per-job, per-dispatch β reads from O(window) `ln()` sweeps into
+    /// O(1) loads (the single hottest scalar read in both drivers).
+    cached: std::cell::Cell<Option<f64>>,
 }
 
 impl BetaEstimator {
@@ -41,6 +47,7 @@ impl BetaEstimator {
             min_samples,
             prior,
             total_observed: 0,
+            cached: std::cell::Cell::new(None),
         }
     }
 
@@ -61,6 +68,7 @@ impl BetaEstimator {
         }
         self.window.push_back(multiplier);
         self.total_observed += 1;
+        self.cached.set(None);
     }
 
     /// Number of observations ever made.
@@ -75,6 +83,16 @@ impl BetaEstimator {
     /// `[1.05, 4.0]` so downstream math (2/β, mean factors) stays sane even
     /// on degenerate windows.
     pub fn beta(&self) -> f64 {
+        if let Some(v) = self.cached.get() {
+            return v;
+        }
+        let v = self.compute_beta();
+        self.cached.set(Some(v));
+        v
+    }
+
+    /// The full-window MLE (memoized by [`BetaEstimator::beta`]).
+    fn compute_beta(&self) -> f64 {
         if self.window.len() < self.min_samples {
             return self.prior;
         }

@@ -24,6 +24,8 @@
 //!   (Pseudocode 3). Virtual-size updates are piggybacked on every
 //!   scheduler→worker message (§5.3).
 
+use std::collections::VecDeque;
+
 use hopper_cluster::{ClusterConfig, CopyRef, JobRun, MachineId, Machines, TaskRef};
 use hopper_core::protocol::{
     pick_fcfs, pick_srpt, scheduler_accepts, FreeSlotEpisode, Reservation, ResponseKind,
@@ -207,6 +209,11 @@ struct WorkerState {
     free: usize,
     /// Active late-binding episode (at most one in flight per worker).
     episode: Option<FreeSlotEpisode>,
+    /// Value of the driver's completed-job counter when this queue last
+    /// purged finished jobs' reservations. While no further job has
+    /// completed, the queue provably holds only live reservations and the
+    /// per-touch O(queue) purge scan is skipped.
+    purged_at: u64,
 }
 
 struct Decentral<'a> {
@@ -232,9 +239,16 @@ struct Decentral<'a> {
     /// launchable work but its probes were all consumed (e.g. by stale
     /// speculative assignments), the scheduler re-probes at the next scan.
     live_res: Vec<usize>,
-    candidates: Vec<Vec<Candidate>>,
+    /// Speculation candidates per job, consumed front-first (deque — the
+    /// old `Vec::remove(0)` shifted the whole list per pop).
+    candidates: Vec<VecDeque<Candidate>>,
     /// job → owning scheduler (round-robin).
     owner: Vec<usize>,
+    /// scheduler → its jobs in ascending id order (static round-robin
+    /// partition); the refusal path walks this instead of every job.
+    sched_jobs: Vec<Vec<usize>>,
+    /// Jobs completed so far (the epoch for worker-queue purges).
+    done_count: u64,
     /// Per-scheduler β estimator (learned from its own jobs' completions).
     beta_est: Vec<BetaEstimator>,
     scan_armed: bool,
@@ -280,6 +294,7 @@ impl<'a> Decentral<'a> {
                     queue: Vec::new(),
                     free: cfg.cluster.slots_per_machine,
                     episode: None,
+                    purged_at: 0,
                 })
                 .collect(),
             done: vec![false; n],
@@ -290,8 +305,17 @@ impl<'a> Decentral<'a> {
             pending_orig,
             claimed: vec![std::collections::HashSet::new(); n],
             live_res: vec![0; n],
-            candidates: vec![Vec::new(); n],
+            candidates: vec![VecDeque::new(); n],
             owner: (0..n).map(|j| j % cfg.num_schedulers.max(1)).collect(),
+            sched_jobs: {
+                let s = cfg.num_schedulers.max(1);
+                let mut by_sched = vec![Vec::new(); s];
+                for j in 0..n {
+                    by_sched[j % s].push(j);
+                }
+                by_sched
+            },
+            done_count: 0,
             beta_est: (0..cfg.num_schedulers.max(1))
                 .map(|_| BetaEstimator::with_prior(1.5))
                 .collect(),
@@ -369,7 +393,15 @@ impl<'a> Decentral<'a> {
             match ev {
                 Ev::JobArrive(j) => self.on_job_arrive(j, now),
                 Ev::Reservation { worker, res } => {
-                    self.workers[worker].queue.push(res);
+                    // A job can complete while its reservation is still in
+                    // flight. The pre-epoch code parked it and purged it in
+                    // the very next statement (the unconditional queue
+                    // purge); dropping it on delivery is the same behavior,
+                    // and keeps the epoch-gated purge skip sound — a parked
+                    // reservation is always live at park time.
+                    if !self.done[res.job as usize] {
+                        self.workers[worker].queue.push(res);
+                    }
                     self.maybe_start_episode(worker, now);
                 }
                 Ev::Response { worker, job, kind } => self.on_response(worker, job, kind, now),
@@ -396,7 +428,8 @@ impl<'a> Decentral<'a> {
                     self.scan_armed = false;
                     for j in 0..self.jobs.len() {
                         if !self.done[j] && self.jobs[j].occupied_slots() > 0 {
-                            self.candidates[j] = self.cfg.speculator.candidates(&self.jobs[j], now);
+                            self.candidates[j] =
+                                self.cfg.speculator.candidates(&self.jobs[j], now).into();
                         }
                     }
                     // Re-probe jobs whose reservations were all consumed
@@ -512,9 +545,23 @@ impl<'a> Decentral<'a> {
     /// episode in flight, and a non-empty queue.
     fn maybe_start_episode(&mut self, w: usize, now: SimTime) {
         // Purge reservations of finished jobs first (piggybacked
-        // completion notifications).
-        let done = &self.done;
-        self.workers[w].queue.retain(|r| !done[r.job as usize]);
+        // completion notifications). Skipped while no job has completed
+        // since this worker's last purge — every queued reservation was
+        // live then and only live jobs enqueue new ones, so the scan would
+        // remove nothing.
+        if self.workers[w].purged_at != self.done_count {
+            let done = &self.done;
+            self.workers[w].queue.retain(|r| !done[r.job as usize]);
+            self.workers[w].purged_at = self.done_count;
+        }
+        #[cfg(debug_assertions)]
+        assert!(
+            !self.workers[w]
+                .queue
+                .iter()
+                .any(|r| self.done[r.job as usize]),
+            "stale reservation survived the epoch-gated purge"
+        );
         if self.workers[w].free == 0
             || self.workers[w].episode.is_some()
             || self.workers[w].queue.is_empty()
@@ -670,10 +717,10 @@ impl<'a> Decentral<'a> {
                 return Some((task, false));
             }
         }
-        while let Some(cand) = self.candidates[job].first().copied() {
+        while let Some(cand) = self.candidates[job].front().copied() {
             let t = &self.jobs[job].phases[cand.task.phase].tasks[cand.task.task];
             if t.is_finished() || t.running_copies() == 0 || t.running_copies() >= 2 {
-                self.candidates[job].remove(0);
+                self.candidates[job].pop_front();
                 continue;
             }
             return Some((cand.task, true));
@@ -682,20 +729,9 @@ impl<'a> Decentral<'a> {
             // Longest-estimated-remaining running task with copy headroom,
             // but only where a fresh copy could plausibly finish first
             // (t_rem > t_new — the same benefit rule the §3 example uses).
-            let mut best: Option<(SimTime, TaskRef)> = None;
-            for (task, obs) in self.jobs[job].observe_running(now) {
-                if obs.len() >= 2 {
-                    continue; // copy cap for unsolicited extras
-                }
-                let rem = obs.iter().map(|o| o.est_remaining).min().unwrap();
-                if rem <= self.jobs[job].estimated_new_copy_duration(task) {
-                    continue;
-                }
-                if best.is_none_or(|(b, _)| rem > b) {
-                    best = Some((rem, task));
-                }
-            }
-            if let Some((_, task)) = best {
+            // O(log) off the job's solo-running index instead of a full
+            // `observe_running` sweep.
+            if let Some(task) = self.jobs[job].best_extra_speculation(now) {
                 return Some((task, true));
             }
         }
@@ -704,7 +740,37 @@ impl<'a> Decentral<'a> {
 
     /// First unlaunched, unclaimed original in eligible phases, preferring
     /// one whose input is local to `m`.
+    ///
+    /// Walks the job's pending-task indices instead of every task: the
+    /// preferred pick is the minimum of the first unclaimed replica-free
+    /// task and the first unclaimed task local to `m` (the old scan
+    /// returned whichever came first in `(phase, task)` order), and the
+    /// fallback is the first unclaimed pending task overall. The claimed
+    /// set only holds in-flight assignments, so the skip is a handful of
+    /// probes, not a rescan.
     fn next_unclaimed_original(&self, job: usize, m: MachineId) -> Option<TaskRef> {
+        let jr = &self.jobs[job];
+        let claimed = &self.claimed[job];
+        let no_pref = jr.pending_no_replica_tasks().find(|t| !claimed.contains(t));
+        let local = jr.pending_local_tasks(m).find(|t| !claimed.contains(t));
+        let picked = match (no_pref, local) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+        .or_else(|| jr.pending_tasks().find(|t| !claimed.contains(t)));
+        #[cfg(debug_assertions)]
+        assert_eq!(
+            picked,
+            self.scan_next_unclaimed_original(job, m),
+            "pending index disagrees with the task scan"
+        );
+        picked
+    }
+
+    /// The pre-index O(tasks) implementation, kept as the debug oracle.
+    #[cfg(debug_assertions)]
+    fn scan_next_unclaimed_original(&self, job: usize, m: MachineId) -> Option<TaskRef> {
         let mut fallback = None;
         for (pi, p) in self.jobs[job].phases.iter().enumerate() {
             if !p.eligible || p.is_complete() {
@@ -734,8 +800,12 @@ impl<'a> Decentral<'a> {
         // work.
         let sched = self.owner.get(job).copied().unwrap_or(0);
         let mut best: Option<UnsatisfiedJob> = None;
-        for j in 0..self.jobs.len() {
-            if self.owner[j] != sched || self.done[j] || !self.arrived[j] || j == job {
+        // Only this scheduler's own jobs are candidates — walk its static
+        // partition (ascending id, the order the old all-jobs scan visited
+        // them in) instead of the whole cluster.
+        for &j in &self.sched_jobs[sched] {
+            debug_assert_eq!(self.owner[j], sched);
+            if self.done[j] || !self.arrived[j] || j == job {
                 continue;
             }
             let v = self.vsize(j);
@@ -926,6 +996,7 @@ impl<'a> Decentral<'a> {
         }
         if out.job_done {
             self.done[job] = true;
+            self.done_count += 1;
             self.active_count -= 1;
             self.candidates[job].clear();
             self.results.push(JobResult {
@@ -1069,6 +1140,28 @@ mod tests {
     fn empty_trace() {
         let out = run(&Trace::default(), DecPolicy::Hopper, &small_cfg(1));
         assert!(out.jobs.is_empty());
+    }
+
+    /// Reservations delivered after their job completed (the message was
+    /// in flight when the last task finished) must be dropped on arrival,
+    /// exactly as the old unconditional queue purge did. The race needs a
+    /// scan-rescue probe followed by the job's last straggler finishing
+    /// inside the message latency, so this test stresses the widest
+    /// window (long latency, fast scans, high load) and leans on the
+    /// purge-invariant assert in `maybe_start_episode` — live across the
+    /// whole dev-profile suite — as the oracle.
+    #[test]
+    fn stale_inflight_reservations_are_dropped() {
+        for seed in [3u64, 7] {
+            for policy in [DecPolicy::Sparrow, DecPolicy::Hopper] {
+                let t = trace(seed, 60, 0.9);
+                let mut cfg = small_cfg(seed);
+                cfg.msg_latency = SimTime::from_millis(400);
+                cfg.scan_interval = SimTime::from_millis(50);
+                let out = run(&t, policy, &cfg);
+                assert_eq!(out.jobs.len(), t.len(), "{} seed {seed}", policy.name());
+            }
+        }
     }
 
     #[test]

@@ -3,6 +3,10 @@
 //! bit-for-bit, in both drivers. These tests guard that contract end to
 //! end — same seed ⇒ identical `RunStats` / `DecStats` and per-job
 //! results; different seeds ⇒ observably different runs.
+//!
+//! `tests/golden_stats.rs` extends the suite across *versions*: fixed
+//! seeds must reproduce the stats captured before the incremental-index
+//! refactor, for every policy in both drivers.
 
 use hopper::central;
 use hopper::cluster::ClusterConfig;
