@@ -3,13 +3,29 @@
 //!
 //! The paper: gains grow with the probe ratio up to ~4 (3.5 suffices at
 //! 70–80%); at 90% utilization extra probes stop paying beyond ~2.5.
+//! Per utilization: the Sparrow-SRPT baseline (probe ratio 2) runs its
+//! seeds in parallel, then one `sweep` covers the probe-ratio axis.
 
-use hopper_decentral::{run, DecPolicy};
+use hopper_experiment::{mean_jct, run_seeds, sweep, SweepAxis};
 use hopper_metrics::{reduction_pct, Table};
 
 fn main() {
     hopper_bench::banner("Figure 11", "gain over Sparrow-SRPT vs probe ratio");
-    let seeds = hopper_bench::seeds();
+    let utils = [0.6, 0.7, 0.8, 0.9];
+    let ratios = [2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0];
+    let axis = SweepAxis::new("probe_ratio", &ratios);
+
+    // Per utilization: baseline mean and the swept Hopper table.
+    let mut baselines = Vec::new();
+    let mut hoppers = Vec::new();
+    for &util in &utils {
+        let mut base = hopper_bench::decentral_spec("sparrow-srpt", "facebook", util);
+        base.probe_ratio = 2.0;
+        let trials = run_seeds(&base).expect("fig11 baseline");
+        baselines.push(mean_jct(&trials));
+        let hopper = hopper_bench::decentral_spec("hopper", "facebook", util);
+        hoppers.push(sweep(&hopper, &axis).expect("fig11 sweep"));
+    }
 
     let mut table = Table::new(
         "reduction (%) in average JCT vs Sparrow-SRPT (probe ratio 2)",
@@ -21,21 +37,14 @@ fn main() {
             "util 90%",
         ],
     );
-    for ratio in [2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0] {
+    for ratio in ratios {
+        let v = ratio.to_string();
         let mut cells = vec![format!("{ratio:.1}")];
-        for util in [0.6, 0.7, 0.8, 0.9] {
-            let mut base = 0.0;
-            let mut hop = 0.0;
-            for seed in 0..seeds {
-                let mut cfg = hopper_bench::decentral_cfg(seed);
-                let slots = cfg.cluster.total_slots();
-                let trace = hopper_bench::fb_interactive_trace(seed, util, slots);
-                cfg.probe_ratio = 2.0;
-                base += run(&trace, DecPolicy::SparrowSrpt, &cfg).mean_duration_ms();
-                cfg.probe_ratio = ratio;
-                hop += run(&trace, DecPolicy::Hopper, &cfg).mean_duration_ms();
-            }
-            cells.push(format!("{:.1}%", reduction_pct(base, hop)));
+        for (i, _) in utils.iter().enumerate() {
+            cells.push(format!(
+                "{:.1}%",
+                reduction_pct(baselines[i], hoppers[i].mean_for(&v))
+            ));
         }
         table.row(&cells);
     }

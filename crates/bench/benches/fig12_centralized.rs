@@ -6,53 +6,39 @@
 //! The paper: ~50% overall, with Spark modestly higher than Hadoop
 //! (short tasks are more sensitive to stragglers and to speculative-copy
 //! placement). See EXPERIMENTS.md for where this reproduction lands —
-//! our idealized zero-latency SRPT baseline narrows the gap.
+//! our idealized zero-latency SRPT baseline narrows the gap. Each
+//! policy's seed repetitions run in parallel via `run_seeds`.
 
-use hopper_central::{run, HopperConfig, Policy};
+use hopper_experiment::{run_seeds, ExperimentSpec, Trial};
 use hopper_metrics::{mean_duration_for_dag, mean_duration_in_bin, reduction_pct, SizeBin, Table};
-use hopper_workload::{TraceGenerator, WorkloadProfile};
+
+fn seed_sum(trials: &[Trial], f: impl Fn(&Trial) -> Option<f64>) -> f64 {
+    trials.iter().filter_map(&f).sum()
+}
+
+fn run(spec: &ExperimentSpec) -> Vec<Trial> {
+    run_seeds(spec).expect("fig12 trials")
+}
 
 fn main() {
     hopper_bench::banner(
         "Figure 12",
         "centralized Hopper vs SRPT: bins and DAG lengths",
     );
-    let seeds = hopper_bench::seeds();
 
     for (name, interactive) in [("Hadoop-style", false), ("Spark-style", true)] {
-        let mut overall = (0.0, 0.0);
-        let mut bins = [(0.0, 0.0); 4];
-        for seed in 0..seeds {
-            let cfg = hopper_bench::central_cfg(seed, interactive);
-            let slots = cfg.cluster.total_slots();
-            let profile = if interactive {
-                WorkloadProfile::facebook().interactive().single_phase()
-            } else {
-                WorkloadProfile::facebook().single_phase()
-            };
-            let trace = TraceGenerator::new(profile, hopper_bench::jobs(), seed)
-                .generate_with_utilization(slots, 0.8);
-            let base = run(&trace, &Policy::Srpt, &cfg);
-            let hop = run(
-                &trace,
-                &Policy::Hopper(HopperConfig {
-                    learn_beta: false,
-                    ..Default::default()
-                }),
-                &cfg,
-            );
-            overall.0 += base.mean_duration_ms();
-            overall.1 += hop.mean_duration_ms();
-            for (i, bin) in SizeBin::all().into_iter().enumerate() {
-                if let (Some(b), Some(h)) = (
-                    mean_duration_in_bin(&base.jobs, bin),
-                    mean_duration_in_bin(&hop.jobs, bin),
-                ) {
-                    bins[i].0 += b;
-                    bins[i].1 += h;
-                }
-            }
-        }
+        let mk = |policy: &str| {
+            let mut s = hopper_bench::central_spec(policy, interactive, 0.8);
+            s.single_phase = true;
+            s
+        };
+        let base = run(&mk("srpt"));
+        let hop = run(&mk("hopper"));
+
+        let overall = (
+            seed_sum(&base, |t| Some(t.mean_duration_ms())),
+            seed_sum(&hop, |t| Some(t.mean_duration_ms())),
+        );
         let mut table = Table::new(
             &format!("(a) {name} profile, 80% utilization, single-phase jobs"),
             &["job bin", "reduction vs SRPT"],
@@ -61,11 +47,23 @@ fn main() {
             "Overall".into(),
             format!("{:.1}%", reduction_pct(overall.0, overall.1)),
         ]);
-        for (i, bin) in SizeBin::all().into_iter().enumerate() {
-            let cell = if bins[i].0 == 0.0 {
+        for bin in SizeBin::all() {
+            // Sum a bin's mean across seeds only where both runs have
+            // jobs in the bin (the original pairwise accumulation).
+            let (mut b, mut h) = (0.0, 0.0);
+            for (tb, th) in base.iter().zip(&hop) {
+                if let (Some(x), Some(y)) = (
+                    mean_duration_in_bin(&tb.jobs, bin),
+                    mean_duration_in_bin(&th.jobs, bin),
+                ) {
+                    b += x;
+                    h += y;
+                }
+            }
+            let cell = if b == 0.0 {
                 "n/a".to_string()
             } else {
-                format!("{:.1}%", reduction_pct(bins[i].0, bins[i].1))
+                format!("{:.1}%", reduction_pct(b, h))
             };
             table.row(&[bin.label().into(), cell]);
         }
@@ -78,28 +76,14 @@ fn main() {
         &["phases", "reduction vs SRPT"],
     );
     for len in 2..=8usize {
-        let (mut b, mut h) = (0.0, 0.0);
-        for seed in 0..seeds {
-            let cfg = hopper_bench::central_cfg(seed, true);
-            let slots = cfg.cluster.total_slots();
-            let profile = WorkloadProfile::facebook().interactive().fixed_dag_len(len);
-            let trace = TraceGenerator::new(profile, hopper_bench::jobs() / 2, seed)
-                .generate_with_utilization(slots, 0.7);
-            b += mean_duration_for_dag(&run(&trace, &Policy::Srpt, &cfg).jobs, len).unwrap_or(0.0);
-            h += mean_duration_for_dag(
-                &run(
-                    &trace,
-                    &Policy::Hopper(HopperConfig {
-                        learn_beta: false,
-                        ..Default::default()
-                    }),
-                    &cfg,
-                )
-                .jobs,
-                len,
-            )
-            .unwrap_or(0.0);
-        }
+        let mk = |policy: &str| {
+            let mut s = hopper_bench::central_spec(policy, true, 0.7);
+            s.fixed_dag_len = Some(len);
+            s.jobs = hopper_bench::jobs() / 2;
+            s
+        };
+        let b = seed_sum(&run(&mk("srpt")), |t| mean_duration_for_dag(&t.jobs, len));
+        let h = seed_sum(&run(&mk("hopper")), |t| mean_duration_for_dag(&t.jobs, len));
         tb.row(&[len.to_string(), format!("{:.1}%", reduction_pct(b, h))]);
     }
     tb.print();

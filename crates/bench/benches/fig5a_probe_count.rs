@@ -4,46 +4,35 @@
 //! The paper's simulation (50 schedulers, 10 000 workers, β = 1.5) shows
 //! decentralized Hopper converging to within ~15% of the centralized
 //! scheduler by d = 4, while Sparrow stays >100% off at medium-high
-//! utilization. We run a scaled cluster with the same structure.
+//! utilization. We run a scaled cluster with the same structure, as one
+//! `sweep` over the probe-count axis per policy — seeds fan out over
+//! worker threads.
 
-use hopper_central as central;
-use hopper_decentral::{run, DecPolicy};
+use hopper_experiment::{mean_jct, run_seeds, sweep, SweepAxis};
 use hopper_metrics::Table;
-use hopper_workload::{TraceGenerator, WorkloadProfile};
 
 fn main() {
     hopper_bench::banner(
         "Figure 5a",
         "JCT ratio over centralized Hopper vs probe count d",
     );
-    let seeds = hopper_bench::seeds();
     let utils = [0.6, 0.8, 0.9];
     let ds = [2.0, 3.0, 4.0, 6.0, 8.0, 10.0];
+    let axis = SweepAxis::new("probe_ratio", &ds);
 
     for util in utils {
-        // Centralized Hopper reference on the same cluster and trace.
-        let mut central_mean = 0.0;
-        for seed in 0..seeds {
-            let dcfg = hopper_bench::decentral_cfg(seed);
-            let slots = dcfg.cluster.total_slots();
-            let profile = WorkloadProfile::facebook().interactive().fixed_beta(1.5);
-            let trace = TraceGenerator::new(profile, hopper_bench::jobs(), seed)
-                .generate_with_utilization(slots, util);
-            let ccfg = central::SimConfig {
-                cluster: dcfg.cluster.clone(),
-                scan_interval: dcfg.scan_interval,
-                speculator: dcfg.speculator.clone(),
-                seed,
-                ..Default::default()
-            };
-            central_mean += central::run(
-                &trace,
-                &central::Policy::Hopper(central::HopperConfig::default()),
-                &ccfg,
-            )
-            .mean_duration_ms();
-        }
-        central_mean /= seeds as f64;
+        let mut base = hopper_bench::decentral_spec("hopper", "facebook", util);
+        base.fixed_beta = Some(1.5);
+
+        // Centralized Hopper reference on the same cluster and traces.
+        let central = hopper_bench::centralized_reference(&base);
+        let central_trials = run_seeds(&central).expect("central reference");
+        let central_mean = mean_jct(&central_trials);
+
+        let hopper = sweep(&base, &axis).expect("hopper sweep");
+        let mut sparrow_spec = base.clone();
+        sparrow_spec.policy = "sparrow".to_string();
+        let sparrow = sweep(&sparrow_spec, &axis).expect("sparrow sweep");
 
         let mut table = Table::new(
             &format!(
@@ -53,22 +42,11 @@ fn main() {
             &["d", "Hopper(dec) ratio", "Sparrow ratio"],
         );
         for d in ds {
-            let mut h = 0.0;
-            let mut s = 0.0;
-            for seed in 0..seeds {
-                let mut cfg = hopper_bench::decentral_cfg(seed);
-                cfg.probe_ratio = d;
-                let slots = cfg.cluster.total_slots();
-                let profile = WorkloadProfile::facebook().interactive().fixed_beta(1.5);
-                let trace = TraceGenerator::new(profile, hopper_bench::jobs(), seed)
-                    .generate_with_utilization(slots, util);
-                h += run(&trace, DecPolicy::Hopper, &cfg).mean_duration_ms();
-                s += run(&trace, DecPolicy::Sparrow, &cfg).mean_duration_ms();
-            }
+            let v = d.to_string();
             table.row(&[
                 format!("{d:.0}"),
-                format!("{:.2}", h / seeds as f64 / central_mean),
-                format!("{:.2}", s / seeds as f64 / central_mean),
+                format!("{:.2}", hopper.mean_for(&v) / central_mean),
+                format!("{:.2}", sparrow.mean_for(&v) / central_mean),
             ]);
         }
         table.print();

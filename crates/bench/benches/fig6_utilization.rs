@@ -3,38 +3,46 @@
 //!
 //! The paper: 50–60% reduction in average job duration at 60%
 //! utilization vs Sparrow and Sparrow-SRPT, tapering below 20% beyond
-//! 80%; Bing slightly higher than Facebook.
+//! 80%; Bing slightly higher than Facebook. One `sweep` over the
+//! utilization axis per policy; traces are shared across policies by
+//! sharing seeds.
 
-use hopper_decentral::{run, DecPolicy};
+use hopper_experiment::{sweep, SweepAxis};
 use hopper_metrics::{reduction_pct, Table};
 
 fn main() {
     hopper_bench::banner("Figure 6", "reduction in average JCT vs utilization");
-    let seeds = hopper_bench::seeds();
+    let utils = [0.6, 0.7, 0.8, 0.9];
+    let axis = SweepAxis::new("util", &utils);
 
     for workload in ["facebook", "bing"] {
+        let run = |policy: &str| {
+            sweep(
+                &hopper_bench::decentral_spec(policy, workload, utils[0]),
+                &axis,
+            )
+            .expect("fig6 sweep")
+        };
+        let sparrow = run("sparrow");
+        let sparrow_srpt = run("sparrow-srpt");
+        let hopper = run("hopper");
+
         let mut table = Table::new(
             &format!("{workload} workload (Hopper(dec) vs baselines)"),
             &["utilization", "vs Sparrow", "vs Sparrow-SRPT"],
         );
-        for util in [0.6, 0.7, 0.8, 0.9] {
-            let (mut sp, mut ss, mut h) = (0.0, 0.0, 0.0);
-            for seed in 0..seeds {
-                let cfg = hopper_bench::decentral_cfg(seed);
-                let slots = cfg.cluster.total_slots();
-                let trace = if workload == "facebook" {
-                    hopper_bench::fb_interactive_trace(seed, util, slots)
-                } else {
-                    hopper_bench::bing_interactive_trace(seed, util, slots)
-                };
-                sp += run(&trace, DecPolicy::Sparrow, &cfg).mean_duration_ms();
-                ss += run(&trace, DecPolicy::SparrowSrpt, &cfg).mean_duration_ms();
-                h += run(&trace, DecPolicy::Hopper, &cfg).mean_duration_ms();
-            }
+        for util in utils {
+            let v = util.to_string();
             table.row(&[
                 format!("{:.0}%", util * 100.0),
-                format!("{:.1}%", reduction_pct(sp, h)),
-                format!("{:.1}%", reduction_pct(ss, h)),
+                format!(
+                    "{:.1}%",
+                    reduction_pct(sparrow.mean_for(&v), hopper.mean_for(&v))
+                ),
+                format!(
+                    "{:.1}%",
+                    reduction_pct(sparrow_srpt.mean_for(&v), hopper.mean_for(&v))
+                ),
             ]);
         }
         table.print();

@@ -8,6 +8,7 @@
 use hopper_central::SimConfig;
 use hopper_cluster::ClusterConfig;
 use hopper_decentral::DecConfig;
+use hopper_experiment::{EngineKind, ExperimentSpec};
 use hopper_sim::SimTime;
 use hopper_spec::{SpecConfig, Speculator};
 use hopper_workload::{Trace, TraceGenerator, WorkloadProfile};
@@ -26,6 +27,63 @@ pub fn seeds() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2)
+}
+
+/// The bench seed list: `0..seeds()`, one trial per seed. The sweep
+/// runner fans these out over worker threads.
+pub fn seed_list() -> Vec<u64> {
+    (0..seeds()).collect()
+}
+
+/// Decentralized experiment cell: the paper's deployment shape
+/// ([`decentral_cluster`] + 10 schedulers, probe ratio 4, refusal
+/// threshold 2, ε = 10%, LATE speculation) on an interactive trace —
+/// the spec-constructor form of [`decentral_cfg`] +
+/// [`fb_interactive_trace`]/[`bing_interactive_trace`], sized by
+/// [`jobs`] and [`seed_list`].
+pub fn decentral_spec(policy: &str, workload: &str, util: f64) -> ExperimentSpec {
+    let mut s = ExperimentSpec::decentral();
+    s.policy = policy.to_string();
+    s.workload = workload.to_string();
+    s.interactive = true;
+    s.jobs = jobs();
+    s.util = util;
+    s.seeds = seed_list();
+    s
+}
+
+/// Centralized experiment cell: the Figure 12/13 cluster
+/// ([`central_cluster`]: 50×4 slots, 800 ms hand-off) with the
+/// task-scale-appropriate scan period and LATE warm-up of
+/// [`central_cfg`], per-job trace β (no online MLE — same rationale as
+/// [`central_cfg`]), on the Facebook profile.
+pub fn central_spec(policy: &str, interactive: bool, util: f64) -> ExperimentSpec {
+    let mut s = ExperimentSpec::central();
+    s.policy = policy.to_string();
+    s.interactive = interactive;
+    s.learn_beta = false;
+    s.machines = 50;
+    s.slots = 4;
+    s.handoff_ms = 800;
+    s.scan_ms = Some(if interactive { 200 } else { 500 });
+    s.spec_min_elapsed_ms = Some(if interactive { 300 } else { 1000 });
+    s.jobs = jobs();
+    s.util = util;
+    s.seeds = seed_list();
+    s
+}
+
+/// Flip a decentralized spec into the centralized engine on the *same*
+/// cluster, scan period, and speculation warm-up — the
+/// centralized-reference point of Figure 5a (seeds and traces shared
+/// with the decentralized cells, so ratios compare like with like).
+pub fn centralized_reference(spec: &ExperimentSpec) -> ExperimentSpec {
+    let mut s = spec.clone();
+    s.engine = EngineKind::Central;
+    s.policy = "hopper".to_string();
+    s.scan_ms = Some(s.scan_ms.unwrap_or(200));
+    s.spec_min_elapsed_ms = Some(s.spec_min_elapsed_ms.unwrap_or(300));
+    s
 }
 
 /// The interactive (Spark-like) cluster used by the decentralized

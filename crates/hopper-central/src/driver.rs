@@ -83,6 +83,21 @@ pub struct RunStats {
     pub alpha_accuracy: Option<f64>,
 }
 
+impl RunStats {
+    /// Flatten into the driver-agnostic stats core shared with the
+    /// decentralized driver (`messages` is 0: no network here).
+    pub fn core(&self) -> hopper_metrics::CoreStats {
+        hopper_metrics::CoreStats {
+            orig_launched: self.orig_launched,
+            spec_launched: self.spec_launched,
+            spec_won: self.spec_won,
+            events: self.events,
+            messages: 0,
+            makespan: self.makespan,
+        }
+    }
+}
+
 /// Result of a centralized run: per-job outcomes plus counters.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
@@ -164,12 +179,7 @@ impl<'a> Central<'a> {
             .collect();
         if let Some(scripts) = &cfg.scripted {
             for (j, tasks) in scripts.iter().enumerate() {
-                for (t, &(orig, spec)) in tasks.iter().enumerate() {
-                    jobs[j].phases[0].tasks[t].scripted = Some(hopper_cluster::ScriptedTask {
-                        original: SimTime::from_millis(orig),
-                        speculative: SimTime::from_millis(spec),
-                    });
-                }
+                jobs[j].script_single_phase(tasks);
             }
         }
         let n = jobs.len();
@@ -180,7 +190,7 @@ impl<'a> Central<'a> {
         let pending_orig = jobs
             .iter()
             .map(|j| {
-                j.phases
+                j.phases()
                     .iter()
                     .filter(|p| p.eligible)
                     .map(|p| p.num_tasks())
@@ -246,7 +256,7 @@ impl<'a> Central<'a> {
                     for &m in &out.freed {
                         self.machines.release_to(m, job);
                     }
-                    let was_spec = self.jobs[job].phases[copy.task.phase].tasks[copy.task.task]
+                    let was_spec = self.jobs[job].phases()[copy.task.phase].tasks[copy.task.task]
                         .copies[copy.copy]
                         .speculative;
                     let freed_of_job = out.freed.len();
@@ -256,7 +266,7 @@ impl<'a> Central<'a> {
                     // Track cluster-wide originals: the finishing copy plus
                     // any killed siblings leave the running set.
                     let running_orig_delta = {
-                        let t = &self.jobs[job].phases[copy.task.phase].tasks[copy.task.task];
+                        let t = &self.jobs[job].phases()[copy.task.phase].tasks[copy.task.task];
                         // Non-speculative copies that just left the running
                         // set: the winner (if original) plus killed
                         // original siblings. A task finishes exactly once,
@@ -286,7 +296,7 @@ impl<'a> Central<'a> {
                     }
                     // α learning at phase completion.
                     if out.phase_done {
-                        let ph = &self.jobs[job].phases[copy.task.phase];
+                        let ph = &self.jobs[job].phases()[copy.task.phase];
                         if ph.spec.output_mb_per_task > 0.0 {
                             let actual = ph.spec.output_mb_per_task;
                             self.alpha_est.observe(self.jobs[job].spec.template, actual);
@@ -297,7 +307,7 @@ impl<'a> Central<'a> {
                     }
                     if !out.newly_eligible.is_empty() {
                         for &pi in &out.newly_eligible {
-                            self.pending_orig[job] += self.jobs[job].phases[pi].num_tasks();
+                            self.pending_orig[job] += self.jobs[job].phases()[pi].num_tasks();
                         }
                         self.refresh_alpha(job);
                     }
@@ -731,7 +741,7 @@ impl<'a> Central<'a> {
     /// `pop_front` on the deque, not a `Vec::remove(0)` shift).
     fn try_speculative(&mut self, j: usize, now: SimTime) -> bool {
         while let Some(cand) = self.candidates[j].front().copied() {
-            let t = &self.jobs[j].phases[cand.task.phase].tasks[cand.task.task];
+            let t = &self.jobs[j].phases()[cand.task.phase].tasks[cand.task.task];
             if t.is_finished() || t.running_copies() == 0 || t.running_copies() >= 2 {
                 self.candidates[j].pop_front();
                 continue;

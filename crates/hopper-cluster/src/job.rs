@@ -259,8 +259,13 @@ pub struct JobRun {
     pub id: usize,
     /// The static job description.
     pub spec: TraceJob,
-    /// Phase states (same order as `spec.phases`).
-    pub phases: Vec<PhaseRun>,
+    /// Phase states (same order as `spec.phases`). Crate-private: every
+    /// index in [`JobIndex`] is a pure cache over this state, so outside
+    /// mutation must flow through the maintained transitions
+    /// ([`JobRun::launch_copy`] / [`JobRun::finish_copy`]) or through the
+    /// rebuild-on-write mutators ([`JobRun::script_single_phase`],
+    /// [`JobRun::set_replicas`]). Read access is [`JobRun::phases`].
+    pub(crate) phases: Vec<PhaseRun>,
     /// Completion time, set when the last phase finishes.
     pub completed_at: Option<SimTime>,
     /// Scheduler-estimated α (set by drivers from the online estimator);
@@ -338,10 +343,42 @@ impl JobRun {
     }
 
     /// Recompute every incremental index from scratch. Called at
-    /// construction, and by callers that mutate task state directly (e.g.
-    /// tests rewriting replica sets).
+    /// construction and by the rebuild-on-write mutators below. Public as
+    /// an escape hatch for in-crate tests that reach into task state;
+    /// out-of-crate code cannot mutate `phases` directly and should not
+    /// need this.
     pub fn rebuild_index(&mut self) {
         self.idx = self.scan_index();
+    }
+
+    /// Read-only view of the per-phase runtime state.
+    pub fn phases(&self) -> &[PhaseRun] {
+        &self.phases
+    }
+
+    /// Install scripted `(original_ms, speculative_ms)` durations for the
+    /// leading tasks of the input phase — the §3 motivating example and
+    /// the scripted scenario benches. Rebuilds the incremental indices
+    /// afterwards (scripts are index-neutral today, but this keeps the
+    /// "mutation ⇒ rebuild" invariant mechanical rather than argued).
+    ///
+    /// Panics if there are more scripts than input-phase tasks.
+    pub fn script_single_phase(&mut self, scripts: &[(u64, u64)]) {
+        for (t, &(orig, spec)) in scripts.iter().enumerate() {
+            self.phases[0].tasks[t].scripted = Some(ScriptedTask {
+                original: SimTime::from_millis(orig),
+                speculative: SimTime::from_millis(spec),
+            });
+        }
+        self.rebuild_index();
+    }
+
+    /// Replace the DFS replica set of `task`, rebuilding the locality
+    /// indices (`pending_no_replica`, `pending_local`) that depend on it.
+    /// The sanctioned form of the replica rewrites scenario tests do.
+    pub fn set_replicas(&mut self, task: TaskRef, replicas: Vec<MachineId>) {
+        self.phases[task.phase].tasks[task.task].replicas = replicas;
+        self.rebuild_index();
     }
 
     /// Ground-truth index state by full scan — the pre-index query code,
@@ -448,12 +485,7 @@ impl JobRun {
         };
         let mut rng = hopper_sim::rng_from_seed(0);
         let mut job = JobRun::new(spec, &cfg, &mut rng);
-        for (t, &(orig, new)) in job.phases[0].tasks.iter_mut().zip(tasks) {
-            t.scripted = Some(ScriptedTask {
-                original: SimTime::from_millis(orig),
-                speculative: SimTime::from_millis(new),
-            });
-        }
+        job.script_single_phase(tasks);
         job
     }
 
@@ -1182,6 +1214,43 @@ mod tests {
             j.phases[1].effective_work(0),
             SimTime::from_millis(500 + 800)
         );
+    }
+
+    #[test]
+    fn set_replicas_rebuilds_locality_indices() {
+        let mut j = simple_job(3, 1000);
+        let t0 = TaskRef::new(0, 0);
+        // Point task 0's replicas at a known machine and verify every
+        // locality query agrees — the mutator must rebuild the
+        // pending/locality indices, not just the raw field.
+        j.set_replicas(t0, vec![MachineId(7)]);
+        assert!(j.has_local_task_for(MachineId(7)));
+        assert_eq!(j.first_local_pending(MachineId(7)), Some(t0));
+        assert_eq!(j.phases()[0].tasks[0].replicas, vec![MachineId(7)]);
+        // Strip the replicas: the task must move to the no-replica set.
+        j.set_replicas(t0, Vec::new());
+        assert_eq!(j.first_local_pending(MachineId(7)), None);
+        assert!(j.pending_no_replica_tasks().any(|t| t == t0));
+        // The external read surface is the accessor; the oracle re-scan
+        // (dev profile) double-checks the rebuilt index on access.
+        assert_eq!(j.phases().len(), 1);
+    }
+
+    #[test]
+    fn script_single_phase_installs_and_keeps_index() {
+        let mut j = simple_job(2, 1000);
+        j.script_single_phase(&[(123, 45), (678, 90)]);
+        assert_eq!(
+            j.phases()[0].tasks[0].scripted.unwrap().original,
+            SimTime::from_millis(123)
+        );
+        assert_eq!(
+            j.phases()[0].tasks[1].scripted.unwrap().speculative,
+            SimTime::from_millis(90)
+        );
+        // Scripts are index-neutral: pending counts unchanged.
+        assert_eq!(j.current_remaining(), 2);
+        assert_eq!(j.pending_originals(), 2);
     }
 
     #[test]

@@ -140,6 +140,25 @@ pub struct DecStats {
     pub makespan: SimTime,
 }
 
+impl DecStats {
+    /// Flatten into the driver-agnostic stats core shared with the
+    /// centralized driver. `messages` sums the *protocol* messages —
+    /// reservations, worker responses, and refusals (the counters the
+    /// paper's overhead discussion is about). Kill notifications to
+    /// losing sibling copies also cross the wire but are not counted
+    /// anywhere in `DecStats`, so they are not included here.
+    pub fn core(&self) -> hopper_metrics::CoreStats {
+        hopper_metrics::CoreStats {
+            orig_launched: self.orig_launched,
+            spec_launched: self.spec_launched,
+            spec_won: self.spec_won,
+            events: self.events,
+            messages: self.reservations + self.responses + self.refusals,
+            makespan: self.makespan,
+        }
+    }
+}
+
 /// Result of a decentralized run.
 #[derive(Debug, Clone)]
 pub struct DecOutput {
@@ -277,7 +296,7 @@ impl<'a> Decentral<'a> {
         let pending_orig = jobs
             .iter()
             .map(|j| {
-                j.phases
+                j.phases()
                     .iter()
                     .filter(|p| p.eligible)
                     .map(|p| p.num_tasks())
@@ -490,7 +509,7 @@ impl<'a> Decentral<'a> {
         let vsize = self.vsize(j);
         let remaining = self.jobs[j].current_remaining() as f64;
         let mut targets: Vec<usize> = Vec::with_capacity(probes);
-        for t in &self.jobs[j].phases[0].tasks {
+        for t in &self.jobs[j].phases()[0].tasks {
             for r in &t.replicas {
                 if targets.len() < probes {
                     targets.push(r.0);
@@ -718,7 +737,7 @@ impl<'a> Decentral<'a> {
             }
         }
         while let Some(cand) = self.candidates[job].front().copied() {
-            let t = &self.jobs[job].phases[cand.task.phase].tasks[cand.task.task];
+            let t = &self.jobs[job].phases()[cand.task.phase].tasks[cand.task.task];
             if t.is_finished() || t.running_copies() == 0 || t.running_copies() >= 2 {
                 self.candidates[job].pop_front();
                 continue;
@@ -772,7 +791,7 @@ impl<'a> Decentral<'a> {
     #[cfg(debug_assertions)]
     fn scan_next_unclaimed_original(&self, job: usize, m: MachineId) -> Option<TaskRef> {
         let mut fallback = None;
-        for (pi, p) in self.jobs[job].phases.iter().enumerate() {
+        for (pi, p) in self.jobs[job].phases().iter().enumerate() {
             if !p.eligible || p.is_complete() {
                 continue;
             }
@@ -906,7 +925,7 @@ impl<'a> Decentral<'a> {
         if !speculative {
             self.claimed[job].remove(&task);
         }
-        let t = &self.jobs[job].phases[task.phase].tasks[task.task];
+        let t = &self.jobs[job].phases()[task.phase].tasks[task.task];
         let stale = self.done[job]
             || t.is_finished()
             || (speculative && t.running_copies() == 0)
@@ -916,7 +935,7 @@ impl<'a> Decentral<'a> {
             if !speculative {
                 // Return the unlaunched original to the pending pool only
                 // if it truly is still pending.
-                let t = &self.jobs[job].phases[task.phase].tasks[task.task];
+                let t = &self.jobs[job].phases()[task.phase].tasks[task.task];
                 if !t.is_launched() && !t.is_finished() {
                     self.pending_orig[job] += 1;
                 }
@@ -957,7 +976,8 @@ impl<'a> Decentral<'a> {
     fn on_finish(&mut self, job: usize, copy: CopyRef, worker: usize, now: SimTime) {
         // Collect running siblings *before* resolving the race: their
         // kill notifications travel over the network.
-        let siblings: Vec<MachineId> = self.jobs[job].phases[copy.task.phase].tasks[copy.task.task]
+        let siblings: Vec<MachineId> = self.jobs[job].phases()[copy.task.phase].tasks
+            [copy.task.task]
             .copies
             .iter()
             .enumerate()
@@ -967,7 +987,7 @@ impl<'a> Decentral<'a> {
         let Some(out) = self.jobs[job].finish_copy(copy, now) else {
             return; // stale (copy killed earlier)
         };
-        let was_spec = self.jobs[job].phases[copy.task.phase].tasks[copy.task.task].copies
+        let was_spec = self.jobs[job].phases()[copy.task.phase].tasks[copy.task.task].copies
             [copy.copy]
             .speculative;
         if was_spec {
@@ -989,7 +1009,7 @@ impl<'a> Decentral<'a> {
         }
         // New phases: their tasks need reservations too.
         for &pi in &out.newly_eligible {
-            let tasks = self.jobs[job].phases[pi].num_tasks();
+            let tasks = self.jobs[job].phases()[pi].num_tasks();
             self.pending_orig[job] += tasks;
             let probes = ((tasks as f64 * self.cfg.probe_ratio).ceil() as usize).max(1);
             self.send_probes(job, probes);

@@ -1,0 +1,169 @@
+//! The [`Engine`] abstraction: both drivers behind one `run` surface.
+//!
+//! The centralized and decentralized simulators keep their concrete
+//! output types (`RunOutput` / `DecOutput` — the golden tests pin those
+//! bit-for-bit); this module unifies *access*, not representation. A
+//! [`RunSummary`] exposes what every consumer of either driver actually
+//! reads: the per-job [`JobResult`]s, duration aggregates, and the
+//! [`CoreStats`] counter core both stats types flatten into.
+
+use hopper_central::{Policy, RunOutput, SimConfig};
+use hopper_decentral::{DecConfig, DecOutput, DecPolicy};
+use hopper_metrics::{mean_duration, percentile, CoreStats, JobResult};
+use hopper_workload::Trace;
+
+/// Unified read surface over one scheduler run, regardless of driver.
+///
+/// `Send` is a supertrait so summaries can be produced on sweep worker
+/// threads and collected by the caller.
+pub trait RunSummary: Send {
+    /// Per-job outcomes.
+    fn jobs(&self) -> &[JobResult];
+
+    /// Driver-agnostic counter core (`RunStats::core` / `DecStats::core`).
+    fn core(&self) -> CoreStats;
+
+    /// Mean job duration in milliseconds.
+    fn mean_duration_ms(&self) -> f64 {
+        mean_duration(self.jobs())
+    }
+
+    /// Linear-interpolated duration percentile (`p` ∈ [0, 1]) in ms.
+    /// 0.0 on a run with no jobs (see `hopper_metrics::percentile`).
+    fn percentile_duration_ms(&self, p: f64) -> f64 {
+        let durs: Vec<f64> = self.jobs().iter().map(|r| r.duration_ms() as f64).collect();
+        percentile(&durs, p)
+    }
+}
+
+impl RunSummary for RunOutput {
+    fn jobs(&self) -> &[JobResult] {
+        &self.jobs
+    }
+
+    fn core(&self) -> CoreStats {
+        self.stats.core()
+    }
+}
+
+impl RunSummary for DecOutput {
+    fn jobs(&self) -> &[JobResult] {
+        &self.jobs
+    }
+
+    fn core(&self) -> CoreStats {
+        self.stats.core()
+    }
+}
+
+/// Anything that can run a trace and summarize the result.
+///
+/// `Sync` so a configured engine can be shared by sweep worker threads.
+/// Engines must be deterministic functions of their configuration: two
+/// `run` calls with the same trace must return identical summaries —
+/// the sweep runner's parallel-equals-serial guarantee rests on it.
+pub trait Engine: Sync {
+    /// Display name for tables ("Hopper", "Sparrow-SRPT", …).
+    fn name(&self) -> String;
+
+    /// Simulate `trace` to completion.
+    fn run(&self, trace: &Trace) -> Box<dyn RunSummary>;
+}
+
+/// The centralized driver as an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct CentralEngine {
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Simulator configuration (cluster, speculator, scan period, seed).
+    pub cfg: SimConfig,
+}
+
+impl Engine for CentralEngine {
+    fn name(&self) -> String {
+        self.policy.name().to_string()
+    }
+
+    fn run(&self, trace: &Trace) -> Box<dyn RunSummary> {
+        Box::new(hopper_central::run(trace, &self.policy, &self.cfg))
+    }
+}
+
+/// The decentralized (Sparrow-style) driver as an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct DecentralEngine {
+    /// Worker/scheduler policy.
+    pub policy: DecPolicy,
+    /// Simulator configuration (cluster, probe ratio, refusals, seed).
+    pub cfg: DecConfig,
+}
+
+impl Engine for DecentralEngine {
+    fn name(&self) -> String {
+        self.policy.name().to_string()
+    }
+
+    fn run(&self, trace: &Trace) -> Box<dyn RunSummary> {
+        Box::new(hopper_decentral::run(trace, self.policy, &self.cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopper_workload::{TraceGenerator, WorkloadProfile};
+
+    fn tiny_trace(seed: u64, slots: usize) -> Trace {
+        let profile = WorkloadProfile::facebook().interactive();
+        TraceGenerator::new(profile, 10, seed).generate_with_utilization(slots, 0.6)
+    }
+
+    #[test]
+    fn both_engines_run_behind_the_trait() {
+        let mut ccfg = SimConfig::default();
+        ccfg.cluster.machines = 10;
+        ccfg.cluster.slots_per_machine = 4;
+        let central = CentralEngine {
+            policy: Policy::Srpt,
+            cfg: ccfg,
+        };
+        let dcfg = DecConfig {
+            cluster: hopper_cluster::ClusterConfig {
+                machines: 20,
+                slots_per_machine: 2,
+                handoff_ms: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let decentral = DecentralEngine {
+            policy: DecPolicy::Sparrow,
+            cfg: dcfg,
+        };
+
+        let engines: Vec<Box<dyn Engine>> = vec![Box::new(central), Box::new(decentral)];
+        for e in &engines {
+            let trace = tiny_trace(5, 40);
+            let out = e.run(&trace);
+            assert_eq!(out.jobs().len(), trace.len(), "{}", e.name());
+            assert!(out.mean_duration_ms() > 0.0);
+            assert!(out.core().events > 0);
+            // Percentiles bracket the mean's order of magnitude.
+            assert!(out.percentile_duration_ms(0.0) <= out.percentile_duration_ms(1.0));
+        }
+    }
+
+    #[test]
+    fn summary_core_matches_driver_stats() {
+        let trace = tiny_trace(9, 40);
+        let mut cfg = SimConfig::default();
+        cfg.cluster.machines = 10;
+        cfg.cluster.slots_per_machine = 4;
+        let raw = hopper_central::run(&trace, &Policy::Srpt, &cfg);
+        let core = RunSummary::core(&raw);
+        assert_eq!(core.events, raw.stats.events);
+        assert_eq!(core.spec_launched, raw.stats.spec_launched);
+        assert_eq!(core.makespan, raw.stats.makespan);
+        assert_eq!(core.messages, 0, "central driver has no network");
+    }
+}

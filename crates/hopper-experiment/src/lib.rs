@@ -1,0 +1,31 @@
+//! Experiment layer for the Hopper reproduction.
+//!
+//! The paper's evaluation is a grid of sweeps — policy × workload ×
+//! utilization × probe-ratio × seeds. This crate makes "one scheduler
+//! run" a first-class value so the grid is assembled declaratively
+//! instead of hand-wired per figure:
+//!
+//! - [`Engine`] — one trait over both drivers: anything that can run a
+//!   [`Trace`](hopper_workload::Trace) and yield a [`RunSummary`].
+//!   [`CentralEngine`] and [`DecentralEngine`] wrap the existing
+//!   `hopper-central` / `hopper-decentral` entry points without touching
+//!   their concrete `RunStats` / `DecStats` types.
+//! - [`ExperimentSpec`] — a serializable description of one experiment
+//!   cell: workload source, cluster shape, engine + policy, utilization,
+//!   seed list. Round-trips through a `key=value` text form whose keys
+//!   map 1:1 onto `hopper` CLI flags, so specs can live in files.
+//! - [`sweep`] — fans a seed × axis grid out over scoped worker threads
+//!   and collects a [`SweepTable`] in grid order. Each trial owns its
+//!   seed-derived RNGs, so the parallel result is bit-identical to a
+//!   serial fold ([`sweep_serial`] exists to pin that in tests).
+
+pub mod engine;
+pub mod spec;
+pub mod sweep;
+
+pub use engine::{CentralEngine, DecentralEngine, Engine, RunSummary};
+pub use spec::{EngineKind, ExperimentSpec, SpecError};
+pub use sweep::{
+    default_threads, mean_jct, run_seeds, sweep, sweep_serial, sweep_with_threads, SweepAxis,
+    SweepTable, Trial,
+};

@@ -1,0 +1,615 @@
+//! [`ExperimentSpec`]: one experiment cell as a serializable value.
+//!
+//! A spec names everything a trial needs — workload source, cluster
+//! shape, engine + policy, utilization, seed list — and round-trips
+//! through a plain `key=value` text form (one pair per line, `#`
+//! comments). The keys map 1:1 onto `hopper` CLI flags, so a spec file
+//! and a command line describe the same thing; [`ExperimentSpec::set`]
+//! is the single dispatch both go through, and the sweep axis reuses it
+//! to vary one key across a grid.
+//!
+//! Round-trip contract (pinned by tests): `parse(render(parse(text)))`
+//! equals `parse(text)`, and unknown keys are rejected with an error
+//! naming the key, the line, and the known-key list.
+
+use hopper_central::{HopperConfig, Policy, SimConfig};
+use hopper_cluster::ClusterConfig;
+use hopper_core::AllocConfig;
+use hopper_decentral::{DecConfig, DecPolicy};
+use hopper_sim::SimTime;
+use hopper_spec::{SpecConfig, Speculator};
+use hopper_workload::{Trace, TraceGenerator, WorkloadProfile};
+
+use crate::engine::{CentralEngine, DecentralEngine, Engine, RunSummary};
+
+/// Which simulator family runs the trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// `hopper-central`: one global scheduler.
+    Central,
+    /// `hopper-decentral`: autonomous schedulers + probes.
+    Decentral,
+}
+
+impl EngineKind {
+    /// The `engine=` key spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EngineKind::Central => "central",
+            EngineKind::Decentral => "decentral",
+        }
+    }
+}
+
+/// Error from parsing, validating, or building an experiment spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "experiment spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(msg: impl Into<String>) -> SpecError {
+    SpecError(msg.into())
+}
+
+/// Canonical key order — `render` emits exactly these, `KNOWN_KEYS`
+/// powers the unknown-key diagnostic.
+const KNOWN_KEYS: &[&str] = &[
+    "engine",
+    "policy",
+    "workload",
+    "interactive",
+    "single_phase",
+    "fixed_dag_len",
+    "fixed_beta",
+    "learn_beta",
+    "jobs",
+    "machines",
+    "slots",
+    "handoff_ms",
+    "util",
+    "eps",
+    "scan_ms",
+    "spec_min_elapsed_ms",
+    "probe_ratio",
+    "refusals",
+    "schedulers",
+    "seeds",
+];
+
+/// A complete description of one experiment cell.
+///
+/// Every field maps 1:1 onto a `key=value` pair (and a CLI flag). The
+/// workload source is profile-generated; to run an explicit in-memory
+/// trace, build the [`Engine`] via [`ExperimentSpec::engine`] and call
+/// [`Engine::run`] on it directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Simulator family (`engine=central|decentral`).
+    pub engine: EngineKind,
+    /// Policy name within the engine: `fifo|fair|srpt|budgeted|hopper`
+    /// (central) or `sparrow|sparrow-srpt|hopper` (decentral).
+    pub policy: String,
+    /// Workload profile (`facebook|bing`).
+    pub workload: String,
+    /// Spark-style interactive variant (sub-second tasks).
+    pub interactive: bool,
+    /// Force single-phase jobs.
+    pub single_phase: bool,
+    /// Force every DAG to exactly this many phases.
+    pub fixed_dag_len: Option<usize>,
+    /// Pin every job's Pareto tail index β.
+    pub fixed_beta: Option<f64>,
+    /// Centralized Hopper: learn β online (vs per-job trace β).
+    pub learn_beta: bool,
+    /// Jobs per trial.
+    pub jobs: usize,
+    /// Cluster machines.
+    pub machines: usize,
+    /// Slots per machine.
+    pub slots: usize,
+    /// Slot hand-off cost in ms (0 = long-lived executors).
+    pub handoff_ms: u64,
+    /// Target average cluster utilization the trace generator hits.
+    pub util: f64,
+    /// Fairness ε.
+    pub eps: f64,
+    /// Straggler-scan period override (ms); engine default when `None`.
+    pub scan_ms: Option<u64>,
+    /// LATE warm-up override (ms); engine default when `None`.
+    pub spec_min_elapsed_ms: Option<u64>,
+    /// Decentralized probe ratio (reservations per task).
+    pub probe_ratio: f64,
+    /// Decentralized refusal threshold.
+    pub refusals: usize,
+    /// Number of autonomous schedulers (decentralized).
+    pub schedulers: usize,
+    /// Seed list — one trial per seed.
+    pub seeds: Vec<u64>,
+}
+
+impl ExperimentSpec {
+    /// Centralized defaults (the `hopper central` CLI defaults).
+    pub fn central() -> Self {
+        ExperimentSpec {
+            engine: EngineKind::Central,
+            policy: "hopper".into(),
+            workload: "facebook".into(),
+            interactive: false,
+            single_phase: false,
+            fixed_dag_len: None,
+            fixed_beta: None,
+            learn_beta: true,
+            jobs: 100,
+            machines: 50,
+            slots: 4,
+            handoff_ms: ClusterConfig::default().handoff_ms,
+            util: 0.7,
+            eps: 0.1,
+            scan_ms: None,
+            spec_min_elapsed_ms: None,
+            probe_ratio: 4.0,
+            refusals: 2,
+            schedulers: 1,
+            seeds: vec![1],
+        }
+    }
+
+    /// Decentralized defaults (the paper's deployment shape: long-lived
+    /// executors, 10 schedulers, probe ratio 4, refusal threshold 2).
+    pub fn decentral() -> Self {
+        ExperimentSpec {
+            engine: EngineKind::Decentral,
+            policy: "hopper".into(),
+            machines: 300,
+            slots: 2,
+            handoff_ms: 0,
+            schedulers: 10,
+            ..ExperimentSpec::central()
+        }
+    }
+
+    /// Set one field by its `key=value` spelling. The single dispatch
+    /// shared by the text parser, the CLI flag mapping, and the sweep
+    /// axis.
+    ///
+    /// Note that `set("engine", ..)` flips only the engine selector —
+    /// it does not re-base the other fields onto that engine's
+    /// defaults. [`ExperimentSpec::parse`] handles `engine=` specially
+    /// (it picks the default set before applying the other pairs), and
+    /// the sweep runner rejects `engine` as an axis for the same
+    /// reason.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), SpecError> {
+        match key {
+            "engine" => {
+                self.engine = match value {
+                    "central" => EngineKind::Central,
+                    "decentral" => EngineKind::Decentral,
+                    other => {
+                        return Err(err(format!(
+                            "engine must be central|decentral, got `{other}`"
+                        )))
+                    }
+                }
+            }
+            "policy" => self.policy = value.to_string(),
+            "workload" => self.workload = value.to_string(),
+            "interactive" => self.interactive = parse_bool(key, value)?,
+            "single_phase" => self.single_phase = parse_bool(key, value)?,
+            "fixed_dag_len" => self.fixed_dag_len = parse_opt(key, value)?,
+            "fixed_beta" => self.fixed_beta = parse_opt(key, value)?,
+            "learn_beta" => self.learn_beta = parse_bool(key, value)?,
+            "jobs" => self.jobs = parse_num(key, value)?,
+            "machines" => self.machines = parse_num(key, value)?,
+            "slots" => self.slots = parse_num(key, value)?,
+            "handoff_ms" => self.handoff_ms = parse_num(key, value)?,
+            "util" => self.util = parse_num(key, value)?,
+            "eps" => self.eps = parse_num(key, value)?,
+            "scan_ms" => self.scan_ms = parse_opt(key, value)?,
+            "spec_min_elapsed_ms" => self.spec_min_elapsed_ms = parse_opt(key, value)?,
+            "probe_ratio" => self.probe_ratio = parse_num(key, value)?,
+            "refusals" => self.refusals = parse_num(key, value)?,
+            "schedulers" => self.schedulers = parse_num(key, value)?,
+            "seeds" => {
+                let seeds: Result<Vec<u64>, _> = value
+                    .split(',')
+                    .map(|s| parse_num::<u64>("seeds", s.trim()))
+                    .collect();
+                self.seeds = seeds?;
+            }
+            unknown => {
+                return Err(err(format!(
+                    "unknown key `{unknown}`; known keys: {}",
+                    KNOWN_KEYS.join(", ")
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse the `key=value` text form (one pair per line; blank lines
+    /// and `#` comments ignored). The `engine` key — wherever it appears
+    /// — picks the defaults the remaining pairs refine, so a spec file
+    /// only needs to name what deviates.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut pairs: Vec<(usize, &str, &str)> = Vec::new();
+        let mut engine = EngineKind::Central;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(format!(
+                    "line {}: expected key=value, got `{line}`",
+                    i + 1
+                )));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if key == "engine" {
+                // Applied first: it selects the default set.
+                let mut probe = ExperimentSpec::central();
+                probe
+                    .set("engine", value)
+                    .map_err(|e| err(format!("line {}: {}", i + 1, e.0)))?;
+                engine = probe.engine;
+            } else {
+                pairs.push((i + 1, key, value));
+            }
+        }
+        let mut spec = match engine {
+            EngineKind::Central => ExperimentSpec::central(),
+            EngineKind::Decentral => ExperimentSpec::decentral(),
+        };
+        for (line, key, value) in pairs {
+            spec.set(key, value)
+                .map_err(|e| err(format!("line {line}: {}", e.0)))?;
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Render the canonical text form: every key, fixed order, one per
+    /// line. `parse(render(spec))` reproduces `spec` exactly.
+    pub fn render(&self) -> String {
+        let opt_u64 = |v: &Option<u64>| v.map_or("none".to_string(), |x| x.to_string());
+        let mut out = String::new();
+        for key in KNOWN_KEYS {
+            let value = match *key {
+                "engine" => self.engine.as_str().to_string(),
+                "policy" => self.policy.clone(),
+                "workload" => self.workload.clone(),
+                "interactive" => self.interactive.to_string(),
+                "single_phase" => self.single_phase.to_string(),
+                "fixed_dag_len" => self
+                    .fixed_dag_len
+                    .map_or("none".to_string(), |x| x.to_string()),
+                "fixed_beta" => self
+                    .fixed_beta
+                    .map_or("none".to_string(), |x| x.to_string()),
+                "learn_beta" => self.learn_beta.to_string(),
+                "jobs" => self.jobs.to_string(),
+                "machines" => self.machines.to_string(),
+                "slots" => self.slots.to_string(),
+                "handoff_ms" => self.handoff_ms.to_string(),
+                "util" => self.util.to_string(),
+                "eps" => self.eps.to_string(),
+                "scan_ms" => opt_u64(&self.scan_ms),
+                "spec_min_elapsed_ms" => opt_u64(&self.spec_min_elapsed_ms),
+                "probe_ratio" => self.probe_ratio.to_string(),
+                "refusals" => self.refusals.to_string(),
+                "schedulers" => self.schedulers.to_string(),
+                "seeds" => self
+                    .seeds
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                _ => unreachable!("KNOWN_KEYS covered"),
+            };
+            out.push_str(key);
+            out.push('=');
+            out.push_str(&value);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Check cross-field consistency (policy known to the engine,
+    /// workload known, non-degenerate grid).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        match self.engine {
+            EngineKind::Central => {
+                if !["fifo", "fair", "srpt", "budgeted", "hopper"].contains(&self.policy.as_str()) {
+                    return Err(err(format!(
+                        "central policy must be fifo|fair|srpt|budgeted|hopper, got `{}`",
+                        self.policy
+                    )));
+                }
+            }
+            EngineKind::Decentral => {
+                if !["sparrow", "sparrow-srpt", "hopper"].contains(&self.policy.as_str()) {
+                    return Err(err(format!(
+                        "decentral policy must be sparrow|sparrow-srpt|hopper, got `{}`",
+                        self.policy
+                    )));
+                }
+            }
+        }
+        if !["facebook", "bing"].contains(&self.workload.as_str()) {
+            return Err(err(format!(
+                "workload must be facebook|bing, got `{}`",
+                self.workload
+            )));
+        }
+        if self.single_phase && self.fixed_dag_len.is_some() {
+            return Err(err("single_phase and fixed_dag_len are mutually exclusive"));
+        }
+        if self.jobs == 0 {
+            return Err(err("jobs must be positive"));
+        }
+        if self.machines == 0 || self.slots == 0 {
+            return Err(err("machines and slots must be positive"));
+        }
+        if !(self.util > 0.0 && self.util <= 1.5) {
+            return Err(err(format!("util must be in (0, 1.5], got {}", self.util)));
+        }
+        if self.seeds.is_empty() {
+            return Err(err("seeds must name at least one seed"));
+        }
+        Ok(())
+    }
+
+    /// Total cluster slots (trace sizing input).
+    pub fn total_slots(&self) -> usize {
+        self.machines * self.slots
+    }
+
+    /// Synthesize the trial's trace for `seed`. Identical (workload,
+    /// jobs, cluster, util, seed) ⇒ identical trace, which is what lets
+    /// reduction comparisons across policies share a trace by sharing a
+    /// seed.
+    pub fn trace(&self, seed: u64) -> Trace {
+        let mut profile = match self.workload.as_str() {
+            "bing" => WorkloadProfile::bing(),
+            _ => WorkloadProfile::facebook(),
+        };
+        if self.interactive {
+            profile = profile.interactive();
+        }
+        if self.single_phase {
+            profile = profile.single_phase();
+        }
+        if let Some(len) = self.fixed_dag_len {
+            profile = profile.fixed_dag_len(len);
+        }
+        if let Some(beta) = self.fixed_beta {
+            profile = profile.fixed_beta(beta);
+        }
+        TraceGenerator::new(profile, self.jobs, seed)
+            .generate_with_utilization(self.total_slots(), self.util)
+    }
+
+    fn cluster(&self) -> ClusterConfig {
+        ClusterConfig {
+            machines: self.machines,
+            slots_per_machine: self.slots,
+            handoff_ms: self.handoff_ms,
+            ..Default::default()
+        }
+    }
+
+    /// Build the configured engine for one trial seed.
+    pub fn engine(&self, seed: u64) -> Result<Box<dyn Engine>, SpecError> {
+        self.validate()?;
+        match self.engine {
+            EngineKind::Central => {
+                let policy = match self.policy.as_str() {
+                    "fifo" => Policy::Fifo,
+                    "fair" => Policy::Fair,
+                    "srpt" => Policy::Srpt,
+                    "budgeted" => Policy::BudgetedSrpt {
+                        budget_fraction: 0.2,
+                    },
+                    _ => Policy::Hopper(HopperConfig {
+                        alloc: AllocConfig {
+                            fairness_eps: self.eps,
+                            ..Default::default()
+                        },
+                        learn_beta: self.learn_beta,
+                        ..Default::default()
+                    }),
+                };
+                let mut cfg = SimConfig {
+                    cluster: self.cluster(),
+                    seed,
+                    ..Default::default()
+                };
+                if let Some(ms) = self.scan_ms {
+                    cfg.scan_interval = SimTime::from_millis(ms);
+                }
+                if let Some(ms) = self.spec_min_elapsed_ms {
+                    cfg.speculator = Speculator::Late(SpecConfig {
+                        min_elapsed: SimTime::from_millis(ms),
+                        ..Default::default()
+                    });
+                }
+                Ok(Box::new(CentralEngine { policy, cfg }))
+            }
+            EngineKind::Decentral => {
+                let policy = match self.policy.as_str() {
+                    "sparrow" => DecPolicy::Sparrow,
+                    "sparrow-srpt" => DecPolicy::SparrowSrpt,
+                    _ => DecPolicy::Hopper,
+                };
+                let mut cfg = DecConfig {
+                    cluster: self.cluster(),
+                    num_schedulers: self.schedulers,
+                    probe_ratio: self.probe_ratio,
+                    refusal_threshold: self.refusals,
+                    fairness_eps: Some(self.eps),
+                    seed,
+                    ..Default::default()
+                };
+                if let Some(ms) = self.scan_ms {
+                    cfg.scan_interval = SimTime::from_millis(ms);
+                }
+                if let Some(ms) = self.spec_min_elapsed_ms {
+                    cfg.speculator = Speculator::Late(SpecConfig {
+                        min_elapsed: SimTime::from_millis(ms),
+                        ..Default::default()
+                    });
+                }
+                Ok(Box::new(DecentralEngine { policy, cfg }))
+            }
+        }
+    }
+
+    /// Run one trial: synthesize the seed's trace and simulate it.
+    pub fn run_one(&self, seed: u64) -> Result<Box<dyn RunSummary>, SpecError> {
+        let engine = self.engine(seed)?;
+        Ok(engine.run(&self.trace(seed)))
+    }
+}
+
+fn parse_bool(key: &str, value: &str) -> Result<bool, SpecError> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(err(format!("{key} must be true|false, got `{other}`"))),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, SpecError> {
+    value
+        .parse()
+        .map_err(|_| err(format!("could not parse {key}=`{value}`")))
+}
+
+fn parse_opt<T: std::str::FromStr>(key: &str, value: &str) -> Result<Option<T>, SpecError> {
+    if value == "none" {
+        Ok(None)
+    } else {
+        parse_num(key, value).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ExperimentSpec::central().validate().unwrap();
+        ExperimentSpec::decentral().validate().unwrap();
+    }
+
+    #[test]
+    fn parse_render_parse_is_identity() {
+        let text = "\
+# decentralized cell of figure 6
+engine=decentral
+policy=sparrow-srpt
+workload=bing
+interactive=true
+jobs=80
+util=0.8
+probe_ratio=2.5
+seeds=0,1,2
+";
+        let once = ExperimentSpec::parse(text).unwrap();
+        let twice = ExperimentSpec::parse(&once.render()).unwrap();
+        assert_eq!(once, twice);
+        assert_eq!(once.render(), twice.render());
+        // Spot-check the refined fields landed.
+        assert_eq!(once.engine, EngineKind::Decentral);
+        assert_eq!(once.policy, "sparrow-srpt");
+        assert_eq!(once.seeds, vec![0, 1, 2]);
+        // Engine-specific defaults came from the decentral base.
+        assert_eq!(once.machines, 300);
+        assert_eq!(once.handoff_ms, 0);
+    }
+
+    #[test]
+    fn engine_key_position_does_not_matter() {
+        let a = ExperimentSpec::parse("engine=decentral\nmachines=100\n").unwrap();
+        let b = ExperimentSpec::parse("machines=100\nengine=decentral\n").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.slots, 2, "decentral default slots");
+    }
+
+    #[test]
+    fn unknown_key_is_rejected_with_context() {
+        let e = ExperimentSpec::parse("jobs=10\nprobe_ration=4\n").unwrap_err();
+        assert!(e.0.contains("line 2"), "{e}");
+        assert!(e.0.contains("unknown key `probe_ration`"), "{e}");
+        assert!(e.0.contains("probe_ratio"), "should list known keys: {e}");
+    }
+
+    #[test]
+    fn malformed_lines_and_values_are_rejected() {
+        assert!(ExperimentSpec::parse("jobs 10\n").is_err());
+        assert!(ExperimentSpec::parse("jobs=ten\n").is_err());
+        assert!(ExperimentSpec::parse("interactive=yes\n").is_err());
+        assert!(ExperimentSpec::parse("engine=federated\n").is_err());
+        assert!(ExperimentSpec::parse("seeds=\n").is_err());
+    }
+
+    #[test]
+    fn validation_catches_cross_field_errors() {
+        let mut s = ExperimentSpec::central();
+        s.policy = "sparrow".into();
+        assert!(s.validate().is_err(), "sparrow is not a central policy");
+        let mut s = ExperimentSpec::decentral();
+        s.policy = "fifo".into();
+        assert!(s.validate().is_err());
+        let mut s = ExperimentSpec::central();
+        s.single_phase = true;
+        s.fixed_dag_len = Some(3);
+        assert!(s.validate().is_err());
+        let mut s = ExperimentSpec::central();
+        s.seeds.clear();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn options_round_trip_through_none() {
+        let mut s = ExperimentSpec::central();
+        s.fixed_beta = Some(1.5);
+        s.scan_ms = Some(200);
+        let back = ExperimentSpec::parse(&s.render()).unwrap();
+        assert_eq!(back.fixed_beta, Some(1.5));
+        assert_eq!(back.scan_ms, Some(200));
+        assert_eq!(back.spec_min_elapsed_ms, None);
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let s = ExperimentSpec::parse("\n# comment\njobs=7 # trailing\n\n").unwrap();
+        assert_eq!(s.jobs, 7);
+    }
+
+    #[test]
+    fn run_one_executes_both_engines() {
+        let mut c = ExperimentSpec::central();
+        c.jobs = 8;
+        c.machines = 10;
+        c.util = 0.6;
+        let out = c.run_one(3).unwrap();
+        assert_eq!(out.jobs().len(), 8);
+
+        let mut d = ExperimentSpec::decentral();
+        d.jobs = 8;
+        d.machines = 30;
+        d.util = 0.6;
+        let out = d.run_one(3).unwrap();
+        assert_eq!(out.jobs().len(), 8);
+        assert!(out.core().messages > 0, "decentral runs send messages");
+    }
+}

@@ -14,6 +14,6 @@ pub mod table;
 pub use export::{jobs_to_csv, sweep_to_csv};
 pub use stats::{
     mean, mean_duration, mean_duration_for_dag, mean_duration_in_bin, percentile, reduction_pct,
-    summarize, DistSummary, GainCdf, JobResult, SizeBin,
+    summarize, CoreStats, DistSummary, GainCdf, JobResult, SizeBin,
 };
 pub use table::{f1, pct, Table};

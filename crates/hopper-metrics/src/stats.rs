@@ -24,6 +24,31 @@ impl JobResult {
     }
 }
 
+/// The counters every simulator run exposes, regardless of driver.
+///
+/// `hopper-central`'s `RunStats` and `hopper-decentral`'s `DecStats` keep
+/// their driver-specific fields (refusal counts, locality fractions, …)
+/// but both flatten into this core, which is what the experiment layer's
+/// unified `RunSummary` surface reports. Counters a driver does not have
+/// are zero (`messages` for the centralized driver).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Original copies launched.
+    pub orig_launched: u64,
+    /// Speculative copies launched.
+    pub spec_launched: u64,
+    /// Tasks whose winning copy was speculative.
+    pub spec_won: u64,
+    /// Events processed by the simulator.
+    pub events: u64,
+    /// Scheduler↔worker protocol messages (reservations + responses +
+    /// refusals; kill notifications are not counted); zero for the
+    /// centralized driver, which has no network.
+    pub messages: u64,
+    /// Completion time of the last job.
+    pub makespan: SimTime,
+}
+
 /// The paper's job-size bins (Figure 7 / 9 / 12).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SizeBin {
@@ -79,6 +104,11 @@ pub fn mean(xs: &[f64]) -> f64 {
 }
 
 /// Linear-interpolated percentile (`p` in \[0, 1\]) of unsorted data.
+///
+/// Empty input returns 0.0 (not NaN): durations and gains are
+/// non-negative quantities, so 0 is the natural "no data" value and lets
+/// callers render empty sweep cells without special-casing. Panics only
+/// on `p` outside \[0, 1\] — a caller bug, not a data condition.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!((0.0..=1.0).contains(&p), "percentile {p} out of range");
     if xs.is_empty() {
@@ -114,7 +144,23 @@ pub struct DistSummary {
 }
 
 /// Summarize a sample.
+///
+/// Empty input returns the all-zero summary (`count == 0` flags it) —
+/// never NaN or −∞, so tables built over sparse sweep grids stay
+/// printable. `max` is additionally floored at 0 for non-empty input,
+/// matching the non-negative quantities (durations, gains) this
+/// summarizes.
 pub fn summarize(xs: &[f64]) -> DistSummary {
+    if xs.is_empty() {
+        return DistSummary {
+            count: 0,
+            mean: 0.0,
+            p10: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            max: 0.0,
+        };
+    }
     DistSummary {
         count: xs.len(),
         mean: mean(xs),
@@ -150,9 +196,15 @@ pub struct GainCdf {
 impl GainCdf {
     /// Match jobs by id and compute per-job percentage gains.
     ///
-    /// Panics if a job id appears in one run but not the other — the runs
-    /// must come from the same trace.
+    /// If either run is empty the result is the empty CDF (no gains) —
+    /// an empty comparison is well-defined, and sweep cells with no
+    /// completed jobs must not bring a whole table down. Panics only
+    /// when both runs are non-empty and a job id of `improved` is
+    /// missing from `baseline` — genuinely mismatched traces.
     pub fn between(baseline: &[JobResult], improved: &[JobResult]) -> GainCdf {
+        if baseline.is_empty() || improved.is_empty() {
+            return GainCdf { gains: Vec::new() };
+        }
         let mut base: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
         for r in baseline {
             base.insert(r.job, r.duration_ms());
@@ -325,6 +377,49 @@ mod tests {
         assert!((mean_duration(&rs) - 200.0).abs() < 1e-9);
         assert!((mean_duration_for_dag(&rs, 1).unwrap() - 200.0).abs() < 1e-9);
         assert!(mean_duration_for_dag(&rs, 3).is_none());
+    }
+
+    #[test]
+    fn empty_inputs_have_defined_values() {
+        // percentile: 0.0, never NaN.
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[], 1.0), 0.0);
+        // summarize: the all-zero summary, count flags emptiness.
+        let s = summarize(&[]);
+        assert_eq!(s, summarize(&[]));
+        assert_eq!(s.count, 0);
+        assert_eq!(
+            (s.mean, s.p10, s.p50, s.p90, s.max),
+            (0.0, 0.0, 0.0, 0.0, 0.0)
+        );
+        assert!(!s.mean.is_nan() && !s.max.is_nan());
+        // mean: 0.0 on empty.
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn gain_cdf_empty_sides_yield_empty_cdf() {
+        let some = [job(0, 10, 100)];
+        for (b, i) in [
+            (&[][..], &[][..]),
+            (&some[..], &[][..]),
+            (&[][..], &some[..]),
+        ] {
+            let cdf = GainCdf::between(b, i);
+            assert!(cdf.gains.is_empty());
+            assert_eq!(cdf.value_at(0.5), 0.0);
+            assert_eq!(cdf.fraction_slowed(), 0.0);
+            assert_eq!(cdf.slowdown_magnitude(), (0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn core_stats_default_is_zero() {
+        let c = CoreStats::default();
+        assert_eq!(c.orig_launched, 0);
+        assert_eq!(c.messages, 0);
+        assert_eq!(c.makespan, SimTime::ZERO);
     }
 
     #[test]

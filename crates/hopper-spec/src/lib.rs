@@ -262,7 +262,7 @@ fn sort_desc(out: &mut [Candidate]) {
 fn cap(out: Vec<Candidate>, job: &JobRun, cfg: &SpecConfig) -> Vec<Candidate> {
     let cap = ((job.spec.num_tasks() as f64 * cfg.spec_cap_fraction).ceil() as usize).max(1);
     let in_flight: usize = job
-        .phases
+        .phases()
         .iter()
         .flat_map(|p| &p.tasks)
         .flat_map(|t| &t.copies)
@@ -296,7 +296,7 @@ mod tests {
     fn launch_all(job: &mut JobRun) {
         let cfg = cluster_cfg();
         let mut rng = rng_from_seed(1);
-        for ti in 0..job.phases[0].tasks.len() {
+        for ti in 0..job.phases()[0].tasks.len() {
             job.launch_copy(
                 TaskRef::new(0, ti),
                 MachineId(ti % cfg.machines),

@@ -25,7 +25,7 @@ fn main() {
     };
     let sample = JobRun::new(trace.jobs[0].clone(), &cluster, &mut rng_from_seed(1));
     println!("sample job {}:", sample.id);
-    for (i, p) in sample.phases.iter().enumerate() {
+    for (i, p) in sample.phases().iter().enumerate() {
         println!(
             "  phase {i}: {} tasks, {:.1} MB out/task, shuffle-in {:.0} ms/task",
             p.num_tasks(),

@@ -1,35 +1,37 @@
 //! The ε-fairness knob (§4.3): trading a bounded amount of unfairness for
 //! performance — the paper's Figure 10 in miniature.
 //!
+//! Doc-example for the experiment layer: the whole figure is one
+//! [`ExperimentSpec`] swept along the `eps` axis. The sweep fans the
+//! ε × seed grid out over worker threads and (by the layer's
+//! determinism invariant) returns exactly what the serial loop this
+//! example used to hand-wire returned. Each ε cell shares its trace
+//! with the ε = 0 baseline by sharing a seed, so the per-job gain CDF
+//! is well-formed.
+//!
 //! ```text
 //! cargo run --release --example fairness_tradeoff
 //! ```
 
-use hopper::central::{run, HopperConfig, Policy, SimConfig};
-use hopper::core::AllocConfig;
+use hopper::experiment::{sweep, ExperimentSpec, SweepAxis};
 use hopper::metrics::{reduction_pct, GainCdf, Table};
-use hopper::workload::{TraceGenerator, WorkloadProfile};
 
 fn main() {
-    let profile = WorkloadProfile::facebook().interactive();
-    let trace = TraceGenerator::new(profile, 120, 3).generate_with_utilization(100, 0.7);
-    let mut cfg = SimConfig::default();
-    cfg.cluster.machines = 25;
-    cfg.cluster.slots_per_machine = 4;
+    let mut spec = ExperimentSpec::central();
+    spec.policy = "hopper".to_string();
+    spec.interactive = true;
+    spec.jobs = 120;
+    spec.machines = 25;
+    spec.slots = 4;
+    spec.util = 0.7;
+    spec.seeds = vec![3];
 
-    let hopper_with_eps = |eps: f64| {
-        Policy::Hopper(HopperConfig {
-            alloc: AllocConfig {
-                fairness_eps: eps,
-                ..Default::default()
-            },
-            ..Default::default()
-        })
-    };
+    let epsilons = [0.0, 0.05, 0.10, 0.15, 0.20, 0.30];
+    let results = sweep(&spec, &SweepAxis::new("eps", &epsilons)).expect("eps sweep");
 
     // ε = 0 is perfectly fair Hopper: every job always gets its fair share.
-    let fair = run(&trace, &hopper_with_eps(0.0), &cfg);
-    let fair_mean = fair.mean_duration_ms();
+    let fair = &results.trials_for("0")[0].jobs;
+    let fair_mean = results.mean_for("0");
 
     let mut table = Table::new(
         "ε-fairness sensitivity (baseline: ε = 0, perfectly fair)",
@@ -42,14 +44,18 @@ fn main() {
             "worst slowdown",
         ],
     );
-    for eps in [0.0, 0.05, 0.10, 0.15, 0.20, 0.30] {
-        let out = run(&trace, &hopper_with_eps(eps), &cfg);
-        let cdf = GainCdf::between(&fair.jobs, &out.jobs);
+    for eps in epsilons {
+        let v = eps.to_string();
+        let trial = &results.trials_for(&v)[0];
+        let cdf = GainCdf::between(fair, &trial.jobs);
         let (avg, worst) = cdf.slowdown_magnitude();
         table.row(&[
             format!("{:.0}%", eps * 100.0),
-            format!("{:.0}", out.mean_duration_ms()),
-            format!("{:+.1}%", reduction_pct(fair_mean, out.mean_duration_ms())),
+            format!("{:.0}", trial.mean_duration_ms()),
+            format!(
+                "{:+.1}%",
+                reduction_pct(fair_mean, trial.mean_duration_ms())
+            ),
             format!("{:.1}%", cdf.fraction_slowed() * 100.0),
             format!("{avg:.1}%"),
             format!("{worst:.1}%"),

@@ -23,6 +23,7 @@
 //! | [`central`] | `hopper-central` | centralized simulator: FIFO/Fair/SRPT/Budgeted/Hopper |
 //! | [`decentral`] | `hopper-decentral` | Sparrow-style decentralized simulator |
 //! | [`metrics`] | `hopper-metrics` | completion-time statistics, paper-style tables |
+//! | [`experiment`] | `hopper-experiment` | engine-agnostic experiment specs + deterministic parallel sweeps |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use hopper_central as central;
 pub use hopper_cluster as cluster;
 pub use hopper_core as core;
 pub use hopper_decentral as decentral;
+pub use hopper_experiment as experiment;
 pub use hopper_metrics as metrics;
 pub use hopper_sim as sim;
 pub use hopper_spec as spec;

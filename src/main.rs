@@ -1,4 +1,4 @@
-//! `hopper` — command-line experiment runner.
+//! `hopper` — command-line experiment runner over the experiment layer.
 //!
 //! ```text
 //! hopper central   [--policy srpt|fifo|fair|budgeted|hopper] [--jobs N]
@@ -7,17 +7,24 @@
 //! hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--jobs N]
 //!                  [--workers N] [--slots N] [--util F] [--seed N]
 //!                  [--probe-ratio F] [--refusals N] [--workload facebook|bing]
+//! hopper sweep     [--spec FILE] [key=value ...] --axis KEY=V1,V2[,...]
+//!                  [--threads N] [--csv]
 //! hopper example   # the §3 motivating example (Table 1 / Figures 1-2)
 //! ```
 //!
-//! Prints a one-line summary plus a per-size-bin table; exit code 0 on
-//! success. Flags may appear in any order; unknown flags abort with usage.
+//! `central` and `decentral` are thin builders over
+//! [`hopper::experiment::ExperimentSpec`]: each flag sets the spec field
+//! of the same name and the single trial runs through the same path a
+//! sweep cell does. Defaults are the spec defaults — central 50×4 slots,
+//! decentral the paper's deployment shape (300 workers × 2 slots, 10
+//! schedulers; the pre-experiment-layer CLI defaulted decentral to a
+//! clamped 50×4) — and flag values are taken as given, unclamped. `sweep` expands one spec along one axis (any spec
+//! key) × its seed list and fans the grid out over worker threads;
+//! results are bit-identical to a serial run regardless of `--threads`.
+//! Exit code 0 on success; unknown flags or keys abort with usage.
 
-use hopper::central;
-use hopper::cluster::ClusterConfig;
-use hopper::decentral;
+use hopper::experiment::{sweep_with_threads, EngineKind, ExperimentSpec, SpecError, SweepAxis};
 use hopper::metrics::{mean_duration_in_bin, JobResult, SizeBin, Table};
-use hopper::workload::{Trace, TraceGenerator, WorkloadProfile};
 use std::process::exit;
 
 fn main() {
@@ -26,10 +33,10 @@ fn main() {
         usage();
         exit(2);
     };
-    let flags = Flags::parse(&args[1..]);
     match mode.as_str() {
-        "central" => run_central(&flags),
-        "decentral" => run_decentral(&flags),
+        "central" => run_single(EngineKind::Central, &args[1..]),
+        "decentral" => run_single(EngineKind::Decentral, &args[1..]),
+        "sweep" => run_sweep(&args[1..]),
         "example" => run_example(),
         "--help" | "-h" | "help" => usage(),
         other => {
@@ -40,174 +47,166 @@ fn main() {
     }
 }
 
-struct Flags {
-    policy: String,
-    jobs: usize,
-    machines: usize,
-    slots: usize,
-    util: f64,
-    seed: u64,
-    workload: String,
-    interactive: bool,
-    eps: f64,
-    probe_ratio: f64,
-    refusals: usize,
+fn bail(e: SpecError) -> ! {
+    eprintln!("{e}");
+    exit(2);
 }
 
-impl Flags {
-    fn parse(rest: &[String]) -> Flags {
-        let mut f = Flags {
-            policy: "hopper".into(),
-            jobs: 100,
-            machines: 50,
-            slots: 4,
-            util: 0.7,
-            seed: 1,
-            workload: "facebook".into(),
-            interactive: false,
-            eps: 0.1,
-            probe_ratio: 4.0,
-            refusals: 2,
+/// Map the classic per-driver flags onto spec keys. Every flag is a
+/// 1:1 rename (`--probe-ratio` → `probe_ratio`); `--workers` is an
+/// alias for `--machines` and `--seed` sets a one-entry seed list.
+fn apply_flags(spec: &mut ExperimentSpec, rest: &[String]) {
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut next = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag {name} needs a value");
+                exit(2);
+            })
         };
-        let mut it = rest.iter();
-        while let Some(flag) = it.next() {
-            let mut next = |name: &str| {
-                it.next().cloned().unwrap_or_else(|| {
-                    eprintln!("flag {name} needs a value");
-                    exit(2);
-                })
-            };
-            match flag.as_str() {
-                "--policy" => f.policy = next("--policy"),
-                "--jobs" => f.jobs = parse(&next("--jobs")),
-                "--machines" | "--workers" => f.machines = parse(&next("--machines")),
-                "--slots" => f.slots = parse(&next("--slots")),
-                "--util" => f.util = parse(&next("--util")),
-                "--seed" => f.seed = parse(&next("--seed")),
-                "--workload" => f.workload = next("--workload"),
-                "--interactive" => f.interactive = true,
-                "--eps" => f.eps = parse(&next("--eps")),
-                "--probe-ratio" => f.probe_ratio = parse(&next("--probe-ratio")),
-                "--refusals" => f.refusals = parse(&next("--refusals")),
-                other => {
-                    eprintln!("unknown flag: {other}");
-                    usage();
+        let r = match flag.as_str() {
+            "--policy" => spec.set("policy", &next("--policy")),
+            "--jobs" => spec.set("jobs", &next("--jobs")),
+            "--machines" | "--workers" => spec.set("machines", &next("--machines")),
+            "--slots" => spec.set("slots", &next("--slots")),
+            "--util" => spec.set("util", &next("--util")),
+            "--seed" => {
+                // Single-run mode takes exactly one seed; a comma list
+                // would silently run only its head. Seed *lists* belong
+                // to `hopper sweep` (the `seeds=` key).
+                let v = next("--seed");
+                if v.parse::<u64>().is_err() {
+                    eprintln!(
+                        "--seed takes one seed (use `hopper sweep` with seeds=... for lists)"
+                    );
                     exit(2);
                 }
+                spec.set("seeds", &v)
             }
-        }
-        f
-    }
-
-    fn trace(&self, total_slots: usize) -> Trace {
-        let mut profile = match self.workload.as_str() {
-            "facebook" => WorkloadProfile::facebook(),
-            "bing" => WorkloadProfile::bing(),
+            "--workload" => spec.set("workload", &next("--workload")),
+            "--interactive" => spec.set("interactive", "true"),
+            "--eps" => spec.set("eps", &next("--eps")),
+            "--probe-ratio" => spec.set("probe_ratio", &next("--probe-ratio")),
+            "--refusals" => spec.set("refusals", &next("--refusals")),
             other => {
-                eprintln!("unknown workload: {other}");
+                eprintln!("unknown flag: {other}");
+                usage();
                 exit(2);
             }
         };
-        if self.interactive {
-            profile = profile.interactive();
+        if let Err(e) = r {
+            bail(e);
         }
-        TraceGenerator::new(profile, self.jobs, self.seed)
-            .generate_with_utilization(total_slots, self.util)
     }
 }
 
-fn parse<T: std::str::FromStr>(s: &str) -> T {
-    s.parse().unwrap_or_else(|_| {
-        eprintln!("could not parse value: {s}");
+fn run_single(kind: EngineKind, rest: &[String]) {
+    let mut spec = match kind {
+        EngineKind::Central => ExperimentSpec::central(),
+        EngineKind::Decentral => ExperimentSpec::decentral(),
+    };
+    apply_flags(&mut spec, rest);
+    if let Err(e) = spec.validate() {
+        bail(e);
+    }
+    let seed = spec.seeds[0];
+    let out = spec.run_one(seed).unwrap_or_else(|e| bail(e));
+    let core = out.core();
+    println!(
+        "{}/{} on {} jobs ({} workload, util {:.0}%, seed {}): mean JCT {:.0} ms, p90 {:.0} ms, \
+         makespan {:.1} s, spec {}/{} won, events {}, msgs {}",
+        spec.engine.as_str(),
+        spec.policy,
+        out.jobs().len(),
+        spec.workload,
+        spec.util * 100.0,
+        seed,
+        out.mean_duration_ms(),
+        out.percentile_duration_ms(0.9),
+        core.makespan.as_secs_f64(),
+        core.spec_won,
+        core.spec_launched,
+        core.events,
+        core.messages,
+    );
+    print_bins(out.jobs());
+}
+
+fn run_sweep(rest: &[String]) {
+    // File pairs and command-line pairs are collected separately and
+    // applied file-first, so explicit `key=value` arguments override
+    // the `--spec` file regardless of where `--spec` sits on the line
+    // (the parser takes the last occurrence of a key).
+    let mut file_text = String::new();
+    let mut arg_text = String::new();
+    let mut axis: Option<SweepAxis> = None;
+    let mut threads: Option<usize> = None;
+    let mut csv = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag {name} needs a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--spec" => {
+                let path = next("--spec");
+                match std::fs::read_to_string(&path) {
+                    Ok(text) => {
+                        file_text.push_str(&text);
+                        // Keep a file whose last line lacks '\n' from
+                        // merging with the next spec line.
+                        if !file_text.ends_with('\n') {
+                            file_text.push('\n');
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("could not read spec file {path}: {e}");
+                        exit(2);
+                    }
+                }
+            }
+            "--axis" => axis = Some(SweepAxis::parse(&next("--axis")).unwrap_or_else(|e| bail(e))),
+            "--threads" => {
+                threads = Some(next("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs a number");
+                    exit(2);
+                }))
+            }
+            "--csv" => csv = true,
+            kv if kv.contains('=') && !kv.starts_with("--") => {
+                arg_text.push_str(kv);
+                arg_text.push('\n');
+            }
+            other => {
+                eprintln!("unknown sweep argument: {other} (expected key=value or a --flag)");
+                usage();
+                exit(2);
+            }
+        }
+    }
+    let Some(axis) = axis else {
+        eprintln!("sweep needs --axis KEY=V1,V2[,...]");
         exit(2);
-    })
-}
-
-fn run_central(f: &Flags) {
-    let policy = match f.policy.as_str() {
-        "fifo" => central::Policy::Fifo,
-        "fair" => central::Policy::Fair,
-        "srpt" => central::Policy::Srpt,
-        "budgeted" => central::Policy::BudgetedSrpt {
-            budget_fraction: 0.2,
-        },
-        "hopper" => central::Policy::Hopper(central::HopperConfig {
-            alloc: hopper::core::AllocConfig {
-                fairness_eps: f.eps,
-                ..Default::default()
-            },
-            ..Default::default()
-        }),
-        other => {
-            eprintln!("unknown central policy: {other}");
-            exit(2);
-        }
     };
-    let cfg = central::SimConfig {
-        cluster: ClusterConfig {
-            machines: f.machines,
-            slots_per_machine: f.slots,
-            ..Default::default()
-        },
-        seed: f.seed,
-        ..Default::default()
-    };
-    let trace = f.trace(cfg.cluster.total_slots());
-    let out = central::run(&trace, &policy, &cfg);
-    println!(
-        "{} on {} jobs ({} workload, util {:.0}%): mean JCT {:.0} ms, makespan {:.1} s, spec {}/{} won, events {}",
-        policy.name(),
-        trace.len(),
-        f.workload,
-        f.util * 100.0,
-        out.mean_duration_ms(),
-        out.stats.makespan.as_secs_f64(),
-        out.stats.spec_won,
-        out.stats.spec_launched,
-        out.stats.events,
-    );
-    print_bins(&out.jobs);
-}
-
-fn run_decentral(f: &Flags) {
-    let policy = match f.policy.as_str() {
-        "sparrow" => decentral::DecPolicy::Sparrow,
-        "sparrow-srpt" => decentral::DecPolicy::SparrowSrpt,
-        "hopper" => decentral::DecPolicy::Hopper,
-        other => {
-            eprintln!("unknown decentral policy: {other}");
-            exit(2);
-        }
-    };
-    let cfg = decentral::DecConfig {
-        cluster: ClusterConfig {
-            machines: f.machines.max(10),
-            slots_per_machine: f.slots.min(4),
-            handoff_ms: 0,
-            ..Default::default()
-        },
-        probe_ratio: f.probe_ratio,
-        refusal_threshold: f.refusals,
-        fairness_eps: Some(f.eps),
-        seed: f.seed,
-        ..Default::default()
-    };
-    let trace = f.trace(cfg.cluster.total_slots());
-    let out = decentral::run(&trace, policy, &cfg);
-    println!(
-        "{} on {} jobs ({} workload, util {:.0}%): mean JCT {:.0} ms, spec {}/{} won, msgs {} res / {} resp / {} refusals",
-        policy.name(),
-        trace.len(),
-        f.workload,
-        f.util * 100.0,
-        out.mean_duration_ms(),
-        out.stats.spec_won,
-        out.stats.spec_launched,
-        out.stats.reservations,
-        out.stats.responses,
-        out.stats.refusals,
-    );
-    print_bins(&out.jobs);
+    let spec = ExperimentSpec::parse(&format!("{file_text}{arg_text}")).unwrap_or_else(|e| bail(e));
+    let threads = threads.unwrap_or_else(hopper::experiment::default_threads);
+    let table = sweep_with_threads(&spec, &axis, threads).unwrap_or_else(|e| bail(e));
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        let title = format!(
+            "{}/{} sweep over {} ({} trials, {} threads)",
+            spec.engine.as_str(),
+            spec.policy,
+            axis.key,
+            table.trials.len(),
+            threads,
+        );
+        table.to_table(&title).print();
+    }
 }
 
 fn print_bins(jobs: &[JobResult]) {
@@ -224,7 +223,7 @@ fn print_bins(jobs: &[JobResult]) {
 }
 
 fn run_example() {
-    use hopper::central::scenario::{motivating_sim_config, motivating_trace};
+    use hopper::central::{self, scenario::motivating_sim_config, scenario::motivating_trace};
     let (trace, _) = motivating_trace();
     let cfg = motivating_sim_config();
     let mut t = Table::new(
@@ -255,6 +254,6 @@ fn run_example() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  hopper central   [--policy srpt|fifo|fair|budgeted|hopper] [--jobs N] \\\n                   [--machines N] [--slots N] [--util F] [--seed N] \\\n                   [--workload facebook|bing] [--interactive] [--eps F]\n  hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--workers N] \\\n                   [--slots N] [--jobs N] [--util F] [--seed N] \\\n                   [--probe-ratio F] [--refusals N]\n  hopper example"
+        "usage:\n  hopper central   [--policy srpt|fifo|fair|budgeted|hopper] [--jobs N] \\\n                   [--machines N] [--slots N] [--util F] [--seed N] \\\n                   [--workload facebook|bing] [--interactive] [--eps F]\n  hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--workers N] \\\n                   [--slots N] [--jobs N] [--util F] [--seed N] \\\n                   [--probe-ratio F] [--refusals N]\n  hopper sweep     [--spec FILE] [key=value ...] --axis KEY=V1,V2[,...] \\\n                   [--threads N] [--csv]\n  hopper example"
     );
 }

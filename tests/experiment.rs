@@ -1,0 +1,142 @@
+//! Integration tests for the experiment layer: the parallel-determinism
+//! invariant of `sweep()`, and `ExperimentSpec` round-tripping through
+//! its `key=value` text form (the same mapping the CLI flags use).
+
+use hopper::experiment::{
+    run_seeds, sweep_serial, sweep_with_threads, EngineKind, ExperimentSpec, SweepAxis,
+};
+
+fn tiny(engine: EngineKind) -> ExperimentSpec {
+    let mut s = match engine {
+        EngineKind::Central => {
+            let mut s = ExperimentSpec::central();
+            s.machines = 10;
+            s.slots = 4;
+            s
+        }
+        EngineKind::Decentral => {
+            let mut s = ExperimentSpec::decentral();
+            s.machines = 30;
+            s
+        }
+    };
+    s.jobs = 8;
+    s.interactive = true;
+    s.util = 0.6;
+    s.seeds = vec![1, 2, 3];
+    s
+}
+
+/// The tentpole invariant: a parallel sweep over ≥2 worker threads is
+/// bit-identical to a serial fold over the same grid — both engines,
+/// two policies each, three seeds. Each trial owns its seed-derived
+/// RNGs and results are collected in grid order, so thread scheduling
+/// cannot leak into the output.
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    for (engine, policies) in [
+        (EngineKind::Central, ["srpt", "hopper"]),
+        (EngineKind::Decentral, ["sparrow", "hopper"]),
+    ] {
+        let spec = tiny(engine);
+        let axis = SweepAxis::new("policy", &policies);
+        let serial = sweep_serial(&spec, &axis).expect("serial sweep");
+        for threads in [2, 4] {
+            let parallel = sweep_with_threads(&spec, &axis, threads).expect("parallel sweep");
+            // Full structural equality: per-job completion times, all
+            // counters, grid order — not just aggregate means.
+            assert_eq!(
+                serial, parallel,
+                "{:?} sweep diverged at {threads} threads",
+                engine
+            );
+        }
+        assert_eq!(serial.trials.len(), 6, "2 policies × 3 seeds");
+        assert_eq!(serial.axis_values(), policies.to_vec());
+    }
+}
+
+/// `run_seeds` (the no-axis primitive the figure benches use) obeys the
+/// same invariant: parallel execution reproduces the per-seed
+/// `run_one` results exactly, in seed-list order.
+#[test]
+fn run_seeds_matches_serial_run_one_per_seed() {
+    let spec = tiny(EngineKind::Decentral);
+    let trials = run_seeds(&spec).expect("run_seeds");
+    assert_eq!(trials.len(), spec.seeds.len());
+    for (trial, &seed) in trials.iter().zip(&spec.seeds) {
+        assert_eq!(trial.seed, seed);
+        let direct = spec.run_one(seed).expect("run_one");
+        assert_eq!(trial.jobs, direct.jobs());
+        assert_eq!(trial.core, direct.core());
+    }
+}
+
+/// parse → render → parse is identity, for specs of both engines,
+/// including optional fields in both their `none` and set states.
+#[test]
+fn spec_text_round_trips() {
+    let mut central = tiny(EngineKind::Central);
+    central.fixed_beta = Some(1.5);
+    central.scan_ms = Some(200);
+    central.policy = "budgeted".to_string();
+    let mut decentral = tiny(EngineKind::Decentral);
+    decentral.workload = "bing".to_string();
+    decentral.probe_ratio = 3.5;
+    for spec in [central, decentral] {
+        let text = spec.render();
+        let parsed = ExperimentSpec::parse(&text).expect("rendered spec parses");
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.render(), text, "render is canonical");
+    }
+}
+
+/// Unknown keys are rejected with an error naming the key and line —
+/// this is also what catches a mistyped CLI `key=value` argument.
+#[test]
+fn spec_rejects_unknown_keys_with_context() {
+    let err = ExperimentSpec::parse("engine=decentral\nutilization=0.8\n").unwrap_err();
+    assert!(err.0.contains("unknown key `utilization`"), "{err}");
+    assert!(err.0.contains("line 2"), "{err}");
+    assert!(err.0.contains("util"), "lists known keys: {err}");
+
+    // The sweep axis goes through the same dispatch.
+    let spec = tiny(EngineKind::Decentral);
+    let axis = SweepAxis::new("probe_ration", &[2.0, 4.0]);
+    let err = sweep_with_threads(&spec, &axis, 2).unwrap_err();
+    assert!(err.0.contains("unknown key `probe_ration`"), "{err}");
+}
+
+/// The flag↔field mapping the thin CLI builders rely on: every classic
+/// flag spelling lands on the spec field of the same meaning.
+#[test]
+fn cli_flag_mapping_covers_the_classic_flags() {
+    let mut spec = ExperimentSpec::decentral();
+    for (key, value) in [
+        ("policy", "sparrow-srpt"),
+        ("jobs", "44"),
+        ("machines", "120"),
+        ("slots", "3"),
+        ("util", "0.85"),
+        ("seeds", "9"),
+        ("workload", "bing"),
+        ("interactive", "true"),
+        ("eps", "0.2"),
+        ("probe_ratio", "3.5"),
+        ("refusals", "4"),
+    ] {
+        spec.set(key, value).expect(key);
+    }
+    assert_eq!(spec.policy, "sparrow-srpt");
+    assert_eq!(spec.jobs, 44);
+    assert_eq!(spec.machines, 120);
+    assert_eq!(spec.slots, 3);
+    assert_eq!(spec.util, 0.85);
+    assert_eq!(spec.seeds, vec![9]);
+    assert_eq!(spec.workload, "bing");
+    assert!(spec.interactive);
+    assert_eq!(spec.eps, 0.2);
+    assert_eq!(spec.probe_ratio, 3.5);
+    assert_eq!(spec.refusals, 4);
+    spec.validate().expect("still a valid decentral spec");
+}
