@@ -10,7 +10,10 @@
 
 use std::collections::VecDeque;
 
-use hopper_cluster::{ClusterConfig, CopyRef, JobRun, MachineId, Machines, TaskRef};
+use hopper_cluster::{
+    ClusterConfig, CopyRef, DynEvent, DynamicsConfig, JobRun, MachineDynamics, MachineId, Machines,
+    TaskRef,
+};
 use hopper_core::{allocate, AlphaEstimator, BetaEstimator, JobDemand, Regime};
 use hopper_metrics::JobResult;
 use hopper_sim::{EventQueue, SeedSequence, SimTime};
@@ -37,6 +40,10 @@ pub struct SimConfig {
     /// then per task, for single-phase scenario jobs (the §3 example /
     /// Table 1 bench). Indexed by trace job id.
     pub scripted: Option<Vec<Vec<(u64, u64)>>>,
+    /// Cluster-dynamics plane: machine speed heterogeneity, transient
+    /// slowdowns, failures. The default ([`DynamicsConfig::off`]) is
+    /// bit-identical to a dynamics-free build.
+    pub dynamics: DynamicsConfig,
 }
 
 impl Default for SimConfig {
@@ -48,6 +55,7 @@ impl Default for SimConfig {
             seed: 1,
             max_events: 200_000_000,
             scripted: None,
+            dynamics: DynamicsConfig::off(),
         }
     }
 }
@@ -61,7 +69,7 @@ pub struct RunStats {
     pub spec_launched: u64,
     /// Tasks whose winning copy was speculative.
     pub spec_won: u64,
-    /// Copies killed (lost races).
+    /// Copies killed (lost races, or died with a failed machine).
     pub killed: u64,
     /// Speculative copies launched on a warm (pre-bound) slot.
     pub spec_warm: u64,
@@ -122,8 +130,14 @@ pub fn run(trace: &Trace, policy: &Policy, cfg: &SimConfig) -> RunOutput {
 #[derive(Debug, Clone)]
 enum Event {
     Arrival(usize),
-    Finish { job: usize, copy: CopyRef },
+    Finish {
+        job: usize,
+        copy: CopyRef,
+    },
     Scan,
+    /// Machine-dynamics incident (slowdown / failure / recovery). Only
+    /// ever queued when `SimConfig::dynamics` is enabled.
+    Dyn(DynEvent),
 }
 
 struct Central<'a> {
@@ -160,6 +174,9 @@ struct Central<'a> {
     alloc_cache: Option<(u64, Vec<usize>, Vec<usize>)>,
     /// Cluster-wide running original copies (BudgetedSrpt's cap input).
     orig_running: usize,
+    /// Machine speed/availability state; `None` when dynamics are off
+    /// (the common case — every lookup then short-circuits to 1.0/up).
+    dynamics: Option<MachineDynamics>,
     rng: StdRng,
     beta_est: BetaEstimator,
     alpha_est: AlphaEstimator,
@@ -186,6 +203,15 @@ impl<'a> Central<'a> {
         let mut queue = EventQueue::new();
         for j in &trace.jobs {
             queue.push(j.arrival, Event::Arrival(j.id));
+        }
+        let mut dynamics = cfg
+            .dynamics
+            .enabled()
+            .then(|| MachineDynamics::new(cfg.dynamics.clone(), cfg.cluster.machines, &seq));
+        if let Some(d) = dynamics.as_mut() {
+            for (at, ev) in d.initial_incidents() {
+                queue.push(at, Event::Dyn(ev));
+            }
         }
         let pending_orig = jobs
             .iter()
@@ -215,6 +241,7 @@ impl<'a> Central<'a> {
             demand_epoch: 0,
             alloc_cache: None,
             orig_running: 0,
+            dynamics,
             rng: seq.child_rng(0xD00D),
             beta_est: BetaEstimator::with_prior(1.5),
             alpha_est: AlphaEstimator::new(),
@@ -246,6 +273,32 @@ impl<'a> Central<'a> {
                     self.dispatch(now);
                 }
                 Event::Finish { job, copy } => {
+                    // A machine-speed change reschedules in-flight copies:
+                    // the superseded completion event pops at a time that
+                    // no longer matches the copy's finish instant. A no-op
+                    // without dynamics (events always pop on time).
+                    {
+                        let c = &self.jobs[job].phases()[copy.task.phase].tasks[copy.task.task]
+                            .copies[copy.copy];
+                        if c.status == hopper_cluster::CopyStatus::Running && c.finish_time() != now
+                        {
+                            continue;
+                        }
+                    }
+                    // Originals leaving the running set with this finish:
+                    // every non-speculative copy still Running at this
+                    // instant (winner included) is resolved by the race.
+                    // Captured *before* finish_copy so copies a machine
+                    // failure killed earlier — already deducted from
+                    // `orig_running` at failure time — are not recounted.
+                    let running_orig_delta = self.jobs[job].phases()[copy.task.phase].tasks
+                        [copy.task.task]
+                        .copies
+                        .iter()
+                        .filter(|c| {
+                            !c.speculative && c.status == hopper_cluster::CopyStatus::Running
+                        })
+                        .count();
                     let Some(out) = self.jobs[job].finish_copy(copy, now) else {
                         continue; // stale: the copy lost its race earlier
                     };
@@ -263,27 +316,6 @@ impl<'a> Central<'a> {
                     self.usage[job] -= freed_of_job;
                     let killed = freed_of_job - 1;
                     self.stats.killed += killed as u64;
-                    // Track cluster-wide originals: the finishing copy plus
-                    // any killed siblings leave the running set.
-                    let running_orig_delta = {
-                        let t = &self.jobs[job].phases()[copy.task.phase].tasks[copy.task.task];
-                        // Non-speculative copies that just left the running
-                        // set: the winner (if original) plus killed
-                        // original siblings. A task finishes exactly once,
-                        // so every Killed sibling was killed right now.
-                        let mut d = if was_spec { 0 } else { 1 };
-                        d += t
-                            .copies
-                            .iter()
-                            .enumerate()
-                            .filter(|(i, c)| {
-                                *i != copy.copy
-                                    && !c.speculative
-                                    && c.status == hopper_cluster::CopyStatus::Killed
-                            })
-                            .count();
-                        d
-                    };
                     self.orig_running -= running_orig_delta.min(self.orig_running);
                     if was_spec {
                         self.stats.spec_won += 1;
@@ -326,6 +358,15 @@ impl<'a> Central<'a> {
                     }
                     self.arm_scan();
                     self.dispatch(now);
+                }
+                Event::Dyn(ev) => {
+                    // The incident chain dies with the workload: once every
+                    // job has completed, incidents are dropped unapplied and
+                    // no follow-up is scheduled, so the queue drains.
+                    if self.active.is_empty() && self.arrivals_pending == 0 {
+                        continue;
+                    }
+                    self.on_dyn(ev, now);
                 }
             }
         }
@@ -378,6 +419,63 @@ impl<'a> Central<'a> {
         if !self.scan_armed && (!self.active.is_empty() || self.arrivals_pending > 0) {
             self.queue.push_after(self.cfg.scan_interval, Event::Scan);
             self.scan_armed = true;
+        }
+    }
+
+    /// Effective speed of machine `m` (1.0 when dynamics are off).
+    fn machine_speed(&self, m: MachineId) -> f64 {
+        self.dynamics.as_ref().map_or(1.0, |d| d.speed(m))
+    }
+
+    /// Apply one machine-dynamics incident.
+    fn on_dyn(&mut self, ev: DynEvent, now: SimTime) {
+        let out = self
+            .dynamics
+            .as_mut()
+            .expect("dyn event without dynamics plane")
+            .apply(ev);
+        for (delay, next) in out.next {
+            self.queue.push(now + delay, Event::Dyn(next));
+        }
+        let m = ev.machine();
+        match ev {
+            DynEvent::SlowdownStart(_) | DynEvent::SlowdownEnd(_) => {
+                // In-flight copies on `m` stretch (or shrink) their
+                // remaining time; their old completion events go stale and
+                // fresh ones are queued at the rescaled finish instants.
+                let ratio = out.rescale_ratio.expect("speed change carries a ratio");
+                for idx in 0..self.active.len() {
+                    let j = self.active[idx];
+                    for (copy, finish) in self.jobs[j].rescale_machine(m, now, ratio) {
+                        self.queue.push(finish, Event::Finish { job: j, copy });
+                    }
+                }
+            }
+            DynEvent::Fail(_) => {
+                // Every running copy on the machine dies with it; tasks
+                // whose last copy died return to the pending pool for
+                // re-dispatch. The machine's slots leave the cluster.
+                for idx in 0..self.active.len() {
+                    let j = self.active[idx];
+                    let fo = self.jobs[j].fail_machine(m);
+                    if fo.killed == 0 {
+                        continue;
+                    }
+                    self.usage[j] -= fo.killed;
+                    let orig = fo.killed - fo.killed_spec;
+                    self.orig_running -= orig.min(self.orig_running);
+                    self.pending_orig[j] += fo.requeued.len();
+                    self.stats.killed += fo.killed as u64;
+                }
+                self.machines.set_down(m);
+                self.demand_epoch += 1;
+                self.dispatch(now);
+            }
+            DynEvent::Recover(_) => {
+                self.machines.set_up(m);
+                self.demand_epoch += 1;
+                self.dispatch(now);
+            }
         }
     }
 
@@ -725,8 +823,17 @@ impl<'a> Central<'a> {
         let Some((task, m)) = pick else { return false };
         let temp = self.machines.occupy_for(m, j);
         let delay = self.handoff_delay(temp);
-        let (copy, dur) =
-            self.jobs[j].launch_copy(task, m, false, now, delay, &self.cfg.cluster, &mut self.rng);
+        let speed = self.machine_speed(m);
+        let (copy, dur) = self.jobs[j].launch_copy_at_speed(
+            task,
+            m,
+            false,
+            now,
+            delay,
+            &self.cfg.cluster,
+            &mut self.rng,
+            speed,
+        );
         self.queue
             .push(now + delay + dur, Event::Finish { job: j, copy });
         self.usage[j] += 1;
@@ -758,7 +865,8 @@ impl<'a> Central<'a> {
             };
             let temp = self.machines.occupy_for(m, j);
             let delay = self.handoff_delay(temp);
-            let (copy, dur) = self.jobs[j].launch_copy(
+            let speed = self.machine_speed(m);
+            let (copy, dur) = self.jobs[j].launch_copy_at_speed(
                 cand.task,
                 m,
                 true,
@@ -766,6 +874,7 @@ impl<'a> Central<'a> {
                 delay,
                 &self.cfg.cluster,
                 &mut self.rng,
+                speed,
             );
             if delay == SimTime::ZERO {
                 self.stats.spec_warm += 1;

@@ -65,6 +65,7 @@ pub fn motivating_sim_config() -> SimConfig {
         seed: 42,
         max_events: 10_000,
         scripted: Some(scripted),
+        dynamics: hopper_cluster::DynamicsConfig::off(),
     }
 }
 

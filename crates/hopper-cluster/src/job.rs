@@ -103,6 +103,22 @@ impl TaskRun {
         !self.copies.is_empty()
     }
 
+    /// Whether the task needs an original (re-)dispatched: unfinished
+    /// with nothing currently running. True before the first launch and
+    /// again after a machine failure killed its last running copy —
+    /// without failures this is exactly `!is_launched() && !is_finished()`
+    /// (a launched, unfinished task always has a running copy, since race
+    /// kills only happen at task completion).
+    pub fn needs_original(&self) -> bool {
+        self.finished_at.is_none() && self.running == 0
+    }
+
+    /// Ground-truth form of [`TaskRun::needs_original`] by copy-status
+    /// scan (the `scan_*` oracle family).
+    fn scan_needs_original(&self) -> bool {
+        self.finished_at.is_none() && self.scan_running_copies() == 0
+    }
+
     /// Number of currently running copies (O(1); counter maintained by the
     /// launch / finish transitions).
     pub fn running_copies(&self) -> usize {
@@ -187,6 +203,20 @@ pub struct FinishOutcome {
     pub newly_eligible: Vec<usize>,
     /// Whether the whole job completed.
     pub job_done: bool,
+}
+
+/// What a machine failure did to one job (returned by
+/// [`JobRun::fail_machine`]): how many running copies died with the
+/// machine and which tasks went back to the pending pool.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FailOutcome {
+    /// Running copies killed on the failed machine.
+    pub killed: usize,
+    /// Of those, speculative copies.
+    pub killed_spec: usize,
+    /// Tasks whose last running copy died: pending again, in
+    /// `(phase, task)` order.
+    pub requeued: Vec<TaskRef>,
 }
 
 /// A scheduler-visible view of one running copy (progress observation).
@@ -405,7 +435,7 @@ impl JobRun {
                     idx.remaining_compute_ms += t.work.as_millis();
                 }
                 let tr = TaskRef::new(pi, ti);
-                if !t.is_launched() && !t.is_finished() {
+                if t.scan_needs_original() {
                     idx.pending.insert(tr);
                     if t.replicas.is_empty() {
                         idx.pending_no_replica.insert(tr);
@@ -467,6 +497,21 @@ impl JobRun {
         }
     }
 
+    /// Re-insert a task into the pending index structures (machine
+    /// failure requeued it for re-dispatch).
+    fn index_insert_pending(&mut self, tr: TaskRef) {
+        if !self.idx.pending.insert(tr) {
+            return;
+        }
+        let t = &self.phases[tr.phase].tasks[tr.task];
+        if t.replicas.is_empty() {
+            self.idx.pending_no_replica.insert(tr);
+        }
+        for &r in &t.replicas {
+            self.idx.pending_local.entry(r).or_default().insert(tr);
+        }
+    }
+
     /// Build a single-phase job with *scripted* per-task durations — used
     /// by the §3 motivating example (Table 1) and in tests.
     pub fn scripted(id: usize, arrival: SimTime, tasks: &[(u64, u64)]) -> Self {
@@ -510,14 +555,38 @@ impl JobRun {
         cfg: &ClusterConfig,
         rng: &mut StdRng,
     ) -> (CopyRef, SimTime) {
+        self.launch_copy_at_speed(task, machine, speculative, now, delay, cfg, rng, 1.0)
+    }
+
+    /// [`JobRun::launch_copy`] on a machine running at `speed` (the
+    /// cluster-dynamics plane): the copy's wall-clock duration is the
+    /// unit-speed duration divided by the speed. `speed == 1.0` is
+    /// bit-identical to `launch_copy` — the dynamics-off invariant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_copy_at_speed(
+        &mut self,
+        task: TaskRef,
+        machine: MachineId,
+        speculative: bool,
+        now: SimTime,
+        delay: SimTime,
+        cfg: &ClusterConfig,
+        rng: &mut StdRng,
+        speed: f64,
+    ) -> (CopyRef, SimTime) {
+        debug_assert!(speed > 0.0 && speed.is_finite(), "bad machine speed");
         let phase = &mut self.phases[task.phase];
         assert!(phase.eligible, "launching into ineligible phase");
         let effective = phase.effective_work(task.task);
         let t = &mut phase.tasks[task.task];
         assert!(t.finished_at.is_none(), "launching a finished task");
+        debug_assert!(
+            !speculative || t.running > 0,
+            "speculating on a task with no running copy"
+        );
 
         let local = t.replicas.is_empty() || t.replicas.contains(&machine);
-        let duration = match t.scripted {
+        let unit_speed = match t.scripted {
             Some(s) => {
                 if speculative {
                     s.speculative
@@ -533,6 +602,13 @@ impl JobRun {
                 effective.scale(mult * penalty)
             }
         };
+        // The speed division is gated so the homogeneous path stays
+        // bit-identical (scale() re-rounds even at factor 1.0).
+        let duration = if speed == 1.0 {
+            unit_speed
+        } else {
+            unit_speed.scale(1.0 / speed).max(SimTime::from_millis(1))
+        };
         if !t.replicas.is_empty() {
             if local {
                 self.local_launches += 1;
@@ -540,7 +616,10 @@ impl JobRun {
                 self.nonlocal_launches += 1;
             }
         }
-        let first_launch = t.copies.is_empty();
+        // The task leaves the pending pool when it had no running copy —
+        // on its very first launch, or on a re-dispatch after a machine
+        // failure requeued it.
+        let was_pending = t.running == 0;
         let copy_idx = t.copies.len();
         let start = now + delay;
         t.copies.push(Copy {
@@ -574,7 +653,7 @@ impl JobRun {
             }
             _ => {}
         }
-        if first_launch {
+        if was_pending {
             self.idx.pending_originals -= 1;
             self.index_remove_pending(task);
         }
@@ -666,6 +745,148 @@ impl JobRun {
         })
     }
 
+    /// Kill every running copy of this job on `machine` (the machine
+    /// failed). Killed copies free no slot — the slot died with the
+    /// machine — and a task whose *last* running copy was killed becomes
+    /// pending again for re-dispatch (it re-enters `pending_originals`
+    /// and the locality indices). The task's already-accumulated copies
+    /// stay recorded (`Killed`), so duration statistics are untouched.
+    pub fn fail_machine(&mut self, machine: MachineId) -> FailOutcome {
+        let mut out = FailOutcome {
+            killed: 0,
+            killed_spec: 0,
+            requeued: Vec::new(),
+        };
+        // (task, prev_running, killed_here, solo_finish_before, survivor_finish_after)
+        let mut solo_removals: Vec<(SimTime, TaskRef)> = Vec::new();
+        let mut solo_insertions: Vec<(SimTime, TaskRef)> = Vec::new();
+        for pi in 0..self.phases.len() {
+            if !self.phases[pi].eligible {
+                continue;
+            }
+            for ti in 0..self.phases[pi].tasks.len() {
+                let t = &mut self.phases[pi].tasks[ti];
+                if t.finished_at.is_some() || t.running == 0 {
+                    continue;
+                }
+                let tr = TaskRef::new(pi, ti);
+                let prev_running = t.running;
+                let mut killed_here: u32 = 0;
+                let mut killed_finish = SimTime::ZERO;
+                for c in t.copies.iter_mut() {
+                    if c.status == CopyStatus::Running && c.machine == machine {
+                        c.status = CopyStatus::Killed;
+                        killed_here += 1;
+                        killed_finish = c.finish_time();
+                        if c.speculative {
+                            out.killed_spec += 1;
+                        }
+                    }
+                }
+                if killed_here == 0 {
+                    continue;
+                }
+                t.running -= killed_here;
+                let now_running = t.running;
+                let survivor_finish = t
+                    .copies
+                    .iter()
+                    .find(|c| c.status == CopyStatus::Running)
+                    .map(|c| c.finish_time());
+                out.killed += killed_here as usize;
+                self.idx.running_copies -= killed_here as usize;
+                if prev_running == 1 {
+                    solo_removals.push((killed_finish, tr));
+                }
+                if now_running == 1 {
+                    solo_insertions.push((survivor_finish.expect("one running copy"), tr));
+                }
+                if now_running == 0 {
+                    self.idx.pending_originals += 1;
+                    out.requeued.push(tr);
+                }
+            }
+        }
+        for key in solo_removals {
+            let removed = self.idx.solo_running.remove(&key);
+            debug_assert!(removed, "solo-running entry missing at failure");
+        }
+        for key in solo_insertions {
+            self.idx.solo_running.insert(key);
+        }
+        for &tr in &out.requeued {
+            self.index_insert_pending(tr);
+        }
+        #[cfg(debug_assertions)]
+        self.debug_check_index();
+        out
+    }
+
+    /// Stretch (or shrink) the remaining wall-clock time of every running
+    /// copy on `machine` by `ratio` = old speed / new speed, re-anchoring
+    /// at `now` (the machine's speed just changed — the cluster-dynamics
+    /// transient-slowdown hook). A copy whose hand-off delay has not
+    /// elapsed yet (`start > now`) rescales its whole duration instead.
+    /// Returns `(copy, new finish instant)` for every rescheduled copy so
+    /// the driver can push fresh completion events; the previously queued
+    /// events become stale (their pop time no longer matches the copy's
+    /// finish time). Maintains the solo-running index, whose keys embed
+    /// the finish instant.
+    pub fn rescale_machine(
+        &mut self,
+        machine: MachineId,
+        now: SimTime,
+        ratio: f64,
+    ) -> Vec<(CopyRef, SimTime)> {
+        debug_assert!(ratio > 0.0 && ratio.is_finite(), "bad rescale ratio");
+        let mut resched: Vec<(CopyRef, SimTime)> = Vec::new();
+        let mut solo_moves: Vec<(SimTime, SimTime, TaskRef)> = Vec::new();
+        for pi in 0..self.phases.len() {
+            if !self.phases[pi].eligible {
+                continue;
+            }
+            for ti in 0..self.phases[pi].tasks.len() {
+                let t = &mut self.phases[pi].tasks[ti];
+                if t.finished_at.is_some() || t.running == 0 {
+                    continue;
+                }
+                let solo = t.running == 1;
+                for (ci, c) in t.copies.iter_mut().enumerate() {
+                    if c.status != CopyStatus::Running || c.machine != machine {
+                        continue;
+                    }
+                    let old_finish = c.finish_time();
+                    let new_finish = if c.start >= now {
+                        let d = ((c.duration.as_millis() as f64 * ratio).round() as u64).max(1);
+                        c.start + SimTime::from_millis(d)
+                    } else {
+                        let rem = old_finish.saturating_sub(now).as_millis();
+                        if rem == 0 {
+                            continue; // due at this very instant; let it land
+                        }
+                        now + SimTime::from_millis(((rem as f64 * ratio).round() as u64).max(1))
+                    };
+                    if new_finish == old_finish {
+                        continue;
+                    }
+                    c.duration = new_finish - c.start;
+                    if solo {
+                        solo_moves.push((old_finish, new_finish, TaskRef::new(pi, ti)));
+                    }
+                    resched.push((CopyRef::new(pi, ti, ci), new_finish));
+                }
+            }
+        }
+        for (old, new, tr) in solo_moves {
+            let removed = self.idx.solo_running.remove(&(old, tr));
+            debug_assert!(removed, "solo-running entry missing at rescale");
+            self.idx.solo_running.insert((new, tr));
+        }
+        #[cfg(debug_assertions)]
+        self.debug_check_index();
+        resched
+    }
+
     /// Slow-start fraction for upstream phase `u` (constant today; indexed
     /// so per-phase policies can be added without changing callers).
     fn slowstart(&self, _u: usize) -> f64 {
@@ -754,7 +975,7 @@ impl JobRun {
             .iter()
             .filter(|p| p.eligible)
             .flat_map(|p| &p.tasks)
-            .filter(|t| !t.is_launched() && !t.is_finished())
+            .filter(|t| t.scan_needs_original())
             .count()
     }
 
@@ -813,7 +1034,7 @@ impl JobRun {
                 continue;
             }
             for (ti, t) in p.tasks.iter().enumerate() {
-                if t.is_launched() || t.is_finished() {
+                if !t.scan_needs_original() {
                     continue;
                 }
                 let tr = TaskRef::new(pi, ti);
@@ -847,7 +1068,7 @@ impl JobRun {
                 && !p.is_complete()
                 && p.tasks
                     .iter()
-                    .any(|t| !t.is_launched() && !t.is_finished() && t.replicas.contains(&machine))
+                    .any(|t| t.scan_needs_original() && t.replicas.contains(&machine))
         })
     }
 
@@ -1492,6 +1713,178 @@ mod tests {
             &c,
             &mut rng,
         );
+    }
+
+    #[test]
+    fn fail_machine_requeues_sole_copy_tasks() {
+        let mut j = simple_job(3, 1000);
+        let mut rng = rng_from_seed(2);
+        let c = cfg();
+        // Task 0 runs on machine 4, task 1 on machine 5.
+        for (ti, m) in [(0usize, 4usize), (1, 5)] {
+            j.launch_copy(
+                TaskRef::new(0, ti),
+                MachineId(m),
+                false,
+                SimTime::ZERO,
+                SimTime::ZERO,
+                &c,
+                &mut rng,
+            );
+        }
+        assert_eq!(j.pending_originals(), 1);
+        let out = j.fail_machine(MachineId(4));
+        assert_eq!(out.killed, 1);
+        assert_eq!(out.killed_spec, 0);
+        assert_eq!(out.requeued, vec![TaskRef::new(0, 0)]);
+        // The task is pending again and relaunchable.
+        assert_eq!(j.pending_originals(), 2);
+        assert_eq!(j.occupied_slots(), 1);
+        assert!(j.pending_tasks().any(|t| t == TaskRef::new(0, 0)));
+        let (copy, _) = j.launch_copy(
+            TaskRef::new(0, 0),
+            MachineId(6),
+            false,
+            SimTime::from_millis(10),
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+        );
+        assert_eq!(copy.copy, 1, "relaunch is a fresh copy of the same task");
+        assert_eq!(j.pending_originals(), 1);
+        // Unrelated machines are untouched.
+        let none = j.fail_machine(MachineId(9));
+        assert_eq!(none.killed, 0);
+        assert!(none.requeued.is_empty());
+    }
+
+    #[test]
+    fn fail_machine_with_speculative_sibling_keeps_task_running() {
+        let mut j = simple_job(1, 1000);
+        let mut rng = rng_from_seed(2);
+        let c = cfg();
+        let task = TaskRef::new(0, 0);
+        j.launch_copy(
+            task,
+            MachineId(0),
+            false,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+        );
+        let (spec, _) = j.launch_copy(
+            task,
+            MachineId(1),
+            true,
+            SimTime::from_millis(100),
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+        );
+        // The original's machine dies; the speculative copy survives and
+        // the task is NOT requeued.
+        let out = j.fail_machine(MachineId(0));
+        assert_eq!(out.killed, 1);
+        assert!(out.requeued.is_empty());
+        assert_eq!(j.occupied_slots(), 1);
+        assert_eq!(j.pending_originals(), 0);
+        // The surviving speculative copy can finish the task.
+        let fin = j
+            .finish_copy(spec, SimTime::from_millis(50_000))
+            .expect("survivor finishes");
+        assert!(fin.job_done);
+        assert_eq!(fin.freed.len(), 1, "only the survivor frees a slot");
+    }
+
+    #[test]
+    fn rescale_machine_stretches_remaining_time_only() {
+        let mut j = JobRun::scripted(0, SimTime::ZERO, &[(10_000, 5_000)]);
+        let mut rng = rng_from_seed(5);
+        let c = cfg();
+        j.launch_copy(
+            TaskRef::new(0, 0),
+            MachineId(0),
+            false,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+        );
+        // At t = 4 s the machine halves its speed: 6 s remaining → 12 s.
+        let now = SimTime::from_millis(4_000);
+        let resched = j.rescale_machine(MachineId(0), now, 2.0);
+        assert_eq!(resched.len(), 1);
+        assert_eq!(resched[0].1, SimTime::from_millis(16_000));
+        let cp = &j.phases()[0].tasks[0].copies[0];
+        assert_eq!(cp.finish_time(), SimTime::from_millis(16_000));
+        // Speed restored at t = 10 s: 6 s remaining → 3 s.
+        let back = j.rescale_machine(MachineId(0), SimTime::from_millis(10_000), 0.5);
+        assert_eq!(back[0].1, SimTime::from_millis(13_000));
+        // Other machines are untouched.
+        assert!(j
+            .rescale_machine(MachineId(3), SimTime::from_millis(11_000), 2.0)
+            .is_empty());
+    }
+
+    #[test]
+    fn rescale_keeps_best_extra_speculation_consistent() {
+        // Two solo-running tasks; rescaling one must move it within the
+        // solo-running index (pinned by the debug oracle in
+        // best_extra_speculation).
+        let mut j = JobRun::scripted(0, SimTime::ZERO, &[(10_000, 1_000), (8_000, 1_000)]);
+        let mut rng = rng_from_seed(5);
+        let c = cfg();
+        for ti in 0..2 {
+            j.launch_copy(
+                TaskRef::new(0, ti),
+                MachineId(ti),
+                false,
+                SimTime::ZERO,
+                SimTime::ZERO,
+                &c,
+                &mut rng,
+            );
+        }
+        assert_eq!(
+            j.best_extra_speculation(SimTime::from_millis(100)),
+            Some(TaskRef::new(0, 0))
+        );
+        // Machine 1 slows 4×: task 1's finish moves to 32 s — past task 0.
+        j.rescale_machine(MachineId(1), SimTime::ZERO, 4.0);
+        assert_eq!(
+            j.best_extra_speculation(SimTime::from_millis(100)),
+            Some(TaskRef::new(0, 1))
+        );
+    }
+
+    #[test]
+    fn launch_at_speed_divides_duration() {
+        let mut j = JobRun::scripted(0, SimTime::ZERO, &[(10_000, 5_000), (10_000, 5_000)]);
+        let mut rng = rng_from_seed(5);
+        let c = cfg();
+        let (_, d_slow) = j.launch_copy_at_speed(
+            TaskRef::new(0, 0),
+            MachineId(0),
+            false,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+            0.5,
+        );
+        assert_eq!(d_slow, SimTime::from_millis(20_000));
+        let (_, d_fast) = j.launch_copy_at_speed(
+            TaskRef::new(0, 1),
+            MachineId(1),
+            false,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            &c,
+            &mut rng,
+            2.0,
+        );
+        assert_eq!(d_fast, SimTime::from_millis(5_000));
     }
 
     #[test]

@@ -8,12 +8,15 @@
 //! (`hopper-decentral`) drivers share these execution semantics, so policy
 //! comparisons are apples-to-apples.
 
+pub mod dynamics;
 pub mod ids;
 pub mod job;
 pub mod machine;
 
+pub use dynamics::{DynEvent, DynOutcome, DynamicsConfig, HeteroProfile, MachineDynamics};
 pub use ids::{CopyRef, MachineId, TaskRef};
 pub use job::{
-    Copy, CopyObservation, CopyStatus, FinishOutcome, JobRun, PhaseRun, ScriptedTask, TaskRun,
+    Copy, CopyObservation, CopyStatus, FailOutcome, FinishOutcome, JobRun, PhaseRun, ScriptedTask,
+    TaskRun,
 };
 pub use machine::{ClusterConfig, Machines, SlotTemp};

@@ -122,6 +122,10 @@ pub struct Machines {
     warm_totals: HashMap<usize, usize>,
     /// Total bound (warm) slots across the cluster (Σ warm_totals).
     total_bound: usize,
+    /// Machines currently failed (dynamics plane). A down machine has no
+    /// free, unbound, or bound slots, so every index skips it naturally;
+    /// the flag guards against accidental occupy/release while down.
+    down: Vec<bool>,
 }
 
 impl Machines {
@@ -148,7 +152,64 @@ impl Machines {
             warm_machines: HashMap::new(),
             warm_totals: HashMap::new(),
             total_bound: 0,
+            down: vec![false; cfg.machines],
         }
+    }
+
+    /// Take machine `m` out of the cluster (machine failure). Its free
+    /// slots leave every pool and its warm bindings are forgotten; slots
+    /// occupied by (now killed) copies are simply gone — the machine
+    /// rejoins fully reset via [`Machines::set_up`]. Panics on double
+    /// failure.
+    pub fn set_down(&mut self, m: MachineId) {
+        let m = m.0;
+        assert!(!self.down[m], "machine {m} failed while already down");
+        self.down[m] = true;
+        self.total_free -= self.free[m];
+        self.free[m] = 0;
+        self.free_set.remove(&m);
+        self.unbound[m] = 0;
+        self.unbound_set.remove(&m);
+        for (job, c) in std::mem::take(&mut self.bound[m]) {
+            self.total_bound -= c;
+            let t = self.warm_totals.get_mut(&job).expect("warm total");
+            *t -= c;
+            if *t == 0 {
+                self.warm_totals.remove(&job);
+            }
+            if let Some(set) = self.warm_machines.get_mut(&job) {
+                set.remove(&m);
+                if set.is_empty() {
+                    self.warm_machines.remove(&job);
+                }
+            }
+        }
+        self.bound_set.remove(&m);
+        #[cfg(debug_assertions)]
+        self.debug_check_index();
+    }
+
+    /// Return a failed machine to service with every slot free and
+    /// unbound (the reboot lost all executor warmth). Panics if `m` is
+    /// not down.
+    pub fn set_up(&mut self, m: MachineId) {
+        let m = m.0;
+        assert!(self.down[m], "machine {m} recovered while up");
+        self.down[m] = false;
+        self.free[m] = self.slots_per_machine;
+        self.unbound[m] = self.slots_per_machine;
+        self.total_free += self.slots_per_machine;
+        if self.slots_per_machine > 0 {
+            self.free_set.insert(m);
+            self.unbound_set.insert(m);
+        }
+        #[cfg(debug_assertions)]
+        self.debug_check_index();
+    }
+
+    /// Whether machine `m` is currently down (failed).
+    pub fn is_down(&self, m: MachineId) -> bool {
+        self.down[m.0]
     }
 
     /// One free slot disappears on `m`.
@@ -302,6 +363,7 @@ impl Machines {
     /// available. Returns whether the slot was warm. Panics if `m` has no
     /// free slot (callers check first).
     pub fn occupy_for(&mut self, m: MachineId, job: usize) -> SlotTemp {
+        assert!(!self.down[m.0], "occupy on down machine {}", m.0);
         assert!(self.free[m.0] > 0, "occupy on full machine {}", m.0);
         self.free_dec(m.0);
         let temp = if self.bound[m.0].contains_key(&job) {
@@ -328,6 +390,7 @@ impl Machines {
     /// Release one slot on `m`, leaving it warm (bound) for `job`.
     /// Panics on double release.
     pub fn release_to(&mut self, m: MachineId, job: usize) {
+        assert!(!self.down[m.0], "release to down machine {}", m.0);
         assert!(
             self.free[m.0] < self.slots_per_machine,
             "double release on machine {}",
@@ -533,6 +596,51 @@ mod tests {
             m.preferred_free_machine(5, &[MachineId(2)]),
             Some(MachineId(0))
         );
+    }
+
+    #[test]
+    fn set_down_parks_every_slot_and_forgets_warmth() {
+        let (_, mut m) = small();
+        m.occupy_for(MachineId(1), 7);
+        m.release_to(MachineId(1), 7); // warm slot for job 7 on machine 1
+        m.occupy_for(MachineId(1), 9); // one slot occupied (steals warmth)
+        m.set_down(MachineId(1));
+        assert!(m.is_down(MachineId(1)));
+        assert_eq!(m.free_on(MachineId(1)), 0);
+        assert_eq!(m.warm_on(MachineId(1), 7), 0);
+        assert_eq!(m.total_free(), 4, "only machines 0 and 2 contribute");
+        assert!(m.machines_with_free().all(|x| x != MachineId(1)));
+        // Recovery restores a fully free, fully cold machine.
+        m.set_up(MachineId(1));
+        assert!(!m.is_down(MachineId(1)));
+        assert_eq!(m.free_on(MachineId(1)), 2);
+        assert_eq!(m.total_free(), 6);
+        assert_eq!(m.occupy_for(MachineId(1), 7), SlotTemp::Cold);
+    }
+
+    #[test]
+    fn bind_idle_skips_down_machines() {
+        let (_, mut m) = small();
+        m.set_down(MachineId(0));
+        assert_eq!(m.bind_idle(3, 10), 4, "only machines 1 and 2 bind");
+        assert!(m.warm_on(MachineId(0), 3) == 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupy on down machine")]
+    fn occupy_on_down_machine_panics() {
+        let (_, mut m) = small();
+        m.set_down(MachineId(2));
+        m.occupy_for(MachineId(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "release to down machine")]
+    fn release_to_down_machine_panics() {
+        let (_, mut m) = small();
+        m.occupy_for(MachineId(2), 1);
+        m.set_down(MachineId(2));
+        m.release_to(MachineId(2), 1);
     }
 
     #[test]

@@ -26,7 +26,10 @@
 
 use std::collections::VecDeque;
 
-use hopper_cluster::{ClusterConfig, CopyRef, JobRun, MachineId, Machines, TaskRef};
+use hopper_cluster::{
+    ClusterConfig, CopyRef, DynEvent, DynamicsConfig, JobRun, MachineDynamics, MachineId, Machines,
+    TaskRef,
+};
 use hopper_core::protocol::{
     pick_fcfs, pick_srpt, scheduler_accepts, FreeSlotEpisode, Reservation, ResponseKind,
     UnsatisfiedJob, WorkerAction,
@@ -90,6 +93,10 @@ pub struct DecConfig {
     pub seed: u64,
     /// Safety valve on total processed events.
     pub max_events: u64,
+    /// Cluster-dynamics plane: machine speed heterogeneity, transient
+    /// slowdowns, failures. The default ([`DynamicsConfig::off`]) is
+    /// bit-identical to a dynamics-free build.
+    pub dynamics: DynamicsConfig,
 }
 
 impl Default for DecConfig {
@@ -113,6 +120,7 @@ impl Default for DecConfig {
             fairness_eps: Some(0.1),
             seed: 1,
             max_events: 500_000_000,
+            dynamics: DynamicsConfig::off(),
         }
     }
 }
@@ -188,24 +196,32 @@ enum Ev {
         worker: usize,
         res: Reservation,
     },
-    /// Worker offers its free slot to `job`'s scheduler.
+    /// Worker offers its free slot to `job`'s scheduler. `inc` is the
+    /// worker's incarnation at offer time: a machine failure bumps it, so
+    /// replies referencing a slot that died with the machine are
+    /// recognizably stale (always 0 while dynamics are off).
     Response {
         worker: usize,
         job: usize,
         kind: ResponseKind,
+        inc: u64,
     },
-    /// Scheduler assigns a task to the worker's promised slot.
+    /// Scheduler assigns a task to the worker's promised slot (echoes the
+    /// offer's incarnation).
     Assign {
         worker: usize,
         job: usize,
         task: TaskRef,
         speculative: bool,
+        inc: u64,
     },
-    /// Scheduler declines the offer (with optional unsatisfied-job info).
+    /// Scheduler declines the offer (with optional unsatisfied-job info;
+    /// echoes the offer's incarnation).
     Refusal {
         worker: usize,
         job: usize,
         unsatisfied: Option<UnsatisfiedJob>,
+        inc: u64,
     },
     /// A copy finished on `worker`.
     Finish {
@@ -213,13 +229,19 @@ enum Ev {
         copy: CopyRef,
         worker: usize,
     },
-    /// Kill notification reaches the worker running a lost sibling.
+    /// Kill notification reaches the worker running a lost sibling
+    /// (stamped with the worker's incarnation at race-resolution time —
+    /// the slot return is dropped if the machine failed in flight).
     Kill {
         worker: usize,
         job: usize,
+        inc: u64,
     },
     /// Periodic straggler scan (all schedulers).
     Scan,
+    /// Machine-dynamics incident (slowdown / failure / recovery). Only
+    /// ever queued when `DecConfig::dynamics` is enabled.
+    Dyn(DynEvent),
 }
 
 struct WorkerState {
@@ -271,12 +293,19 @@ struct Decentral<'a> {
     /// Per-scheduler β estimator (learned from its own jobs' completions).
     beta_est: Vec<BetaEstimator>,
     scan_armed: bool,
+    /// Machine speed/availability state; `None` when dynamics are off.
+    dynamics: Option<MachineDynamics>,
+    /// Per-worker incarnation, bumped on machine failure. In-flight
+    /// messages that reference a worker slot carry the incarnation they
+    /// were stamped with; a mismatch on delivery means the slot died with
+    /// the machine.
+    dyn_inc: Vec<u64>,
     rng: StdRng,
     results: Vec<JobResult>,
     stats: DecStats,
     /// Event-type counters (diagnostics): arrive, reservation, response,
-    /// assign, refusal, finish, kill, scan.
-    ev_counts: [u64; 8],
+    /// assign, refusal, finish, kill, scan, dyn.
+    ev_counts: [u64; 9],
 }
 
 impl<'a> Decentral<'a> {
@@ -292,6 +321,15 @@ impl<'a> Decentral<'a> {
         let mut queue = EventQueue::new();
         for j in &trace.jobs {
             queue.push(j.arrival, Ev::JobArrive(j.id));
+        }
+        let mut dynamics = cfg
+            .dynamics
+            .enabled()
+            .then(|| MachineDynamics::new(cfg.dynamics.clone(), cfg.cluster.machines, &seq));
+        if let Some(d) = dynamics.as_mut() {
+            for (at, ev) in d.initial_incidents() {
+                queue.push(at, Ev::Dyn(ev));
+            }
         }
         let pending_orig = jobs
             .iter()
@@ -339,12 +377,26 @@ impl<'a> Decentral<'a> {
                 .map(|_| BetaEstimator::with_prior(1.5))
                 .collect(),
             scan_armed: false,
+            dynamics,
+            dyn_inc: vec![0; cfg.cluster.machines],
             rng: seq.child_rng(0xDEC),
             results: Vec::with_capacity(n),
             stats: DecStats::default(),
-            ev_counts: [0; 8],
+            ev_counts: [0; 9],
             jobs,
         }
+    }
+
+    /// Effective speed of worker `w`'s machine (1.0 when dynamics are off).
+    fn machine_speed(&self, w: usize) -> f64 {
+        self.dynamics
+            .as_ref()
+            .map_or(1.0, |d| d.speed(MachineId(w)))
+    }
+
+    /// Whether worker `w`'s machine is currently up.
+    fn worker_up(&self, w: usize) -> bool {
+        self.dynamics.as_ref().is_none_or(|d| d.is_up(MachineId(w)))
     }
 
     /// The scheduler's current view of a job's virtual size (Pseudocode 1
@@ -408,6 +460,7 @@ impl<'a> Decentral<'a> {
                 Ev::Finish { .. } => 5,
                 Ev::Kill { .. } => 6,
                 Ev::Scan => 7,
+                Ev::Dyn(_) => 8,
             }] += 1;
             match ev {
                 Ev::JobArrive(j) => self.on_job_arrive(j, now),
@@ -418,30 +471,56 @@ impl<'a> Decentral<'a> {
                     // purge); dropping it on delivery is the same behavior,
                     // and keeps the epoch-gated purge skip sound — a parked
                     // reservation is always live at park time.
-                    if !self.done[res.job as usize] {
+                    //
+                    // A reservation reaching a down machine is lost with
+                    // it (the scheduler re-probes at the next scan).
+                    if !self.worker_up(worker) {
+                        self.live_res[res.job as usize] =
+                            self.live_res[res.job as usize].saturating_sub(1);
+                    } else if !self.done[res.job as usize] {
                         self.workers[worker].queue.push(res);
                     }
                     self.maybe_start_episode(worker, now);
                 }
-                Ev::Response { worker, job, kind } => self.on_response(worker, job, kind, now),
+                Ev::Response {
+                    worker,
+                    job,
+                    kind,
+                    inc,
+                } => self.on_response(worker, job, kind, inc, now),
                 Ev::Assign {
                     worker,
                     job,
                     task,
                     speculative,
-                } => self.on_assign(worker, job, task, speculative, now),
+                    inc,
+                } => self.on_assign(worker, job, task, speculative, inc, now),
                 Ev::Refusal {
                     worker,
                     job,
                     unsatisfied,
-                } => self.on_refusal(worker, job, unsatisfied, now),
+                    inc,
+                } => self.on_refusal(worker, job, unsatisfied, inc, now),
                 Ev::Finish { job, copy, worker } => self.on_finish(job, copy, worker, now),
-                Ev::Kill { worker, job } => {
-                    // The lost sibling's slot frees when the kill arrives.
-                    self.workers[worker].free += 1;
-                    self.machines.release_to(MachineId(worker), job);
+                Ev::Kill { worker, job, inc } => {
+                    // The lost sibling's copy is accounted gone either way;
+                    // its slot only returns if the machine has not failed
+                    // since the kill was sent (incarnation match).
                     self.occupied[job] = self.occupied[job].saturating_sub(1);
-                    self.maybe_start_episode(worker, now);
+                    if inc == self.dyn_inc[worker] {
+                        self.workers[worker].free += 1;
+                        self.machines.release_to(MachineId(worker), job);
+                        self.maybe_start_episode(worker, now);
+                    }
+                }
+                Ev::Dyn(ev) => {
+                    // The incident chain dies with the workload (see the
+                    // centralized driver): drop unapplied once all jobs
+                    // completed so the queue drains.
+                    if self.active_count == 0 && self.arrivals_pending == 0 {
+                        continue;
+                    }
+                    self.on_dyn(ev, now);
                 }
                 Ev::Scan => {
                     self.scan_armed = false;
@@ -560,9 +639,12 @@ impl<'a> Decentral<'a> {
         }
     }
 
-    /// Start a late-binding episode if the worker has a free slot, no
-    /// episode in flight, and a non-empty queue.
+    /// Start a late-binding episode if the worker is up and has a free
+    /// slot, no episode in flight, and a non-empty queue.
     fn maybe_start_episode(&mut self, w: usize, now: SimTime) {
+        if !self.worker_up(w) {
+            return;
+        }
         // Purge reservations of finished jobs first (piggybacked
         // completion notifications). Skipped while no job has completed
         // since this worker's last purge — every queued reservation was
@@ -641,6 +723,7 @@ impl<'a> Decentral<'a> {
                         worker: w,
                         job: job as usize,
                         kind,
+                        inc: self.dyn_inc[w],
                     },
                 );
             }
@@ -653,9 +736,17 @@ impl<'a> Decentral<'a> {
     }
 
     /// Scheduler-side handling of a worker's slot offer (Pseudocode 2).
-    fn on_response(&mut self, worker: usize, job: usize, kind: ResponseKind, now: SimTime) {
+    /// `inc` is the offer's worker incarnation, echoed into the reply.
+    fn on_response(
+        &mut self,
+        worker: usize,
+        job: usize,
+        kind: ResponseKind,
+        inc: u64,
+        now: SimTime,
+    ) {
         if self.done[job] {
-            self.send_refusal(worker, job, now);
+            self.send_refusal(worker, job, inc, now);
             return;
         }
         let accepts = match self.policy {
@@ -696,10 +787,11 @@ impl<'a> Decentral<'a> {
                         job,
                         task,
                         speculative,
+                        inc,
                     },
                 );
             }
-            None => self.send_refusal(worker, job, now),
+            None => self.send_refusal(worker, job, inc, now),
         }
     }
 
@@ -788,6 +880,9 @@ impl<'a> Decentral<'a> {
     }
 
     /// The pre-index O(tasks) implementation, kept as the debug oracle.
+    /// "Pending" is `needs_original` (no running copy, unfinished) rather
+    /// than "never launched", so tasks requeued by a machine failure are
+    /// assignable again.
     #[cfg(debug_assertions)]
     fn scan_next_unclaimed_original(&self, job: usize, m: MachineId) -> Option<TaskRef> {
         let mut fallback = None;
@@ -797,7 +892,7 @@ impl<'a> Decentral<'a> {
             }
             for (ti, t) in p.tasks.iter().enumerate() {
                 let tr = TaskRef::new(pi, ti);
-                if t.is_launched() || t.is_finished() || self.claimed[job].contains(&tr) {
+                if !t.needs_original() || self.claimed[job].contains(&tr) {
                     continue;
                 }
                 if t.replicas.is_empty() || t.replicas.contains(&m) {
@@ -811,7 +906,7 @@ impl<'a> Decentral<'a> {
         fallback
     }
 
-    fn send_refusal(&mut self, worker: usize, job: usize, now: SimTime) {
+    fn send_refusal(&mut self, worker: usize, job: usize, inc: u64, now: SimTime) {
         let _ = now;
         self.stats.refusals += 1;
         // Advertise this scheduler's smallest unsatisfied job (Pseudocode
@@ -863,6 +958,7 @@ impl<'a> Decentral<'a> {
                 worker,
                 job,
                 unsatisfied: best,
+                inc,
             },
         );
     }
@@ -872,8 +968,14 @@ impl<'a> Decentral<'a> {
         worker: usize,
         job: usize,
         unsatisfied: Option<UnsatisfiedJob>,
+        inc: u64,
         now: SimTime,
     ) {
+        // The offer this refusal answers referenced a slot that died with
+        // the machine: everything about the episode is already torn down.
+        if inc != self.dyn_inc[worker] {
+            return;
+        }
         match self.policy {
             DecPolicy::Sparrow | DecPolicy::SparrowSrpt => {
                 // Sparrow consumes the reservation on no-task and moves on.
@@ -907,8 +1009,24 @@ impl<'a> Decentral<'a> {
         job: usize,
         task: TaskRef,
         speculative: bool,
+        inc: u64,
         now: SimTime,
     ) {
+        if !speculative {
+            self.claimed[job].remove(&task);
+        }
+        // The promised slot died with the machine (failure while the
+        // assignment was in flight): undo the scheduler-side accounting
+        // and return the original to the pending pool if it still needs
+        // one — but touch no worker state, the episode and slot are gone.
+        if inc != self.dyn_inc[worker] {
+            self.occupied[job] = self.occupied[job].saturating_sub(1);
+            if !speculative && self.jobs[job].phases()[task.phase].tasks[task.task].needs_original()
+            {
+                self.pending_orig[job] += 1;
+            }
+            return;
+        }
         // Episode resolved successfully; the promised slot is consumed.
         self.workers[worker].episode = None;
         // Consume one reservation of this job at this worker (if present).
@@ -921,22 +1039,21 @@ impl<'a> Decentral<'a> {
             self.live_res[job] = self.live_res[job].saturating_sub(1);
         }
         // Validate against races: the task may have finished while the
-        // assignment was in flight.
-        if !speculative {
-            self.claimed[job].remove(&task);
-        }
+        // assignment was in flight. (An original is live exactly when the
+        // task still needs one — `needs_original` also covers tasks a
+        // machine failure requeued, whose earlier copies were all killed.)
         let t = &self.jobs[job].phases()[task.phase].tasks[task.task];
         let stale = self.done[job]
             || t.is_finished()
             || (speculative && t.running_copies() == 0)
-            || (!speculative && t.is_launched());
+            || (!speculative && !t.needs_original());
         if stale {
             self.occupied[job] = self.occupied[job].saturating_sub(1);
             if !speculative {
                 // Return the unlaunched original to the pending pool only
                 // if it truly is still pending.
                 let t = &self.jobs[job].phases()[task.phase].tasks[task.task];
-                if !t.is_launched() && !t.is_finished() {
+                if t.needs_original() {
                     self.pending_orig[job] += 1;
                 }
             }
@@ -945,7 +1062,8 @@ impl<'a> Decentral<'a> {
             return;
         }
         self.machines.occupy_for(MachineId(worker), job);
-        let (copy, dur) = self.jobs[job].launch_copy(
+        let speed = self.machine_speed(worker);
+        let (copy, dur) = self.jobs[job].launch_copy_at_speed(
             task,
             MachineId(worker),
             speculative,
@@ -953,6 +1071,7 @@ impl<'a> Decentral<'a> {
             SimTime::ZERO,
             &self.cfg.cluster,
             &mut self.rng,
+            speed,
         );
         if speculative {
             self.stats.spec_launched += 1;
@@ -973,7 +1092,94 @@ impl<'a> Decentral<'a> {
         self.maybe_start_episode(worker, now);
     }
 
+    /// Apply one machine-dynamics incident.
+    fn on_dyn(&mut self, ev: DynEvent, now: SimTime) {
+        let out = self
+            .dynamics
+            .as_mut()
+            .expect("dyn event without dynamics plane")
+            .apply(ev);
+        for (delay, next) in out.next {
+            self.queue.push(now + delay, Ev::Dyn(next));
+        }
+        let m = ev.machine();
+        let w = m.0;
+        match ev {
+            DynEvent::SlowdownStart(_) | DynEvent::SlowdownEnd(_) => {
+                let ratio = out.rescale_ratio.expect("speed change carries a ratio");
+                for j in 0..self.jobs.len() {
+                    // Not-yet-arrived jobs have no running copies; skipping
+                    // them keeps the per-incident cost proportional to the
+                    // live workload, not the whole trace.
+                    if self.done[j] || !self.arrived[j] {
+                        continue;
+                    }
+                    for (copy, finish) in self.jobs[j].rescale_machine(m, now, ratio) {
+                        self.queue.push(
+                            finish,
+                            Ev::Finish {
+                                job: j,
+                                copy,
+                                worker: w,
+                            },
+                        );
+                    }
+                }
+            }
+            DynEvent::Fail(_) => {
+                // Worker-side teardown: parked reservations, the in-flight
+                // episode, and every slot die with the machine. Replies to
+                // messages already in flight are invalidated by the
+                // incarnation bump.
+                self.dyn_inc[w] += 1;
+                for r in std::mem::take(&mut self.workers[w].queue) {
+                    self.live_res[r.job as usize] = self.live_res[r.job as usize].saturating_sub(1);
+                }
+                self.workers[w].episode = None;
+                self.workers[w].free = 0;
+                // Scheduler-side: killed copies leave the occupancy
+                // accounting; requeued tasks get fresh probes immediately
+                // (their old reservations may be anywhere, but the pending
+                // original needs the re-dispatch advertised).
+                for j in 0..self.jobs.len() {
+                    if self.done[j] || !self.arrived[j] {
+                        continue;
+                    }
+                    let fo = self.jobs[j].fail_machine(m);
+                    if fo.killed == 0 {
+                        continue;
+                    }
+                    self.occupied[j] = self.occupied[j].saturating_sub(fo.killed);
+                    if !fo.requeued.is_empty() {
+                        self.pending_orig[j] += fo.requeued.len();
+                        let probes = ((fo.requeued.len() as f64 * self.cfg.probe_ratio).ceil()
+                            as usize)
+                            .max(1);
+                        self.send_probes(j, probes);
+                    }
+                }
+                self.machines.set_down(m);
+            }
+            DynEvent::Recover(_) => {
+                // The machine rejoins with every slot free and an empty
+                // queue; probes find it again through random placement.
+                self.machines.set_up(m);
+                self.workers[w].free = self.cfg.cluster.slots_per_machine;
+            }
+        }
+    }
+
     fn on_finish(&mut self, job: usize, copy: CopyRef, worker: usize, now: SimTime) {
+        // A machine-speed change rescheduled this copy: its superseded
+        // completion event pops at a time that no longer matches the
+        // copy's finish instant. A no-op without dynamics.
+        {
+            let c =
+                &self.jobs[job].phases()[copy.task.phase].tasks[copy.task.task].copies[copy.copy];
+            if c.status == hopper_cluster::CopyStatus::Running && c.finish_time() != now {
+                return;
+            }
+        }
         // Collect running siblings *before* resolving the race: their
         // kill notifications travel over the network.
         let siblings: Vec<MachineId> = self.jobs[job].phases()[copy.task.phase].tasks
@@ -1002,10 +1208,17 @@ impl<'a> Decentral<'a> {
             self.beta_est[self.owner[job]]
                 .observe(out.duration.as_millis() as f64 / out.nominal.as_millis() as f64);
         }
-        // Kill messages to losing siblings.
+        // Kill messages to losing siblings, stamped with the sibling
+        // machine's current incarnation.
         for m in siblings {
-            self.queue
-                .push_after(self.cfg.msg_latency, Ev::Kill { worker: m.0, job });
+            self.queue.push_after(
+                self.cfg.msg_latency,
+                Ev::Kill {
+                    worker: m.0,
+                    job,
+                    inc: self.dyn_inc[m.0],
+                },
+            );
         }
         // New phases: their tasks need reservations too.
         for &pi in &out.newly_eligible {

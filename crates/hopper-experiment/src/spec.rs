@@ -13,7 +13,7 @@
 //! naming the key, the line, and the known-key list.
 
 use hopper_central::{HopperConfig, Policy, SimConfig};
-use hopper_cluster::ClusterConfig;
+use hopper_cluster::{ClusterConfig, DynamicsConfig, HeteroProfile};
 use hopper_core::AllocConfig;
 use hopper_decentral::{DecConfig, DecPolicy};
 use hopper_sim::SimTime;
@@ -79,6 +79,13 @@ const KNOWN_KEYS: &[&str] = &[
     "probe_ratio",
     "refusals",
     "schedulers",
+    "hetero",
+    "slow_frac",
+    "slow_factor",
+    "hetero_sigma",
+    "slowdown_rate",
+    "fail_rate",
+    "mttr_ms",
     "seeds",
 ];
 
@@ -129,6 +136,27 @@ pub struct ExperimentSpec {
     pub refusals: usize,
     /// Number of autonomous schedulers (decentralized).
     pub schedulers: usize,
+    /// Machine-speed heterogeneity profile
+    /// (`hetero=off|uniform|bimodal|lognormal`). `off` — the default —
+    /// leaves every run bit-identical to a dynamics-free build.
+    pub hetero: String,
+    /// Bimodal profile: fraction of slow machines, in `[0, 1]`.
+    pub slow_frac: f64,
+    /// Slow-machine speed: the bimodal slow speed, and the floor of the
+    /// uniform band (`uniform` draws speeds in `[slow_factor, 1]`).
+    pub slow_factor: f64,
+    /// Lognormal profile: σ of the underlying normal.
+    pub hetero_sigma: f64,
+    /// Transient machine slowdowns per machine per hour (0 disables).
+    /// Degradation factor and interval use the fixed
+    /// [`DynamicsConfig::off`] bands (0.3–0.7× for 5–60 s).
+    pub slowdown_rate: f64,
+    /// Machine failures per machine per hour (0 disables). A failure
+    /// kills every running copy on the machine for re-dispatch.
+    pub fail_rate: f64,
+    /// Mean time to recover a failed machine, ms (recovery times are
+    /// uniform in `[0.5, 1.5] × mttr_ms`).
+    pub mttr_ms: u64,
     /// Seed list — one trial per seed.
     pub seeds: Vec<u64>,
 }
@@ -156,6 +184,13 @@ impl ExperimentSpec {
             probe_ratio: 4.0,
             refusals: 2,
             schedulers: 1,
+            hetero: "off".into(),
+            slow_frac: 0.2,
+            slow_factor: 0.4,
+            hetero_sigma: 0.25,
+            slowdown_rate: 0.0,
+            fail_rate: 0.0,
+            mttr_ms: 30_000,
             seeds: vec![1],
         }
     }
@@ -215,6 +250,13 @@ impl ExperimentSpec {
             "probe_ratio" => self.probe_ratio = parse_num(key, value)?,
             "refusals" => self.refusals = parse_num(key, value)?,
             "schedulers" => self.schedulers = parse_num(key, value)?,
+            "hetero" => self.hetero = value.to_string(),
+            "slow_frac" => self.slow_frac = parse_num(key, value)?,
+            "slow_factor" => self.slow_factor = parse_num(key, value)?,
+            "hetero_sigma" => self.hetero_sigma = parse_num(key, value)?,
+            "slowdown_rate" => self.slowdown_rate = parse_num(key, value)?,
+            "fail_rate" => self.fail_rate = parse_num(key, value)?,
+            "mttr_ms" => self.mttr_ms = parse_num(key, value)?,
             "seeds" => {
                 let seeds: Result<Vec<u64>, _> = value
                     .split(',')
@@ -304,6 +346,13 @@ impl ExperimentSpec {
                 "probe_ratio" => self.probe_ratio.to_string(),
                 "refusals" => self.refusals.to_string(),
                 "schedulers" => self.schedulers.to_string(),
+                "hetero" => self.hetero.clone(),
+                "slow_frac" => self.slow_frac.to_string(),
+                "slow_factor" => self.slow_factor.to_string(),
+                "hetero_sigma" => self.hetero_sigma.to_string(),
+                "slowdown_rate" => self.slowdown_rate.to_string(),
+                "fail_rate" => self.fail_rate.to_string(),
+                "mttr_ms" => self.mttr_ms.to_string(),
                 "seeds" => self
                     .seeds
                     .iter()
@@ -359,10 +408,72 @@ impl ExperimentSpec {
         if !(self.util > 0.0 && self.util <= 1.5) {
             return Err(err(format!("util must be in (0, 1.5], got {}", self.util)));
         }
+        if !["off", "uniform", "bimodal", "lognormal"].contains(&self.hetero.as_str()) {
+            return Err(err(format!(
+                "hetero must be off|uniform|bimodal|lognormal, got `{}`",
+                self.hetero
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.slow_frac) {
+            return Err(err(format!(
+                "slow_frac must be in [0, 1], got {}",
+                self.slow_frac
+            )));
+        }
+        if !(self.slow_factor > 0.0 && self.slow_factor <= 1.0) {
+            return Err(err(format!(
+                "slow_factor must be in (0, 1], got {}",
+                self.slow_factor
+            )));
+        }
+        if !(self.hetero_sigma >= 0.0 && self.hetero_sigma.is_finite()) {
+            return Err(err(format!(
+                "hetero_sigma must be finite and >= 0, got {}",
+                self.hetero_sigma
+            )));
+        }
+        for (key, rate) in [
+            ("slowdown_rate", self.slowdown_rate),
+            ("fail_rate", self.fail_rate),
+        ] {
+            if !(rate >= 0.0 && rate.is_finite()) {
+                return Err(err(format!("{key} must be finite and >= 0, got {rate}")));
+            }
+        }
+        if self.fail_rate > 0.0 && self.mttr_ms == 0 {
+            return Err(err("mttr_ms must be positive when fail_rate > 0"));
+        }
         if self.seeds.is_empty() {
             return Err(err("seeds must name at least one seed"));
         }
         Ok(())
+    }
+
+    /// The cluster-dynamics plane this spec describes.
+    /// [`DynamicsConfig::off`] (bit-identical runs) unless a dynamics key
+    /// was set.
+    pub fn dynamics(&self) -> DynamicsConfig {
+        let hetero = match self.hetero.as_str() {
+            "uniform" => HeteroProfile::Uniform {
+                lo: self.slow_factor,
+                hi: 1.0,
+            },
+            "bimodal" => HeteroProfile::Bimodal {
+                slow_frac: self.slow_frac,
+                slow_factor: self.slow_factor,
+            },
+            "lognormal" => HeteroProfile::LogNormal {
+                sigma: self.hetero_sigma,
+            },
+            _ => HeteroProfile::Off,
+        };
+        DynamicsConfig {
+            hetero,
+            slowdown_rate_per_hour: self.slowdown_rate,
+            fail_rate_per_hour: self.fail_rate,
+            recovery_ms: (self.mttr_ms / 2, self.mttr_ms + self.mttr_ms / 2),
+            ..DynamicsConfig::off()
+        }
     }
 
     /// Total cluster slots (trace sizing input).
@@ -427,6 +538,7 @@ impl ExperimentSpec {
                 };
                 let mut cfg = SimConfig {
                     cluster: self.cluster(),
+                    dynamics: self.dynamics(),
                     seed,
                     ..Default::default()
                 };
@@ -453,6 +565,7 @@ impl ExperimentSpec {
                     probe_ratio: self.probe_ratio,
                     refusal_threshold: self.refusals,
                     fairness_eps: Some(self.eps),
+                    dynamics: self.dynamics(),
                     seed,
                     ..Default::default()
                 };
@@ -593,6 +706,56 @@ seeds=0,1,2
     fn comments_and_blanks_are_ignored() {
         let s = ExperimentSpec::parse("\n# comment\njobs=7 # trailing\n\n").unwrap();
         assert_eq!(s.jobs, 7);
+    }
+
+    #[test]
+    fn dynamics_keys_round_trip_and_map() {
+        let text = "\
+engine=decentral
+hetero=bimodal
+slow_frac=0.3
+slow_factor=0.5
+slowdown_rate=2
+fail_rate=0.5
+mttr_ms=20000
+";
+        let s = ExperimentSpec::parse(text).unwrap();
+        let again = ExperimentSpec::parse(&s.render()).unwrap();
+        assert_eq!(s, again);
+        let d = s.dynamics();
+        assert!(d.enabled());
+        assert_eq!(
+            d.hetero,
+            HeteroProfile::Bimodal {
+                slow_frac: 0.3,
+                slow_factor: 0.5
+            }
+        );
+        assert_eq!(d.slowdown_rate_per_hour, 2.0);
+        assert_eq!(d.fail_rate_per_hour, 0.5);
+        assert_eq!(d.recovery_ms, (10_000, 30_000));
+        // The default spec carries a disabled plane.
+        assert!(!ExperimentSpec::central().dynamics().enabled());
+    }
+
+    #[test]
+    fn dynamics_values_are_validated() {
+        let mut s = ExperimentSpec::central();
+        s.hetero = "zipf".into();
+        assert!(s.validate().is_err());
+        let mut s = ExperimentSpec::central();
+        s.slow_frac = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = ExperimentSpec::central();
+        s.slow_factor = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = ExperimentSpec::central();
+        s.fail_rate = -1.0;
+        assert!(s.validate().is_err());
+        let mut s = ExperimentSpec::central();
+        s.fail_rate = 1.0;
+        s.mttr_ms = 0;
+        assert!(s.validate().is_err());
     }
 
     #[test]

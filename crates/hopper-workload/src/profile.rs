@@ -131,7 +131,16 @@ impl WorkloadProfile {
                 sigma,
             },
             Dist::Constant(v) => Dist::Constant(v * factor),
-            other => other, // not expected for task means
+            // Exhaustive on purpose: silently returning the distribution
+            // unscaled (the old `other => other` arm) made this a no-op
+            // for every other variant — a profile bug that surfaced as a
+            // mysteriously wrong utilization target.
+            other @ (Dist::Pareto { .. }
+            | Dist::BoundedPareto { .. }
+            | Dist::Exp { .. }
+            | Dist::Uniform { .. }) => {
+                panic!("scaled_tasks: unsupported mean-task-duration dist {other:?}")
+            }
         };
         self
     }
@@ -141,12 +150,20 @@ impl WorkloadProfile {
     pub fn interactive(mut self) -> Self {
         self = self.scaled_tasks(0.1);
         // In-memory map phases make the network transfer the bottleneck.
+        // Exhaustive for the same reason as `scaled_tasks`: a silently
+        // unscaled output distribution would understate α.
         self.output_mb_per_task = match self.output_mb_per_task {
             Dist::LogNormal { mu, sigma } => Dist::LogNormal {
                 mu: mu + 2.0f64.ln(),
                 sigma,
             },
-            other => other,
+            Dist::Constant(v) => Dist::Constant(v * 2.0),
+            other @ (Dist::Pareto { .. }
+            | Dist::BoundedPareto { .. }
+            | Dist::Exp { .. }
+            | Dist::Uniform { .. }) => {
+                panic!("interactive: unsupported output-mb dist {other:?}")
+            }
         };
         self
     }
@@ -249,5 +266,34 @@ mod tests {
     fn fixed_beta_pins_range() {
         let p = WorkloadProfile::facebook().fixed_beta(1.5);
         assert_eq!(p.beta_range, (1.5, 1.5));
+    }
+
+    #[test]
+    fn scaled_tasks_scales_constant_means() {
+        let mut p = WorkloadProfile::facebook();
+        p.mean_task_ms = Dist::Constant(10_000.0);
+        let scaled = p.scaled_tasks(0.5);
+        assert_eq!(scaled.mean_task_ms, Dist::Constant(5_000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported mean-task-duration dist")]
+    fn scaled_tasks_rejects_unsupported_dists_loudly() {
+        // Regression: this used to be a silent no-op (`other => other`),
+        // leaving the profile unscaled.
+        let mut p = WorkloadProfile::facebook();
+        p.mean_task_ms = Dist::Uniform {
+            lo: 1_000.0,
+            hi: 2_000.0,
+        };
+        let _ = p.scaled_tasks(0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported output-mb dist")]
+    fn interactive_rejects_unsupported_output_dists_loudly() {
+        let mut p = WorkloadProfile::facebook();
+        p.output_mb_per_task = Dist::Exp { mean: 10.0 };
+        let _ = p.interactive();
     }
 }

@@ -88,6 +88,13 @@ fn apply_flags(spec: &mut ExperimentSpec, rest: &[String]) {
             "--eps" => spec.set("eps", &next("--eps")),
             "--probe-ratio" => spec.set("probe_ratio", &next("--probe-ratio")),
             "--refusals" => spec.set("refusals", &next("--refusals")),
+            "--hetero" => spec.set("hetero", &next("--hetero")),
+            "--slow-frac" => spec.set("slow_frac", &next("--slow-frac")),
+            "--slow-factor" => spec.set("slow_factor", &next("--slow-factor")),
+            "--hetero-sigma" => spec.set("hetero_sigma", &next("--hetero-sigma")),
+            "--slowdown-rate" => spec.set("slowdown_rate", &next("--slowdown-rate")),
+            "--fail-rate" => spec.set("fail_rate", &next("--fail-rate")),
+            "--mttr-ms" => spec.set("mttr_ms", &next("--mttr-ms")),
             other => {
                 eprintln!("unknown flag: {other}");
                 usage();
@@ -254,6 +261,6 @@ fn run_example() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  hopper central   [--policy srpt|fifo|fair|budgeted|hopper] [--jobs N] \\\n                   [--machines N] [--slots N] [--util F] [--seed N] \\\n                   [--workload facebook|bing] [--interactive] [--eps F]\n  hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--workers N] \\\n                   [--slots N] [--jobs N] [--util F] [--seed N] \\\n                   [--probe-ratio F] [--refusals N]\n  hopper sweep     [--spec FILE] [key=value ...] --axis KEY=V1,V2[,...] \\\n                   [--threads N] [--csv]\n  hopper example"
+        "usage:\n  hopper central   [--policy srpt|fifo|fair|budgeted|hopper] [--jobs N] \\\n                   [--machines N] [--slots N] [--util F] [--seed N] \\\n                   [--workload facebook|bing] [--interactive] [--eps F]\n  hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--workers N] \\\n                   [--slots N] [--jobs N] [--util F] [--seed N] \\\n                   [--probe-ratio F] [--refusals N]\n  hopper sweep     [--spec FILE] [key=value ...] --axis KEY=V1,V2[,...] \\\n                   [--threads N] [--csv]\n  hopper example\n\ncluster-dynamics flags (central and decentral; all default off):\n  --hetero off|uniform|bimodal|lognormal   machine speed heterogeneity\n  --slow-frac F     bimodal slow-node fraction        --slow-factor F  slow speed\n  --hetero-sigma F  lognormal sigma                   --slowdown-rate F  per machine-hour\n  --fail-rate F     machine failures per machine-hour --mttr-ms N      mean recovery\n  (the same knobs are sweep keys: hetero=, slow_frac=, fail_rate=, ...)"
     );
 }

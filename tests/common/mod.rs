@@ -1,0 +1,137 @@
+//! Scaffolding shared by the golden suites (`tests/golden_stats.rs` and
+//! `tests/dynamics.rs`): the pinned scenario grid, the per-job digest,
+//! and the stats renderer. One definition, so the dynamics-equivalence
+//! check can never drift from the writer that produced
+//! `tests/goldens/stats.txt`.
+
+use std::fmt::Write as _;
+
+use hopper::central;
+use hopper::cluster::{ClusterConfig, DynamicsConfig};
+use hopper::decentral;
+use hopper::workload::{Trace, TraceGenerator, WorkloadProfile};
+
+pub const GOLDEN_PATH: &str = "tests/goldens/stats.txt";
+
+/// The pinned multi-phase interactive trace: exercises DAG eligibility,
+/// shuffle transfers (α), locality, and speculation in one workload.
+pub fn trace(seed: u64) -> Trace {
+    let profile = WorkloadProfile::facebook().interactive();
+    TraceGenerator::new(profile, 30, seed).generate_with_utilization(100, 0.7)
+}
+
+pub fn central_cfg(seed: u64, dynamics: DynamicsConfig) -> central::SimConfig {
+    central::SimConfig {
+        cluster: ClusterConfig {
+            machines: 25,
+            slots_per_machine: 4,
+            ..Default::default()
+        },
+        seed,
+        dynamics,
+        ..Default::default()
+    }
+}
+
+pub fn decentral_cfg(seed: u64, dynamics: DynamicsConfig) -> decentral::DecConfig {
+    decentral::DecConfig {
+        cluster: ClusterConfig {
+            machines: 50,
+            slots_per_machine: 2,
+            handoff_ms: 0,
+            ..Default::default()
+        },
+        seed,
+        dynamics,
+        ..Default::default()
+    }
+}
+
+/// FNV-1a over the full per-job outcome tuple: any bit of drift in any
+/// job's completion time changes the digest.
+pub fn jobs_digest(jobs: &[hopper::metrics::JobResult]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for j in jobs {
+        mix(j.job as u64);
+        mix(j.size_tasks as u64);
+        mix(j.dag_len as u64);
+        mix(j.arrival.as_millis());
+        mix(j.completed.as_millis());
+    }
+    h
+}
+
+/// Render every golden scenario's stats as stable text under the given
+/// dynamics plane. `Debug` for the stats structs prints f64 fields with
+/// shortest-roundtrip formatting, so two renders are equal iff the stats
+/// are bit-identical.
+pub fn render_goldens(dynamics: &DynamicsConfig) -> String {
+    let mut out = String::new();
+    let central_policies: Vec<(&str, central::Policy)> = vec![
+        ("fifo", central::Policy::Fifo),
+        ("fair", central::Policy::Fair),
+        ("srpt", central::Policy::Srpt),
+        (
+            "budgeted",
+            central::Policy::BudgetedSrpt {
+                budget_fraction: 0.2,
+            },
+        ),
+        (
+            "hopper",
+            central::Policy::Hopper(central::HopperConfig::default()),
+        ),
+    ];
+    for seed in [5u64, 11] {
+        let t = trace(seed);
+        for (name, policy) in &central_policies {
+            let r = central::run(&t, policy, &central_cfg(seed, dynamics.clone()));
+            writeln!(
+                out,
+                "central/{name}/seed{seed}: jobs_digest={:#018x} stats={:?}",
+                jobs_digest(&r.jobs),
+                r.stats
+            )
+            .unwrap();
+        }
+        for policy in [
+            decentral::DecPolicy::Sparrow,
+            decentral::DecPolicy::SparrowSrpt,
+            decentral::DecPolicy::Hopper,
+        ] {
+            let r = decentral::run(&t, policy, &decentral_cfg(seed, dynamics.clone()));
+            writeln!(
+                out,
+                "decentral/{}/seed{seed}: jobs_digest={:#018x} stats={:?}",
+                policy.name(),
+                jobs_digest(&r.jobs),
+                r.stats
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Line-by-line comparison against the pinned golden file, with a
+/// caller-supplied context string in the failure message.
+pub fn assert_matches_goldens(actual: &str, context: &str) {
+    let expected = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "missing tests/goldens/stats.txt — run \
+        `HOPPER_UPDATE_GOLDENS=1 cargo test --test golden_stats` once",
+    );
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        assert_eq!(e, a, "golden line {} drifted ({context})", i + 1);
+    }
+    assert_eq!(
+        expected.lines().count(),
+        actual.lines().count(),
+        "golden scenario count changed ({context})"
+    );
+}

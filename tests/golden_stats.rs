@@ -8,146 +8,28 @@
 //! pure caches: any drift in tie-breaking or float accumulation shows up
 //! here as a diff against `tests/goldens/stats.txt`.
 //!
+//! The scenario grid, digest, and renderer live in `tests/common/mod.rs`,
+//! shared with `tests/dynamics.rs` (which pins the same goldens under a
+//! neutral-but-enabled dynamics plane).
+//!
 //! To regenerate after an *intentional* behavior change:
 //!
 //! ```sh
 //! HOPPER_UPDATE_GOLDENS=1 cargo test --test golden_stats
 //! ```
 
-use std::fmt::Write as _;
+mod common;
 
-use hopper::central;
-use hopper::cluster::ClusterConfig;
-use hopper::decentral;
-use hopper::workload::{Trace, TraceGenerator, WorkloadProfile};
-
-const GOLDEN_PATH: &str = "tests/goldens/stats.txt";
-
-fn trace(seed: u64) -> Trace {
-    // Multi-phase interactive trace: exercises DAG eligibility, shuffle
-    // transfers (α), locality, and speculation in one workload.
-    let profile = WorkloadProfile::facebook().interactive();
-    TraceGenerator::new(profile, 30, seed).generate_with_utilization(100, 0.7)
-}
-
-fn central_cfg(seed: u64) -> central::SimConfig {
-    central::SimConfig {
-        cluster: ClusterConfig {
-            machines: 25,
-            slots_per_machine: 4,
-            ..Default::default()
-        },
-        seed,
-        ..Default::default()
-    }
-}
-
-fn decentral_cfg(seed: u64) -> decentral::DecConfig {
-    decentral::DecConfig {
-        cluster: ClusterConfig {
-            machines: 50,
-            slots_per_machine: 2,
-            handoff_ms: 0,
-            ..Default::default()
-        },
-        seed,
-        ..Default::default()
-    }
-}
-
-/// FNV-1a over the full per-job outcome tuple: any bit of drift in any
-/// job's completion time changes the digest.
-fn jobs_digest(jobs: &[hopper::metrics::JobResult]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    for j in jobs {
-        mix(j.job as u64);
-        mix(j.size_tasks as u64);
-        mix(j.dag_len as u64);
-        mix(j.arrival.as_millis());
-        mix(j.completed.as_millis());
-    }
-    h
-}
-
-/// Render every scenario's stats as stable text. `Debug` for the stats
-/// structs prints f64 fields with shortest-roundtrip formatting, so two
-/// renders are equal iff the stats are bit-identical.
-fn render_goldens() -> String {
-    let mut out = String::new();
-    let central_policies: Vec<(&str, central::Policy)> = vec![
-        ("fifo", central::Policy::Fifo),
-        ("fair", central::Policy::Fair),
-        ("srpt", central::Policy::Srpt),
-        (
-            "budgeted",
-            central::Policy::BudgetedSrpt {
-                budget_fraction: 0.2,
-            },
-        ),
-        (
-            "hopper",
-            central::Policy::Hopper(central::HopperConfig::default()),
-        ),
-    ];
-    for seed in [5u64, 11] {
-        let t = trace(seed);
-        for (name, policy) in &central_policies {
-            let r = central::run(&t, policy, &central_cfg(seed));
-            writeln!(
-                out,
-                "central/{name}/seed{seed}: jobs_digest={:#018x} stats={:?}",
-                jobs_digest(&r.jobs),
-                r.stats
-            )
-            .unwrap();
-        }
-        for policy in [
-            decentral::DecPolicy::Sparrow,
-            decentral::DecPolicy::SparrowSrpt,
-            decentral::DecPolicy::Hopper,
-        ] {
-            let r = decentral::run(&t, policy, &decentral_cfg(seed));
-            writeln!(
-                out,
-                "decentral/{}/seed{seed}: jobs_digest={:#018x} stats={:?}",
-                policy.name(),
-                jobs_digest(&r.jobs),
-                r.stats
-            )
-            .unwrap();
-        }
-    }
-    out
-}
+use hopper::cluster::DynamicsConfig;
 
 #[test]
 fn stats_match_pre_refactor_goldens() {
-    let actual = render_goldens();
+    let actual = common::render_goldens(&DynamicsConfig::off());
     if std::env::var("HOPPER_UPDATE_GOLDENS").is_ok() {
         std::fs::create_dir_all("tests/goldens").unwrap();
-        std::fs::write(GOLDEN_PATH, &actual).unwrap();
-        eprintln!("goldens rewritten at {GOLDEN_PATH}");
+        std::fs::write(common::GOLDEN_PATH, &actual).unwrap();
+        eprintln!("goldens rewritten at {}", common::GOLDEN_PATH);
         return;
     }
-    let expected = std::fs::read_to_string(GOLDEN_PATH)
-        .expect("missing tests/goldens/stats.txt — run with HOPPER_UPDATE_GOLDENS=1 once");
-    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
-        assert_eq!(
-            e,
-            a,
-            "golden line {} drifted — stats are no longer bit-identical",
-            i + 1
-        );
-    }
-    assert_eq!(
-        expected.lines().count(),
-        actual.lines().count(),
-        "golden scenario count changed"
-    );
+    common::assert_matches_goldens(&actual, "stats are no longer bit-identical");
 }
