@@ -1,0 +1,126 @@
+//! Streaming-pipeline scale bench (`cargo bench --bench fig_scale`).
+//!
+//! Not a paper figure: the paper simulates tens of thousands of jobs,
+//! while the ROADMAP's north star is sustained arrival streams from
+//! millions of users. This target walks the decentralized engine up the
+//! job-count axis **through the streaming pipeline** (lazy arrivals,
+//! retired jobs, digest-only metrics) and reports, per size:
+//!
+//! - events/sec (throughput must not degrade with stream length),
+//! - the live-job high-water mark (the O(active) memory invariant —
+//!   a small, roughly size-independent count, so its *fraction* of
+//!   total jobs shrinks as the stream grows),
+//! - peak RSS (`VmHWM`, Linux; 0 elsewhere). Sizes run ascending and
+//!   `VmHWM` is process-monotonic, so each reading is the peak up to
+//!   and including that size.
+//!
+//! One machine-parseable JSON line per size, like `throughput`.
+//!
+//! Sizing knobs:
+//!
+//! - `HOPPER_BENCH_SCALE_JOBS` — comma-separated job counts
+//!   (default `10000,100000,1000000`; CI smoke passes a small list)
+//! - `HOPPER_BENCH_MACHINES`   — cluster size (default 2 000)
+
+use std::time::Instant;
+
+use hopper_decentral::{self as decentral, DecConfig, DecPolicy};
+use hopper_sim::SimTime;
+use hopper_workload::{TraceGenerator, WorkloadProfile};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn job_counts() -> Vec<usize> {
+    std::env::var("HOPPER_BENCH_SCALE_JOBS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![10_000, 100_000, 1_000_000])
+}
+
+/// Peak resident set size in KiB (`VmHWM` from /proc; 0 off Linux).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let machines = env_usize("HOPPER_BENCH_MACHINES", 2_000);
+    let sizes = job_counts();
+    eprintln!(
+        "fig_scale bench: decentral Hopper, streaming pipeline, {machines} machines, \
+         sizes {sizes:?} (HOPPER_BENCH_SCALE_JOBS / HOPPER_BENCH_MACHINES)"
+    );
+    // The throughput bench's workload shape: interactive single-phase
+    // Facebook jobs, the one that stresses per-event dispatch and the
+    // arrival/retirement machinery rather than straggler modelling.
+    let profile = WorkloadProfile::facebook().interactive().single_phase();
+    let base_cfg = DecConfig {
+        cluster: hopper_cluster::ClusterConfig {
+            machines,
+            slots_per_machine: 2,
+            handoff_ms: 0,
+            ..Default::default()
+        },
+        num_schedulers: 20,
+        scan_interval: SimTime::from_millis(1000),
+        seed: 1,
+        ..Default::default()
+    };
+    let total_slots = base_cfg.cluster.total_slots();
+    for jobs in sizes {
+        // The livelock valve defaults to a budget sized for ≤100k-job
+        // runs; a million-job stream legitimately processes ~700M
+        // events (~700 per job at this shape), so scale it with size.
+        let cfg = DecConfig {
+            max_events: (jobs as u64).saturating_mul(2_000).max(500_000_000),
+            ..base_cfg.clone()
+        };
+        let stream =
+            TraceGenerator::new(profile.clone(), jobs, 1).stream_with_utilization(total_slots, 0.7);
+        let start = Instant::now();
+        let out = decentral::run_stream(stream, DecPolicy::Hopper, &cfg);
+        let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let eps = if wall_ms > 0.0 {
+            out.stats.events as f64 / (wall_ms / 1000.0)
+        } else {
+            f64::INFINITY
+        };
+        let hw_pct = 100.0 * out.live_high_water as f64 / jobs.max(1) as f64;
+        println!(
+            "{{\"bench\":\"fig_scale\",\"driver\":\"decentral\",\"policy\":\"Hopper(dec)\",\
+             \"jobs\":{jobs},\"machines\":{machines},\"total_slots\":{total_slots},\
+             \"events\":{},\"wall_ms\":{wall_ms:.1},\"events_per_sec\":{eps:.0},\
+             \"live_high_water\":{},\"live_high_water_pct\":{hw_pct:.3},\
+             \"peak_rss_kb\":{},\"mean_jct_ms\":{:.1},\"p99_jct_ms\":{:.1},\
+             \"makespan_ms\":{}}}",
+            out.stats.events,
+            out.live_high_water,
+            peak_rss_kb(),
+            out.digest.mean_ms(),
+            out.digest.quantile_ms(0.99),
+            out.stats.makespan.as_millis(),
+        );
+        assert!(
+            out.live_high_water as f64 <= (jobs as f64 * 0.05).max(500.0),
+            "live-job high-water {} exceeds 5% of {jobs} — retirement is not keeping up",
+            out.live_high_water
+        );
+    }
+}

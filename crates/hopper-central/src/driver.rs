@@ -11,14 +11,14 @@
 use std::collections::VecDeque;
 
 use hopper_cluster::{
-    ClusterConfig, CopyRef, DynEvent, DynamicsConfig, JobRun, MachineDynamics, MachineId, Machines,
-    TaskRef,
+    ClusterConfig, CopyRef, DynEvent, DynamicsConfig, JobRun, JobSlab, MachineDynamics, MachineId,
+    Machines, TaskRef,
 };
 use hopper_core::{allocate, AlphaEstimator, BetaEstimator, JobDemand, Regime};
-use hopper_metrics::JobResult;
+use hopper_metrics::{JobDigest, JobResult};
 use hopper_sim::{EventQueue, SeedSequence, SimTime};
 use hopper_spec::{Candidate, Speculator};
-use hopper_workload::Trace;
+use hopper_workload::{ArrivalSource, Trace, TraceJob, TraceStream};
 use rand::rngs::StdRng;
 
 use crate::policy::{HopperConfig, Policy};
@@ -109,27 +109,48 @@ impl RunStats {
 /// Result of a centralized run: per-job outcomes plus counters.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
-    /// One entry per trace job, in completion order.
+    /// One entry per trace job, sorted by job id. Empty for streaming
+    /// runs ([`run_stream`]), whose per-job statistics live in `digest`.
     pub jobs: Vec<JobResult>,
     /// Aggregate counters.
     pub stats: RunStats,
+    /// Constant-memory duration statistics, folded at each completion
+    /// (identical between materialized and streaming runs of a seed).
+    pub digest: JobDigest,
+    /// Maximum simultaneously live jobs — the streaming pipeline's
+    /// memory yardstick (completed jobs retire their task/copy state).
+    pub live_high_water: usize,
 }
 
 impl RunOutput {
-    /// Mean job duration in milliseconds.
+    /// Mean job duration in milliseconds (exact in both modes).
     pub fn mean_duration_ms(&self) -> f64 {
-        hopper_metrics::mean_duration(&self.jobs)
+        if self.jobs.is_empty() {
+            self.digest.mean_ms()
+        } else {
+            hopper_metrics::mean_duration(&self.jobs)
+        }
     }
 }
 
-/// Run `trace` under `policy`.
+/// Run `trace` under `policy`, retaining per-job results.
 pub fn run(trace: &Trace, policy: &Policy, cfg: &SimConfig) -> RunOutput {
-    Central::new(trace, policy, cfg).run()
+    Central::new(ArrivalSource::from_trace(trace), policy, cfg, true).run()
+}
+
+/// Run a lazy arrival stream under `policy` with O(active jobs) job state:
+/// arrivals are injected as simulation time advances, completed jobs are
+/// retired, and per-job results are folded into the output's digest
+/// instead of being kept (`RunOutput::jobs` is empty).
+///
+/// Simulation decisions are bit-identical to [`run`] on the materialized
+/// form of the same stream — `RunStats` and the digest match exactly.
+pub fn run_stream(stream: TraceStream, policy: &Policy, cfg: &SimConfig) -> RunOutput {
+    Central::new(ArrivalSource::from_stream(stream), policy, cfg, false).run()
 }
 
 #[derive(Debug, Clone)]
 enum Event {
-    Arrival(usize),
     Finish {
         job: usize,
         copy: CopyRef,
@@ -145,7 +166,20 @@ struct Central<'a> {
     cfg: &'a SimConfig,
     queue: EventQueue<Event>,
     machines: Machines,
-    jobs: Vec<JobRun>,
+    /// Undelivered arrivals, merged with `queue` by the run loop (an
+    /// arrival precedes any queued event at the same instant — the order
+    /// the historical pre-loaded arrival events produced).
+    arrivals: ArrivalSource<'a>,
+    /// Live jobs' runtime state; completed jobs are retired (their
+    /// task/copy state dropped, stats folded into accumulators).
+    jobs: JobSlab,
+    /// Total jobs of the run (`jobs` only holds the live ones).
+    num_jobs: usize,
+    /// Placement randomness for lazily constructed `JobRun`s; consumed
+    /// in arrival (= id) order, exactly as the eager constructor did.
+    placement_rng: StdRng,
+    /// Whether per-job `JobResult`s are retained (false for streaming).
+    retain_jobs: bool,
     arrived: Vec<bool>,
     done: Vec<bool>,
     /// Driver-maintained running-copy count per job (avoids O(tasks) scans).
@@ -183,27 +217,24 @@ struct Central<'a> {
     predicted_mb: Vec<Option<f64>>,
     results: Vec<JobResult>,
     stats: RunStats,
+    /// Online duration statistics, folded at each retirement.
+    digest: JobDigest,
+    /// Input-phase launch counters folded out of retired jobs (the
+    /// end-of-run locality fraction no longer walks every job).
+    local_launches: usize,
+    nonlocal_launches: usize,
 }
 
 impl<'a> Central<'a> {
-    fn new(trace: &Trace, policy: &'a Policy, cfg: &'a SimConfig) -> Self {
+    fn new(
+        arrivals: ArrivalSource<'a>,
+        policy: &'a Policy,
+        cfg: &'a SimConfig,
+        retain_jobs: bool,
+    ) -> Self {
         let seq = SeedSequence::new(cfg.seed);
-        let mut placement_rng = seq.child_rng(0xB10C);
-        let mut jobs: Vec<JobRun> = trace
-            .jobs
-            .iter()
-            .map(|spec| JobRun::new(spec.clone(), &cfg.cluster, &mut placement_rng))
-            .collect();
-        if let Some(scripts) = &cfg.scripted {
-            for (j, tasks) in scripts.iter().enumerate() {
-                jobs[j].script_single_phase(tasks);
-            }
-        }
-        let n = jobs.len();
+        let n = arrivals.total_jobs();
         let mut queue = EventQueue::new();
-        for j in &trace.jobs {
-            queue.push(j.arrival, Event::Arrival(j.id));
-        }
         let mut dynamics = cfg
             .dynamics
             .enabled()
@@ -213,25 +244,19 @@ impl<'a> Central<'a> {
                 queue.push(at, Event::Dyn(ev));
             }
         }
-        let pending_orig = jobs
-            .iter()
-            .map(|j| {
-                j.phases()
-                    .iter()
-                    .filter(|p| p.eligible)
-                    .map(|p| p.num_tasks())
-                    .sum()
-            })
-            .collect();
         Central {
             policy,
             cfg,
             queue,
             machines: Machines::new(&cfg.cluster),
+            arrivals,
+            num_jobs: n,
+            placement_rng: seq.child_rng(0xB10C),
+            retain_jobs,
             arrived: vec![false; n],
             done: vec![false; n],
             usage: vec![0; n],
-            pending_orig,
+            pending_orig: vec![0; n],
             candidates: vec![VecDeque::new(); n],
             alpha_cache: vec![1.0; n],
             regime_counted: vec![false; n],
@@ -246,14 +271,69 @@ impl<'a> Central<'a> {
             beta_est: BetaEstimator::with_prior(1.5),
             alpha_est: AlphaEstimator::new(),
             predicted_mb: vec![None; n],
-            results: Vec::with_capacity(n),
+            results: Vec::with_capacity(if retain_jobs { n } else { 0 }),
             stats: RunStats::default(),
-            jobs,
+            digest: JobDigest::new(),
+            local_launches: 0,
+            nonlocal_launches: 0,
+            jobs: JobSlab::new(n),
         }
     }
 
+    /// Build job `j`'s runtime state and make it schedulable. Lazy
+    /// construction consumes `placement_rng` in arrival (= id) order —
+    /// the same draw sequence the historical build-everything-up-front
+    /// constructor used, so results are bit-identical.
+    fn on_arrival(&mut self, spec: TraceJob, now: SimTime) {
+        let j = spec.id;
+        debug_assert_eq!(spec.arrival, now);
+        let mut job = JobRun::new(spec, &self.cfg.cluster, &mut self.placement_rng);
+        if let Some(scripts) = &self.cfg.scripted {
+            if let Some(tasks) = scripts.get(j) {
+                job.script_single_phase(tasks);
+            }
+        }
+        self.pending_orig[j] = job
+            .phases()
+            .iter()
+            .filter(|p| p.eligible)
+            .map(|p| p.num_tasks())
+            .sum();
+        self.jobs.insert(j, job);
+        self.arrived[j] = true;
+        self.arrivals_pending -= 1;
+        let pos = self.active.binary_search(&j).unwrap_err();
+        self.active.insert(pos, j);
+        self.demand_epoch += 1;
+        self.predicted_mb[j] = self.alpha_est.predict(self.jobs[j].spec.template);
+        self.refresh_alpha(j);
+        self.arm_scan();
+        self.dispatch(now);
+    }
+
     fn run(mut self) -> RunOutput {
-        while let Some((now, ev)) = self.queue.pop() {
+        loop {
+            // Merge the arrival source with the event queue; at equal
+            // instants the arrival is delivered first (see
+            // `ArrivalSource`'s ordering contract).
+            let arrival_due = match self.arrivals.peek_arrival() {
+                Some(at) => match self.queue.peek_time() {
+                    Some(qt) => at <= qt,
+                    None => true,
+                },
+                None => false,
+            };
+            if arrival_due {
+                let spec = self.arrivals.pop().expect("peeked arrival exists");
+                let now = spec.arrival;
+                self.queue.advance_to(now);
+                self.stats.events += 1;
+                self.on_arrival(spec, now);
+                continue;
+            }
+            let Some((now, ev)) = self.queue.pop() else {
+                break;
+            };
             self.stats.events += 1;
             assert!(
                 self.stats.events <= self.cfg.max_events,
@@ -261,18 +341,13 @@ impl<'a> Central<'a> {
                 self.policy.name()
             );
             match ev {
-                Event::Arrival(j) => {
-                    self.arrived[j] = true;
-                    self.arrivals_pending -= 1;
-                    let pos = self.active.binary_search(&j).unwrap_err();
-                    self.active.insert(pos, j);
-                    self.demand_epoch += 1;
-                    self.predicted_mb[j] = self.alpha_est.predict(self.jobs[j].spec.template);
-                    self.refresh_alpha(j);
-                    self.arm_scan();
-                    self.dispatch(now);
-                }
                 Event::Finish { job, copy } => {
+                    // Completions queued for copies that lost their race
+                    // pop after the job completed and retired; they are
+                    // stale by definition and must not touch its state.
+                    if self.done[job] {
+                        continue;
+                    }
                     // A machine-speed change reschedules in-flight copies:
                     // the superseded completion event pops at a time that
                     // no longer matches the copy's finish instant. A no-op
@@ -375,12 +450,8 @@ impl<'a> Central<'a> {
             "simulation drained with unfinished jobs (deadlock?)"
         );
         self.stats.locality_fraction = {
-            let (local, total): (usize, usize) = self
-                .jobs
-                .iter()
-                .map(|j| (j.local_launches, j.local_launches + j.nonlocal_launches))
-                .fold((0, 0), |(a, b), (c, d)| (a + c, b + d));
-            (total > 0).then(|| local as f64 / total as f64)
+            let total = self.local_launches + self.nonlocal_launches;
+            (total > 0).then(|| self.local_launches as f64 / total as f64)
         };
         if let Policy::Hopper(h) = self.policy {
             if h.learn_beta {
@@ -395,23 +466,37 @@ impl<'a> Central<'a> {
         RunOutput {
             jobs,
             stats: self.stats,
+            digest: self.digest,
+            live_high_water: self.jobs.high_water(),
         }
     }
 
+    /// Complete and **retire** job `j`: its per-job outcome is folded
+    /// into the digest/accumulators (and, in materialized mode, pushed
+    /// as a `JobResult`), then its task/copy state is dropped. From this
+    /// instant the job is observationally gone — any path touching
+    /// `jobs[j]` panics (the retirement invariant, DESIGN.md).
     fn complete_job(&mut self, j: usize, now: SimTime) {
         self.done[j] = true;
         if let Ok(pos) = self.active.binary_search(&j) {
             self.active.remove(pos);
         }
         self.demand_epoch += 1;
-        self.candidates[j].clear();
-        self.results.push(JobResult {
-            job: self.jobs[j].id,
-            size_tasks: self.jobs[j].spec.size_tasks(),
-            dag_len: self.jobs[j].spec.dag_len(),
-            arrival: self.jobs[j].spec.arrival,
+        self.candidates[j] = VecDeque::new();
+        let job = self.jobs.retire(j);
+        self.local_launches += job.local_launches;
+        self.nonlocal_launches += job.nonlocal_launches;
+        let result = JobResult {
+            job: job.id,
+            size_tasks: job.spec.size_tasks(),
+            dag_len: job.spec.dag_len(),
+            arrival: job.spec.arrival,
             completed: now,
-        });
+        };
+        self.digest.observe_ms(result.duration_ms());
+        if self.retain_jobs {
+            self.results.push(result);
+        }
         self.stats.makespan = self.stats.makespan.max(now);
     }
 
@@ -647,7 +732,7 @@ impl<'a> Central<'a> {
             // Allocation is over *all* slots; a job's target includes its
             // currently running copies.
             let allocs = allocate(&demands, self.cfg.cluster.total_slots(), &hcfg.alloc);
-            let mut target = vec![0usize; self.jobs.len()];
+            let mut target = vec![0usize; self.num_jobs];
             for a in &allocs {
                 target[a.job] = a.slots;
                 if !self.regime_counted[a.job] {

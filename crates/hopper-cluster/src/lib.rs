@@ -12,6 +12,7 @@ pub mod dynamics;
 pub mod ids;
 pub mod job;
 pub mod machine;
+pub mod slab;
 
 pub use dynamics::{DynEvent, DynOutcome, DynamicsConfig, HeteroProfile, MachineDynamics};
 pub use ids::{CopyRef, MachineId, TaskRef};
@@ -20,3 +21,4 @@ pub use job::{
     TaskRun,
 };
 pub use machine::{ClusterConfig, Machines, SlotTemp};
+pub use slab::JobSlab;

@@ -120,6 +120,30 @@ pub struct Allocation {
 /// Returns one [`Allocation`] per demand, in the same order as the input.
 /// The total never exceeds `capacity`; it can be less only when every job
 /// is saturated at its useful cap (lightly loaded cluster).
+///
+/// The two regimes of Pseudocode 1, on the paper's own numbers (§4.1:
+/// β = 1.5 gives every job a virtual size of `2/β = 4/3` slots per
+/// remaining task):
+///
+/// ```
+/// use hopper_core::{allocate, AllocConfig, JobDemand, Regime};
+///
+/// let cfg = AllocConfig::no_fairness();
+/// // ΣV = (30 + 60)·4/3 = 120 > 100 slots ⇒ capacity constrained
+/// // (Guideline 2): the small job fills to ⌈its V⌉ first, the big job
+/// // takes what remains.
+/// let demands = [JobDemand::simple(0, 30.0, 1.5), JobDemand::simple(1, 60.0, 1.5)];
+/// let a = allocate(&demands, 100, &cfg);
+/// assert_eq!(a[0].regime, Regime::Constrained);
+/// assert_eq!(a[0].slots, 40); // ⌈30 · 4/3⌉
+/// assert_eq!(a[1].slots, 60); // the remainder
+///
+/// // ΣV = 120 ≤ 200 slots ⇒ capacity rich (Guideline 3): slots divide
+/// // proportionally to virtual sizes (1:2 here, quantized to integers).
+/// let a = allocate(&demands, 200, &cfg);
+/// assert_eq!(a[0].regime, Regime::Proportional);
+/// assert_eq!((a[0].slots, a[1].slots), (67, 133));
+/// ```
 pub fn allocate(demands: &[JobDemand], capacity: usize, cfg: &AllocConfig) -> Vec<Allocation> {
     assert!(
         (0.0..=1.0).contains(&cfg.fairness_eps),

@@ -6,7 +6,7 @@
 //!
 //! - [`vsize`] — virtual job sizes `V = max(2/β,1)·T·√α` and the
 //!   Guideline-2 priority key (paper §4.1–4.2);
-//! - [`allocate`] — the two-regime slot allocator (Pseudocode 1) with
+//! - [`allocate()`] — the two-regime slot allocator (Pseudocode 1) with
 //!   ε-fairness (§4.3);
 //! - [`estimate`] — online β (Pareto MLE) and α (recurring-job history)
 //!   estimation (§5.3, §6.3);
@@ -18,6 +18,8 @@
 //! (`hopper-decentral`), or a real RPC embedding all reuse the same logic.
 //! This mirrors the event-driven, no-hidden-I/O design of production
 //! network stacks.
+
+#![warn(missing_docs)]
 
 pub mod allocate;
 pub mod estimate;

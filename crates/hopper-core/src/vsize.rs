@@ -29,6 +29,19 @@ pub fn speculation_multiplier(beta: f64) -> f64 {
 /// `alpha` is the DAG communication weight (1.0 for single-phase jobs);
 /// see [`crate::estimate::AlphaEstimator`]. The result is a float; the
 /// allocator quantizes to integer slots.
+///
+/// The paper's formula (§4.1, extended to DAGs by §4.2's √α weighting):
+///
+/// ```
+/// use hopper_core::virtual_size;
+///
+/// // 200 remaining tasks at β = 1.6: V = (2/1.6) · 200 = 250 slots.
+/// assert_eq!(virtual_size(200.0, 1.6, 1.0), 250.0);
+/// // A communication-heavy DAG (α = 4) wants √4 = 2× the slots.
+/// assert_eq!(virtual_size(200.0, 1.6, 4.0), 500.0);
+/// // Light tails (β ≥ 2) floor the multiplier at 1 — no speculation slack.
+/// assert_eq!(virtual_size(200.0, 2.5, 1.0), 200.0);
+/// ```
 pub fn virtual_size(remaining_tasks: f64, beta: f64, alpha: f64) -> f64 {
     debug_assert!(remaining_tasks >= 0.0);
     debug_assert!(alpha >= 0.0);

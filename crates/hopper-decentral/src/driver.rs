@@ -27,18 +27,18 @@
 use std::collections::VecDeque;
 
 use hopper_cluster::{
-    ClusterConfig, CopyRef, DynEvent, DynamicsConfig, JobRun, MachineDynamics, MachineId, Machines,
-    TaskRef,
+    ClusterConfig, CopyRef, DynEvent, DynamicsConfig, JobRun, JobSlab, MachineDynamics, MachineId,
+    Machines, TaskRef,
 };
 use hopper_core::protocol::{
     pick_fcfs, pick_srpt, scheduler_accepts, FreeSlotEpisode, Reservation, ResponseKind,
     UnsatisfiedJob, WorkerAction,
 };
 use hopper_core::{virtual_size, BetaEstimator};
-use hopper_metrics::JobResult;
+use hopper_metrics::{JobDigest, JobResult};
 use hopper_sim::{EventQueue, SeedSequence, SimTime};
 use hopper_spec::{Candidate, Speculator};
-use hopper_workload::Trace;
+use hopper_workload::{ArrivalSource, Trace, TraceJob, TraceStream};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -170,32 +170,48 @@ impl DecStats {
 /// Result of a decentralized run.
 #[derive(Debug, Clone)]
 pub struct DecOutput {
-    /// Per-job outcomes (sorted by job id).
+    /// Per-job outcomes (sorted by job id). Empty for streaming runs
+    /// ([`run_stream`]); their per-job statistics live in `digest`.
     pub jobs: Vec<JobResult>,
     /// Aggregate counters.
     pub stats: DecStats,
+    /// Constant-memory duration statistics, folded at each completion
+    /// (identical between materialized and streaming runs of a seed).
+    pub digest: JobDigest,
+    /// Maximum simultaneously live jobs — the streaming pipeline's
+    /// memory yardstick (completed jobs retire their task/copy state).
+    pub live_high_water: usize,
 }
 
 impl DecOutput {
-    /// Mean job duration in milliseconds.
+    /// Mean job duration in milliseconds (exact in both modes).
     pub fn mean_duration_ms(&self) -> f64 {
-        hopper_metrics::mean_duration(&self.jobs)
+        if self.jobs.is_empty() {
+            self.digest.mean_ms()
+        } else {
+            hopper_metrics::mean_duration(&self.jobs)
+        }
     }
 }
 
-/// Run `trace` under decentralized `policy`.
+/// Run `trace` under decentralized `policy`, retaining per-job results.
 pub fn run(trace: &Trace, policy: DecPolicy, cfg: &DecConfig) -> DecOutput {
-    Decentral::new(trace, policy, cfg).run()
+    Decentral::new(ArrivalSource::from_trace(trace), policy, cfg, true).run()
+}
+
+/// Run a lazy arrival stream with O(active jobs) job state: arrivals are
+/// injected as simulation time advances, completed jobs retire their
+/// task/copy state, and per-job results fold into the output's digest
+/// (`DecOutput::jobs` is empty). Simulation decisions are bit-identical
+/// to [`run`] on the materialized form of the same stream.
+pub fn run_stream(stream: TraceStream, policy: DecPolicy, cfg: &DecConfig) -> DecOutput {
+    Decentral::new(ArrivalSource::from_stream(stream), policy, cfg, false).run()
 }
 
 #[derive(Debug, Clone)]
 enum Ev {
-    JobArrive(usize),
     /// Reservation lands in a worker queue.
-    Reservation {
-        worker: usize,
-        res: Reservation,
-    },
+    Reservation { worker: usize, res: Reservation },
     /// Worker offers its free slot to `job`'s scheduler. `inc` is the
     /// worker's incarnation at offer time: a machine failure bumps it, so
     /// replies referencing a slot that died with the machine are
@@ -232,11 +248,7 @@ enum Ev {
     /// Kill notification reaches the worker running a lost sibling
     /// (stamped with the worker's incarnation at race-resolution time —
     /// the slot return is dropped if the machine failed in flight).
-    Kill {
-        worker: usize,
-        job: usize,
-        inc: u64,
-    },
+    Kill { worker: usize, job: usize, inc: u64 },
     /// Periodic straggler scan (all schedulers).
     Scan,
     /// Machine-dynamics incident (slowdown / failure / recovery). Only
@@ -263,11 +275,31 @@ struct Decentral<'a> {
     queue: EventQueue<Ev>,
     machines: Machines,
     workers: Vec<WorkerState>,
-    jobs: Vec<JobRun>,
+    /// Undelivered arrivals, merged with `queue` by the run loop (an
+    /// arrival precedes any queued event at the same instant — the
+    /// order the historical pre-loaded arrival events produced).
+    arrivals: ArrivalSource<'a>,
+    /// Live jobs' runtime state; completed jobs are retired (their
+    /// task/copy state dropped, stats folded into accumulators).
+    jobs: JobSlab,
+    /// Total jobs of the run (`jobs` only holds the live ones).
+    num_jobs: usize,
+    /// Placement randomness for lazily constructed `JobRun`s; consumed
+    /// in arrival (= id) order, exactly as the eager constructor did.
+    placement_rng: StdRng,
+    /// Whether per-job `JobResult`s are retained (false for streaming).
+    retain_jobs: bool,
     done: Vec<bool>,
-    /// Whether the job's `JobArrive` event has been processed; jobs are
-    /// invisible to the scan rescue path until then.
+    /// Whether the job's arrival has been processed; jobs are invisible
+    /// to the scan rescue path until then.
     arrived: Vec<bool>,
+    /// Live job ids in ascending order (arrivals come in id order, so a
+    /// push maintains it; completion removes by binary search). Scans
+    /// and dynamics walk this instead of every job id ever issued —
+    /// identical iteration to the old `0..n` loops with their
+    /// done/arrived guards, but O(live), and structurally incapable of
+    /// touching a retired job.
+    live: Vec<usize>,
     active_count: usize,
     arrivals_pending: usize,
     /// Scheduler-side occupancy (running + in-flight assignments) per job.
@@ -285,8 +317,10 @@ struct Decentral<'a> {
     candidates: Vec<VecDeque<Candidate>>,
     /// job → owning scheduler (round-robin).
     owner: Vec<usize>,
-    /// scheduler → its jobs in ascending id order (static round-robin
-    /// partition); the refusal path walks this instead of every job.
+    /// scheduler → its *live* jobs in ascending id order (round-robin
+    /// partition; insert at arrival, remove at retirement). The refusal
+    /// path walks this instead of every job — and, per the retirement
+    /// invariant, can never advertise a retired job.
     sched_jobs: Vec<Vec<usize>>,
     /// Jobs completed so far (the epoch for worker-queue purges).
     done_count: u64,
@@ -303,25 +337,23 @@ struct Decentral<'a> {
     rng: StdRng,
     results: Vec<JobResult>,
     stats: DecStats,
+    /// Online duration statistics, folded at each retirement.
+    digest: JobDigest,
     /// Event-type counters (diagnostics): arrive, reservation, response,
     /// assign, refusal, finish, kill, scan, dyn.
     ev_counts: [u64; 9],
 }
 
 impl<'a> Decentral<'a> {
-    fn new(trace: &Trace, policy: DecPolicy, cfg: &'a DecConfig) -> Self {
+    fn new(
+        arrivals: ArrivalSource<'a>,
+        policy: DecPolicy,
+        cfg: &'a DecConfig,
+        retain_jobs: bool,
+    ) -> Self {
         let seq = SeedSequence::new(cfg.seed);
-        let mut placement_rng = seq.child_rng(0xB10C);
-        let jobs: Vec<JobRun> = trace
-            .jobs
-            .iter()
-            .map(|spec| JobRun::new(spec.clone(), &cfg.cluster, &mut placement_rng))
-            .collect();
-        let n = jobs.len();
+        let n = arrivals.total_jobs();
         let mut queue = EventQueue::new();
-        for j in &trace.jobs {
-            queue.push(j.arrival, Ev::JobArrive(j.id));
-        }
         let mut dynamics = cfg
             .dynamics
             .enabled()
@@ -331,16 +363,6 @@ impl<'a> Decentral<'a> {
                 queue.push(at, Ev::Dyn(ev));
             }
         }
-        let pending_orig = jobs
-            .iter()
-            .map(|j| {
-                j.phases()
-                    .iter()
-                    .filter(|p| p.eligible)
-                    .map(|p| p.num_tasks())
-                    .sum()
-            })
-            .collect();
         Decentral {
             policy,
             cfg,
@@ -354,24 +376,22 @@ impl<'a> Decentral<'a> {
                     purged_at: 0,
                 })
                 .collect(),
+            arrivals,
+            num_jobs: n,
+            placement_rng: seq.child_rng(0xB10C),
+            retain_jobs,
             done: vec![false; n],
             arrived: vec![false; n],
+            live: Vec::new(),
             active_count: 0,
             arrivals_pending: n,
             occupied: vec![0; n],
-            pending_orig,
+            pending_orig: vec![0; n],
             claimed: vec![std::collections::HashSet::new(); n],
             live_res: vec![0; n],
             candidates: vec![VecDeque::new(); n],
             owner: (0..n).map(|j| j % cfg.num_schedulers.max(1)).collect(),
-            sched_jobs: {
-                let s = cfg.num_schedulers.max(1);
-                let mut by_sched = vec![Vec::new(); s];
-                for j in 0..n {
-                    by_sched[j % s].push(j);
-                }
-                by_sched
-            },
+            sched_jobs: vec![Vec::new(); cfg.num_schedulers.max(1)],
             done_count: 0,
             beta_est: (0..cfg.num_schedulers.max(1))
                 .map(|_| BetaEstimator::with_prior(1.5))
@@ -380,10 +400,11 @@ impl<'a> Decentral<'a> {
             dynamics,
             dyn_inc: vec![0; cfg.cluster.machines],
             rng: seq.child_rng(0xDEC),
-            results: Vec::with_capacity(n),
+            results: Vec::with_capacity(if retain_jobs { n } else { 0 }),
             stats: DecStats::default(),
+            digest: JobDigest::new(),
             ev_counts: [0; 9],
-            jobs,
+            jobs: JobSlab::new(n),
         }
     }
 
@@ -418,11 +439,35 @@ impl<'a> Decentral<'a> {
     }
 
     fn run(mut self) -> DecOutput {
-        while let Some((now, ev)) = self.queue.pop() {
+        loop {
+            // Merge the arrival source with the event queue; at equal
+            // instants the arrival is delivered first (see
+            // `ArrivalSource`'s ordering contract).
+            let arrival_due = match self.arrivals.peek_arrival() {
+                Some(at) => match self.queue.peek_time() {
+                    Some(qt) => at <= qt,
+                    None => true,
+                },
+                None => false,
+            };
+            if arrival_due {
+                let spec = self.arrivals.pop().expect("peeked arrival exists");
+                let now = spec.arrival;
+                self.queue.advance_to(now);
+                self.stats.events += 1;
+                self.ev_counts[0] += 1;
+                self.on_job_arrive(spec, now);
+                continue;
+            }
+            let Some((now, ev)) = self.queue.pop() else {
+                break;
+            };
             self.stats.events += 1;
             if self.stats.events > self.cfg.max_events {
-                let stuck: Vec<String> = (0..self.jobs.len())
-                    .filter(|&j| !self.done[j])
+                let stuck: Vec<String> = self
+                    .live
+                    .iter()
+                    .copied()
                     .take(5)
                     .map(|j| {
                         format!(
@@ -452,7 +497,6 @@ impl<'a> Decentral<'a> {
                 );
             }
             self.ev_counts[match &ev {
-                Ev::JobArrive(_) => 0,
                 Ev::Reservation { .. } => 1,
                 Ev::Response { .. } => 2,
                 Ev::Assign { .. } => 3,
@@ -463,7 +507,6 @@ impl<'a> Decentral<'a> {
                 Ev::Dyn(_) => 8,
             }] += 1;
             match ev {
-                Ev::JobArrive(j) => self.on_job_arrive(j, now),
                 Ev::Reservation { worker, res } => {
                     // A job can complete while its reservation is still in
                     // flight. The pre-epoch code parked it and purged it in
@@ -524,16 +567,22 @@ impl<'a> Decentral<'a> {
                 }
                 Ev::Scan => {
                     self.scan_armed = false;
-                    for j in 0..self.jobs.len() {
-                        if !self.done[j] && self.jobs[j].occupied_slots() > 0 {
+                    // Both scan passes walk the live list (ascending id —
+                    // the order the old `0..n` loops visited live jobs
+                    // in), so scan cost is O(live jobs), not O(all jobs
+                    // ever arrived).
+                    for idx in 0..self.live.len() {
+                        let j = self.live[idx];
+                        if self.jobs[j].occupied_slots() > 0 {
                             self.candidates[j] =
                                 self.cfg.speculator.candidates(&self.jobs[j], now).into();
                         }
                     }
                     // Re-probe jobs whose reservations were all consumed
                     // while launchable work remains (otherwise they starve).
-                    for j in 0..self.jobs.len() {
-                        if self.done[j] || !self.arrived[j] || self.live_res[j] > 0 {
+                    for idx in 0..self.live.len() {
+                        let j = self.live[idx];
+                        if self.live_res[j] > 0 {
                             continue;
                         }
                         let launchable = self.pending_orig[j] > 0 || !self.candidates[j].is_empty();
@@ -555,16 +604,18 @@ impl<'a> Decentral<'a> {
             }
         }
         assert!(
-            self.results.len() == self.jobs.len() && self.arrivals_pending == 0,
+            self.done_count as usize == self.num_jobs && self.arrivals_pending == 0,
             "decentralized run drained with {} of {} jobs finished",
-            self.results.len(),
-            self.jobs.len()
+            self.done_count,
+            self.num_jobs
         );
         let mut jobs = self.results;
         jobs.sort_by_key(|r| r.job);
         DecOutput {
             jobs,
             stats: self.stats,
+            digest: self.digest,
+            live_high_water: self.jobs.high_water(),
         }
     }
 
@@ -575,10 +626,28 @@ impl<'a> Decentral<'a> {
         }
     }
 
-    fn on_job_arrive(&mut self, j: usize, _now: SimTime) {
+    /// Build job `j`'s runtime state and probe for its tasks. Lazy
+    /// construction consumes `placement_rng` in arrival (= id) order —
+    /// the same draw sequence the historical build-everything-up-front
+    /// constructor used, so results are bit-identical.
+    fn on_job_arrive(&mut self, spec: TraceJob, now: SimTime) {
+        let j = spec.id;
+        debug_assert_eq!(spec.arrival, now);
+        let _ = now;
+        let job = JobRun::new(spec, &self.cfg.cluster, &mut self.placement_rng);
+        self.pending_orig[j] = job
+            .phases()
+            .iter()
+            .filter(|p| p.eligible)
+            .map(|p| p.num_tasks())
+            .sum();
+        self.jobs.insert(j, job);
         self.arrivals_pending -= 1;
         self.active_count += 1;
         self.arrived[j] = true;
+        debug_assert!(self.live.last().is_none_or(|&last| last < j));
+        self.live.push(j);
+        self.sched_jobs[self.owner[j]].push(j);
         self.arm_scan();
         // Place probe_ratio × tasks reservations. Input tasks probe their
         // replica machines first (§6.1), the remainder go to random
@@ -914,12 +983,14 @@ impl<'a> Decentral<'a> {
         // work.
         let sched = self.owner.get(job).copied().unwrap_or(0);
         let mut best: Option<UnsatisfiedJob> = None;
-        // Only this scheduler's own jobs are candidates — walk its static
-        // partition (ascending id, the order the old all-jobs scan visited
-        // them in) instead of the whole cluster.
+        // Only this scheduler's own *live* jobs are candidates — walk its
+        // live partition (ascending id, the order the old all-jobs scan
+        // visited them in; membership = arrived ∧ not retired) instead of
+        // the whole cluster.
         for &j in &self.sched_jobs[sched] {
             debug_assert_eq!(self.owner[j], sched);
-            if self.done[j] || !self.arrived[j] || j == job {
+            debug_assert!(self.arrived[j] && !self.done[j]);
+            if j == job {
                 continue;
             }
             let v = self.vsize(j);
@@ -1019,9 +1090,14 @@ impl<'a> Decentral<'a> {
         // assignment was in flight): undo the scheduler-side accounting
         // and return the original to the pending pool if it still needs
         // one — but touch no worker state, the episode and slot are gone.
+        // A completed (retired) job's tasks are all finished, so the
+        // done-guard preserves the old `needs_original()` answer without
+        // dereferencing retired state.
         if inc != self.dyn_inc[worker] {
             self.occupied[job] = self.occupied[job].saturating_sub(1);
-            if !speculative && self.jobs[job].phases()[task.phase].tasks[task.task].needs_original()
+            if !speculative
+                && !self.done[job]
+                && self.jobs[job].phases()[task.phase].tasks[task.task].needs_original()
             {
                 self.pending_orig[job] += 1;
             }
@@ -1038,18 +1114,22 @@ impl<'a> Decentral<'a> {
             self.workers[worker].queue.remove(pos);
             self.live_res[job] = self.live_res[job].saturating_sub(1);
         }
-        // Validate against races: the task may have finished while the
-        // assignment was in flight. (An original is live exactly when the
-        // task still needs one — `needs_original` also covers tasks a
-        // machine failure requeued, whose earlier copies were all killed.)
-        let t = &self.jobs[job].phases()[task.phase].tasks[task.task];
-        let stale = self.done[job]
-            || t.is_finished()
-            || (speculative && t.running_copies() == 0)
-            || (!speculative && !t.needs_original());
+        // Validate against races: the job may have completed — and been
+        // retired — or the task may have finished while the assignment
+        // was in flight. (An original is live exactly when the task still
+        // needs one — `needs_original` also covers tasks a machine
+        // failure requeued, whose earlier copies were all killed.) A
+        // retired job is never dereferenced: done ⇒ every task finished ⇒
+        // stale, and the old needs_original() re-check answered false.
+        let stale = self.done[job] || {
+            let t = &self.jobs[job].phases()[task.phase].tasks[task.task];
+            t.is_finished()
+                || (speculative && t.running_copies() == 0)
+                || (!speculative && !t.needs_original())
+        };
         if stale {
             self.occupied[job] = self.occupied[job].saturating_sub(1);
-            if !speculative {
+            if !speculative && !self.done[job] {
                 // Return the unlaunched original to the pending pool only
                 // if it truly is still pending.
                 let t = &self.jobs[job].phases()[task.phase].tasks[task.task];
@@ -1107,13 +1187,11 @@ impl<'a> Decentral<'a> {
         match ev {
             DynEvent::SlowdownStart(_) | DynEvent::SlowdownEnd(_) => {
                 let ratio = out.rescale_ratio.expect("speed change carries a ratio");
-                for j in 0..self.jobs.len() {
-                    // Not-yet-arrived jobs have no running copies; skipping
-                    // them keeps the per-incident cost proportional to the
-                    // live workload, not the whole trace.
-                    if self.done[j] || !self.arrived[j] {
-                        continue;
-                    }
+                // Only live jobs can have running copies; the live list
+                // keeps the per-incident cost proportional to the live
+                // workload, not the whole stream.
+                for idx in 0..self.live.len() {
+                    let j = self.live[idx];
                     for (copy, finish) in self.jobs[j].rescale_machine(m, now, ratio) {
                         self.queue.push(
                             finish,
@@ -1141,10 +1219,8 @@ impl<'a> Decentral<'a> {
                 // accounting; requeued tasks get fresh probes immediately
                 // (their old reservations may be anywhere, but the pending
                 // original needs the re-dispatch advertised).
-                for j in 0..self.jobs.len() {
-                    if self.done[j] || !self.arrived[j] {
-                        continue;
-                    }
+                for idx in 0..self.live.len() {
+                    let j = self.live[idx];
                     let fo = self.jobs[j].fail_machine(m);
                     if fo.killed == 0 {
                         continue;
@@ -1170,6 +1246,12 @@ impl<'a> Decentral<'a> {
     }
 
     fn on_finish(&mut self, job: usize, copy: CopyRef, worker: usize, now: SimTime) {
+        // Completions queued for copies that lost their race pop after
+        // the job completed and retired; they are stale by definition
+        // and must not touch its (gone) state.
+        if self.done[job] {
+            return;
+        }
         // A machine-speed change rescheduled this copy: its superseded
         // completion event pops at a time that no longer matches the
         // copy's finish instant. A no-op without dynamics.
@@ -1228,20 +1310,47 @@ impl<'a> Decentral<'a> {
             self.send_probes(job, probes);
         }
         if out.job_done {
-            self.done[job] = true;
-            self.done_count += 1;
-            self.active_count -= 1;
-            self.candidates[job].clear();
-            self.results.push(JobResult {
-                job: self.jobs[job].id,
-                size_tasks: self.jobs[job].spec.size_tasks(),
-                dag_len: self.jobs[job].spec.dag_len(),
-                arrival: self.jobs[job].spec.arrival,
-                completed: now,
-            });
-            self.stats.makespan = self.stats.makespan.max(now);
+            self.complete_job(job, now);
         }
         self.maybe_start_episode(worker, now);
+    }
+
+    /// Complete and **retire** `job`: fold its outcome into the digest
+    /// and accumulators (plus a `JobResult` in materialized mode), drop
+    /// its task/copy state and scheduler-side scratch, and remove it from
+    /// every live index. From this instant the job is observationally
+    /// gone — any path touching `jobs[job]` panics (the retirement
+    /// invariant, DESIGN.md).
+    fn complete_job(&mut self, job: usize, now: SimTime) {
+        self.done[job] = true;
+        self.done_count += 1;
+        self.active_count -= 1;
+        // Replace (not clear): `clear` keeps capacity alive forever.
+        self.candidates[job] = VecDeque::new();
+        self.claimed[job] = std::collections::HashSet::new();
+        let pos = self
+            .live
+            .binary_search(&job)
+            .expect("completed job is live");
+        self.live.remove(pos);
+        let part = &mut self.sched_jobs[self.owner[job]];
+        let pos = part
+            .binary_search(&job)
+            .expect("completed job is in its partition");
+        part.remove(pos);
+        let retired = self.jobs.retire(job);
+        let result = JobResult {
+            job: retired.id,
+            size_tasks: retired.spec.size_tasks(),
+            dag_len: retired.spec.dag_len(),
+            arrival: retired.spec.arrival,
+            completed: now,
+        };
+        self.digest.observe_ms(result.duration_ms());
+        if self.retain_jobs {
+            self.results.push(result);
+        }
+        self.stats.makespan = self.stats.makespan.max(now);
     }
 }
 

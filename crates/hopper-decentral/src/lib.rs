@@ -10,4 +10,4 @@
 
 pub mod driver;
 
-pub use driver::{run, DecConfig, DecOutput, DecPolicy, DecStats};
+pub use driver::{run, run_stream, DecConfig, DecOutput, DecPolicy, DecStats};

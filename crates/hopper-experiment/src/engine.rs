@@ -9,28 +9,48 @@
 
 use hopper_central::{Policy, RunOutput, SimConfig};
 use hopper_decentral::{DecConfig, DecOutput, DecPolicy};
-use hopper_metrics::{mean_duration, percentile, CoreStats, JobResult};
-use hopper_workload::Trace;
+use hopper_metrics::{mean_duration, percentile, CoreStats, JobDigest, JobResult};
+use hopper_workload::{Trace, TraceStream};
 
 /// Unified read surface over one scheduler run, regardless of driver.
 ///
 /// `Send` is a supertrait so summaries can be produced on sweep worker
 /// threads and collected by the caller.
 pub trait RunSummary: Send {
-    /// Per-job outcomes.
+    /// Per-job outcomes. Empty for streaming runs, whose per-job
+    /// statistics are folded into [`RunSummary::digest`] instead.
     fn jobs(&self) -> &[JobResult];
 
     /// Driver-agnostic counter core (`RunStats::core` / `DecStats::core`).
     fn core(&self) -> CoreStats;
 
-    /// Mean job duration in milliseconds.
+    /// Constant-memory duration statistics (exact mean/count, ε-approx
+    /// quantile sketch), folded at each job completion. Identical
+    /// between streaming and materialized runs of the same seed.
+    fn digest(&self) -> &JobDigest;
+
+    /// Maximum simultaneously live jobs during the run (the streaming
+    /// pipeline's memory yardstick).
+    fn live_high_water(&self) -> usize;
+
+    /// Mean job duration in milliseconds (exact in both modes — the
+    /// digest's mean is an integer-millisecond sum).
     fn mean_duration_ms(&self) -> f64 {
-        mean_duration(self.jobs())
+        if self.jobs().is_empty() {
+            self.digest().mean_ms()
+        } else {
+            mean_duration(self.jobs())
+        }
     }
 
-    /// Linear-interpolated duration percentile (`p` ∈ [0, 1]) in ms.
-    /// 0.0 on a run with no jobs (see `hopper_metrics::percentile`).
+    /// Duration percentile (`p` ∈ [0, 1]) in ms: linear-interpolated
+    /// and exact when per-job results are retained, the sketch's
+    /// ε-approximate quantile on streaming runs. 0.0 on a run with no
+    /// jobs (see `hopper_metrics::percentile`).
     fn percentile_duration_ms(&self, p: f64) -> f64 {
+        if self.jobs().is_empty() {
+            return self.digest().quantile_ms(p);
+        }
         let durs: Vec<f64> = self.jobs().iter().map(|r| r.duration_ms() as f64).collect();
         percentile(&durs, p)
     }
@@ -44,6 +64,14 @@ impl RunSummary for RunOutput {
     fn core(&self) -> CoreStats {
         self.stats.core()
     }
+
+    fn digest(&self) -> &JobDigest {
+        &self.digest
+    }
+
+    fn live_high_water(&self) -> usize {
+        self.live_high_water
+    }
 }
 
 impl RunSummary for DecOutput {
@@ -53,6 +81,14 @@ impl RunSummary for DecOutput {
 
     fn core(&self) -> CoreStats {
         self.stats.core()
+    }
+
+    fn digest(&self) -> &JobDigest {
+        &self.digest
+    }
+
+    fn live_high_water(&self) -> usize {
+        self.live_high_water
     }
 }
 
@@ -68,6 +104,12 @@ pub trait Engine: Sync {
 
     /// Simulate `trace` to completion.
     fn run(&self, trace: &Trace) -> Box<dyn RunSummary>;
+
+    /// Simulate a lazy arrival stream to completion with O(active jobs)
+    /// job state (completed jobs retired, per-job results folded into the
+    /// digest). Decisions are bit-identical to [`Engine::run`] on the
+    /// materialized form of the same stream.
+    fn run_stream(&self, stream: TraceStream) -> Box<dyn RunSummary>;
 }
 
 /// The centralized driver as an [`Engine`].
@@ -87,6 +129,10 @@ impl Engine for CentralEngine {
     fn run(&self, trace: &Trace) -> Box<dyn RunSummary> {
         Box::new(hopper_central::run(trace, &self.policy, &self.cfg))
     }
+
+    fn run_stream(&self, stream: TraceStream) -> Box<dyn RunSummary> {
+        Box::new(hopper_central::run_stream(stream, &self.policy, &self.cfg))
+    }
 }
 
 /// The decentralized (Sparrow-style) driver as an [`Engine`].
@@ -105,6 +151,10 @@ impl Engine for DecentralEngine {
 
     fn run(&self, trace: &Trace) -> Box<dyn RunSummary> {
         Box::new(hopper_decentral::run(trace, self.policy, &self.cfg))
+    }
+
+    fn run_stream(&self, stream: TraceStream) -> Box<dyn RunSummary> {
+        Box::new(hopper_decentral::run_stream(stream, self.policy, &self.cfg))
     }
 }
 

@@ -14,7 +14,7 @@
 //!   cell: workload source, cluster shape, engine + policy, utilization,
 //!   seed list. Round-trips through a `key=value` text form whose keys
 //!   map 1:1 onto `hopper` CLI flags, so specs can live in files.
-//! - [`sweep`] — fans a seed × axis grid out over scoped worker threads
+//! - [`sweep()`] — fans a seed × axis grid out over scoped worker threads
 //!   and collects a [`SweepTable`] in grid order. Each trial owns its
 //!   seed-derived RNGs, so the parallel result is bit-identical to a
 //!   serial fold ([`sweep_serial`] exists to pin that in tests).

@@ -18,7 +18,7 @@ use hopper_core::AllocConfig;
 use hopper_decentral::{DecConfig, DecPolicy};
 use hopper_sim::SimTime;
 use hopper_spec::{SpecConfig, Speculator};
-use hopper_workload::{Trace, TraceGenerator, WorkloadProfile};
+use hopper_workload::{Trace, TraceGenerator, TraceStream, WorkloadProfile};
 
 use crate::engine::{CentralEngine, DecentralEngine, Engine, RunSummary};
 
@@ -69,6 +69,8 @@ const KNOWN_KEYS: &[&str] = &[
     "fixed_beta",
     "learn_beta",
     "jobs",
+    "max_jobs",
+    "stream",
     "machines",
     "slots",
     "handoff_ms",
@@ -116,6 +118,20 @@ pub struct ExperimentSpec {
     pub learn_beta: bool,
     /// Jobs per trial.
     pub jobs: usize,
+    /// Cap on jobs actually delivered (`max_jobs=none|N`): the arrival
+    /// window is calibrated over all `jobs`, but the run stops consuming
+    /// the stream after `N` — the knob for cutting a long calibrated
+    /// stream short. `None` delivers everything.
+    pub max_jobs: Option<usize>,
+    /// Streaming pipeline (`stream=on|off`, default off): arrivals are
+    /// generated lazily and injected as simulation time advances,
+    /// completed jobs retire their state, and per-job results fold into
+    /// a constant-memory digest — live job state is O(active jobs) (plus
+    /// fixed-width per-id bookkeeping, tens of bytes per job).
+    /// Simulation decisions (and `CoreStats`/means) are identical to a
+    /// materialized run of the same seed; percentiles come from the
+    /// digest's ε-approximate sketch instead of an exact sort.
+    pub stream: bool,
     /// Cluster machines.
     pub machines: usize,
     /// Slots per machine.
@@ -174,6 +190,8 @@ impl ExperimentSpec {
             fixed_beta: None,
             learn_beta: true,
             jobs: 100,
+            max_jobs: None,
+            stream: false,
             machines: 50,
             slots: 4,
             handoff_ms: ClusterConfig::default().handoff_ms,
@@ -240,6 +258,14 @@ impl ExperimentSpec {
             "fixed_beta" => self.fixed_beta = parse_opt(key, value)?,
             "learn_beta" => self.learn_beta = parse_bool(key, value)?,
             "jobs" => self.jobs = parse_num(key, value)?,
+            "max_jobs" => self.max_jobs = parse_opt(key, value)?,
+            "stream" => {
+                self.stream = match value {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(err(format!("stream must be on|off, got `{other}`"))),
+                }
+            }
             "machines" => self.machines = parse_num(key, value)?,
             "slots" => self.slots = parse_num(key, value)?,
             "handoff_ms" => self.handoff_ms = parse_num(key, value)?,
@@ -336,6 +362,8 @@ impl ExperimentSpec {
                     .map_or("none".to_string(), |x| x.to_string()),
                 "learn_beta" => self.learn_beta.to_string(),
                 "jobs" => self.jobs.to_string(),
+                "max_jobs" => self.max_jobs.map_or("none".to_string(), |x| x.to_string()),
+                "stream" => if self.stream { "on" } else { "off" }.to_string(),
                 "machines" => self.machines.to_string(),
                 "slots" => self.slots.to_string(),
                 "handoff_ms" => self.handoff_ms.to_string(),
@@ -401,6 +429,9 @@ impl ExperimentSpec {
         }
         if self.jobs == 0 {
             return Err(err("jobs must be positive"));
+        }
+        if self.max_jobs == Some(0) {
+            return Err(err("max_jobs must be positive (or none)"));
         }
         if self.machines == 0 || self.slots == 0 {
             return Err(err("machines and slots must be positive"));
@@ -484,8 +515,16 @@ impl ExperimentSpec {
     /// Synthesize the trial's trace for `seed`. Identical (workload,
     /// jobs, cluster, util, seed) ⇒ identical trace, which is what lets
     /// reduction comparisons across policies share a trace by sharing a
-    /// seed.
+    /// seed. Honors `max_jobs` (the materialized trace is then the
+    /// stream's delivered prefix, so `stream=on` and `stream=off` trials
+    /// always simulate the same jobs).
     pub fn trace(&self, seed: u64) -> Trace {
+        Trace::new(self.stream(seed).collect())
+    }
+
+    /// The trial's lazy arrival stream for `seed` — the same jobs
+    /// [`ExperimentSpec::trace`] materializes, yielded one at a time.
+    pub fn stream(&self, seed: u64) -> TraceStream {
         let mut profile = match self.workload.as_str() {
             "bing" => WorkloadProfile::bing(),
             _ => WorkloadProfile::facebook(),
@@ -502,8 +541,12 @@ impl ExperimentSpec {
         if let Some(beta) = self.fixed_beta {
             profile = profile.fixed_beta(beta);
         }
-        TraceGenerator::new(profile, self.jobs, seed)
-            .generate_with_utilization(self.total_slots(), self.util)
+        let stream = TraceGenerator::new(profile, self.jobs, seed)
+            .stream_with_utilization(self.total_slots(), self.util);
+        match self.max_jobs {
+            Some(m) => stream.truncated(m),
+            None => stream,
+        }
     }
 
     fn cluster(&self) -> ClusterConfig {
@@ -583,10 +626,16 @@ impl ExperimentSpec {
         }
     }
 
-    /// Run one trial: synthesize the seed's trace and simulate it.
+    /// Run one trial: synthesize the seed's workload and simulate it —
+    /// through the streaming pipeline when `stream=on` (lazy arrivals,
+    /// retired jobs, digest-only results), materialized otherwise.
     pub fn run_one(&self, seed: u64) -> Result<Box<dyn RunSummary>, SpecError> {
         let engine = self.engine(seed)?;
-        Ok(engine.run(&self.trace(seed)))
+        if self.stream {
+            Ok(engine.run_stream(self.stream(seed)))
+        } else {
+            Ok(engine.run(&self.trace(seed)))
+        }
     }
 }
 
@@ -756,6 +805,66 @@ mttr_ms=20000
         s.fail_rate = 1.0;
         s.mttr_ms = 0;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn stream_and_max_jobs_keys_round_trip() {
+        let s =
+            ExperimentSpec::parse("engine=decentral\nstream=on\nmax_jobs=50\njobs=200\n").unwrap();
+        assert!(s.stream);
+        assert_eq!(s.max_jobs, Some(50));
+        let again = ExperimentSpec::parse(&s.render()).unwrap();
+        assert_eq!(s, again);
+        // Defaults: off / none.
+        let d = ExperimentSpec::central();
+        assert!(!d.stream);
+        assert_eq!(d.max_jobs, None);
+        assert!(d.render().contains("stream=off\n"));
+        assert!(d.render().contains("max_jobs=none\n"));
+        // Value validation.
+        assert!(ExperimentSpec::parse("stream=yes\n").is_err());
+        assert!(ExperimentSpec::parse("max_jobs=0\n").is_err());
+    }
+
+    #[test]
+    fn max_jobs_truncates_both_trace_and_stream() {
+        let mut s = ExperimentSpec::central();
+        s.jobs = 40;
+        s.max_jobs = Some(12);
+        let t = s.trace(3);
+        assert_eq!(t.len(), 12);
+        assert_eq!(s.stream(3).count(), 12);
+        // The truncated trace is a prefix of the full one.
+        let mut full = s.clone();
+        full.max_jobs = None;
+        let ft = full.trace(3);
+        for (a, b) in ft.jobs.iter().zip(&t.jobs) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.total_work_ms(), b.total_work_ms());
+        }
+    }
+
+    #[test]
+    fn streaming_run_one_reports_through_the_digest() {
+        let mut s = ExperimentSpec::decentral();
+        s.jobs = 10;
+        s.machines = 30;
+        s.util = 0.6;
+        s.stream = true;
+        let out = s.run_one(2).unwrap();
+        assert!(out.jobs().is_empty(), "streaming retires per-job results");
+        assert_eq!(out.digest().count(), 10);
+        assert!(out.mean_duration_ms() > 0.0);
+        assert!(out.live_high_water() >= 1 && out.live_high_water() <= 10);
+
+        // Same seed, materialized: identical counters and mean.
+        s.stream = false;
+        let mat = s.run_one(2).unwrap();
+        assert_eq!(mat.core(), out.core());
+        assert_eq!(
+            mat.digest().mean_ms().to_bits(),
+            out.digest().mean_ms().to_bits()
+        );
     }
 
     #[test]

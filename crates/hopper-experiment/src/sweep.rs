@@ -18,7 +18,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use hopper_metrics::{percentile, CoreStats, JobResult, Table};
+use hopper_metrics::{percentile, CoreStats, JobDigest, JobResult, Table};
 
 use crate::spec::{ExperimentSpec, SpecError};
 
@@ -69,20 +69,34 @@ pub struct Trial {
     pub axis_value: String,
     /// The trial's seed.
     pub seed: u64,
-    /// Per-job outcomes.
+    /// Per-job outcomes (empty for `stream=on` trials — see `digest`).
     pub jobs: Vec<JobResult>,
     /// Driver-agnostic counters.
     pub core: CoreStats,
+    /// Constant-memory duration statistics (always populated; the only
+    /// per-job record a streaming trial keeps).
+    pub digest: JobDigest,
+    /// Maximum simultaneously live jobs during the trial.
+    pub live_high_water: usize,
 }
 
 impl Trial {
-    /// Mean job duration (ms).
+    /// Mean job duration (ms) — exact in both modes.
     pub fn mean_duration_ms(&self) -> f64 {
-        hopper_metrics::mean_duration(&self.jobs)
+        if self.jobs.is_empty() {
+            self.digest.mean_ms()
+        } else {
+            hopper_metrics::mean_duration(&self.jobs)
+        }
     }
 
-    /// Duration percentile (ms), `p` ∈ [0, 1].
+    /// Duration percentile (ms), `p` ∈ [0, 1]: exact when per-job
+    /// results are retained, the digest's ε-approximate quantile on
+    /// streaming trials.
     pub fn percentile_duration_ms(&self, p: f64) -> f64 {
+        if self.jobs.is_empty() {
+            return self.digest.quantile_ms(p);
+        }
         let durs: Vec<f64> = self.jobs.iter().map(|r| r.duration_ms() as f64).collect();
         percentile(&durs, p)
     }
@@ -124,10 +138,19 @@ impl SweepTable {
     }
 
     /// Duration percentile (ms) for an axis value, pooled over every
-    /// job of every seed's trial.
+    /// job of every seed's trial. Streaming trials (no retained jobs)
+    /// pool through digest merges instead — exact pooling of the
+    /// sketches, ε-approximate quantile out.
     pub fn percentile_for(&self, value: &str, p: f64) -> f64 {
-        let durs: Vec<f64> = self
-            .trials_for(value)
+        let trials = self.trials_for(value);
+        if trials.iter().all(|t| t.jobs.is_empty()) {
+            let mut pooled = hopper_metrics::JobDigest::new();
+            for t in &trials {
+                pooled.merge(&t.digest);
+            }
+            return pooled.quantile_ms(p);
+        }
+        let durs: Vec<f64> = trials
             .iter()
             .flat_map(|t| t.jobs.iter().map(|r| r.duration_ms() as f64))
             .collect();
@@ -184,7 +207,7 @@ impl SweepTable {
                 "{},{},{},{:.3},{:.3},{:.3},{},{},{},{},{},{}\n",
                 t.axis_value,
                 t.seed,
-                t.jobs.len(),
+                t.digest.count(),
                 t.mean_duration_ms(),
                 t.percentile_duration_ms(0.5),
                 t.percentile_duration_ms(0.9),
@@ -261,6 +284,8 @@ fn run_cells(cells: Vec<(ExperimentSpec, String, u64)>, threads: usize) -> Vec<T
                     seed: *seed,
                     jobs: summary.jobs().to_vec(),
                     core: summary.core(),
+                    digest: summary.digest().clone(),
+                    live_high_water: summary.live_high_water(),
                 });
             });
         }
@@ -313,6 +338,8 @@ pub fn sweep_serial(spec: &ExperimentSpec, axis: &SweepAxis) -> Result<SweepTabl
             seed,
             jobs: summary.jobs().to_vec(),
             core: summary.core(),
+            digest: summary.digest().clone(),
+            live_high_water: summary.live_high_water(),
         });
     }
     Ok(SweepTable {

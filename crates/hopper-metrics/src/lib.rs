@@ -7,10 +7,14 @@
 //! `>500` tasks), and simple ASCII tables/series so every bench target can
 //! print paper-shaped output.
 
+#![warn(missing_docs)]
+
+pub mod digest;
 pub mod export;
 pub mod stats;
 pub mod table;
 
+pub use digest::{JobDigest, QuantileSketch, DIGEST_EPS};
 pub use export::{jobs_to_csv, sweep_to_csv};
 pub use stats::{
     mean, mean_duration, mean_duration_for_dag, mean_duration_in_bin, percentile, reduction_pct,

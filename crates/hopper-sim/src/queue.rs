@@ -131,6 +131,22 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// Advance the clock to `t` without popping an event.
+    ///
+    /// For drivers that merge an external event source (e.g. a lazy
+    /// arrival stream) with this queue: delivering a source event at `t`
+    /// must advance the clock the same way popping a queued event at `t`
+    /// would, so that subsequent [`EventQueue::push_after`] calls are
+    /// relative to the right instant. Debug-panics on rewinding.
+    pub fn advance_to(&mut self, t: SimTime) {
+        debug_assert!(
+            t >= self.now,
+            "clock rewound: advance_to {t:?} from {:?}",
+            self.now
+        );
+        self.now = t;
+    }
+
     /// Drop every pending event (the clock is unchanged).
     pub fn clear(&mut self) {
         self.heap.clear();

@@ -48,26 +48,54 @@ impl TraceGenerator {
 
     /// Generate a full trace whose offered load against `total_slots` slots
     /// averages `target_util` (0 < u ≤ 1) over the arrival window.
+    ///
+    /// This is exactly a [`collect`](Iterator::collect) of
+    /// [`TraceGenerator::stream_with_utilization`] — the lazy stream is
+    /// the single source of truth, so the two paths cannot drift: any job
+    /// the materialized trace contains, the stream yields bit-identically.
+    /// The single-path guarantee costs the stream's calibration pre-pass
+    /// (jobs are drawn twice); trace synthesis is a rounding error next
+    /// to simulating the trace, so structural safety wins here.
     pub fn generate_with_utilization(&self, total_slots: usize, target_util: f64) -> Trace {
+        Trace::new(
+            self.stream_with_utilization(total_slots, target_util)
+                .collect(),
+        )
+    }
+
+    /// Lazy counterpart of [`TraceGenerator::generate_with_utilization`]:
+    /// a seeded iterator that yields the *same jobs with the same arrival
+    /// times in the same order*, one at a time, without materializing the
+    /// trace — O(1) memory however long the stream is.
+    ///
+    /// Arrival calibration needs the workload's total nominal work, which
+    /// is only known after drawing every job; the stream pays for laziness
+    /// with a calibration pre-pass that generates and discards each job
+    /// once (2× generation time, O(1) memory) before yielding begins.
+    pub fn stream_with_utilization(&self, total_slots: usize, target_util: f64) -> TraceStream {
         assert!(
             target_util > 0.0 && target_util <= 1.5,
             "unreasonable utilization"
         );
         assert!(total_slots > 0);
-        let mut jobs = self.generate_jobs();
-        let total_work: f64 = jobs.iter().map(|j| j.total_work_ms() as f64).sum();
-        let window_ms = total_work / (total_slots as f64 * target_util);
-        let mean_gap = window_ms / jobs.len().max(1) as f64;
-
         let seq = SeedSequence::new(self.seed);
-        let mut arr_rng = seq.child_rng(0xA11A);
-        let gap = Dist::Exp { mean: mean_gap };
-        let mut t = 0.0f64;
-        for job in jobs.iter_mut() {
-            job.arrival = SimTime::from_millis(t as u64);
-            t += gap.sample(&mut arr_rng);
+        // Calibration pre-pass: total nominal work over the whole stream.
+        let total_work: f64 = (0..self.num_jobs)
+            .map(|i| {
+                self.generate_job(i, &mut seq.child_rng(i as u64))
+                    .total_work_ms() as f64
+            })
+            .sum();
+        let window_ms = total_work / (total_slots as f64 * target_util);
+        let mean_gap = window_ms / self.num_jobs.max(1) as f64;
+        TraceStream {
+            gen: self.clone(),
+            total: self.num_jobs,
+            next: 0,
+            arr_rng: seq.child_rng(0xA11A),
+            gap: Dist::Exp { mean: mean_gap },
+            t: 0.0,
         }
-        Trace::new(jobs)
     }
 
     /// Generate one job (deterministic per `(seed, index)`).
@@ -188,6 +216,71 @@ impl TraceGenerator {
         job
     }
 }
+
+/// A lazy, seeded stream of trace jobs in arrival order.
+///
+/// Produced by [`TraceGenerator::stream_with_utilization`]; yields
+/// exactly the jobs of the materialized trace (`Trace::jobs[i]` ==
+/// the stream's `i`-th item, bit for bit — pinned by
+/// `generate_with_utilization` being a `collect()` of this stream).
+/// Arrivals are nondecreasing and ids equal stream positions, so a
+/// driver can inject arrivals as simulation time advances and keep
+/// memory proportional to the jobs currently *live*, not the stream
+/// length.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    gen: TraceGenerator,
+    total: usize,
+    next: usize,
+    arr_rng: StdRng,
+    gap: Dist,
+    t: f64,
+}
+
+impl TraceStream {
+    /// Jobs the stream will yield in total (after any truncation).
+    pub fn total_jobs(&self) -> usize {
+        self.total
+    }
+
+    /// Jobs not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.total - self.next
+    }
+
+    /// Cap the stream at `max_jobs` total jobs (the `max_jobs=` spec
+    /// key): arrival calibration keeps the full-stream window — the
+    /// yielded prefix is bit-identical to the untruncated stream's — but
+    /// iteration stops early. A cap at or above the current total is a
+    /// no-op.
+    pub fn truncated(mut self, max_jobs: usize) -> Self {
+        self.total = self.total.min(max_jobs.max(self.next));
+        self
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = TraceJob;
+
+    fn next(&mut self) -> Option<TraceJob> {
+        if self.next >= self.total {
+            return None;
+        }
+        let id = self.next;
+        let seq = SeedSequence::new(self.gen.seed);
+        let mut job = self.gen.generate_job(id, &mut seq.child_rng(id as u64));
+        job.arrival = SimTime::from_millis(self.t as u64);
+        self.t += self.gap.sample(&mut self.arr_rng);
+        self.next += 1;
+        Some(job)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining(), Some(self.remaining()))
+    }
+}
+
+impl ExactSizeIterator for TraceStream {}
 
 /// Sample an index from unnormalized weights.
 fn sample_weighted(weights: &[f64], rng: &mut StdRng) -> usize {
@@ -352,6 +445,66 @@ mod tests {
                 assert_eq!(ph.upstream, vec![i - 1], "chain expected by default");
             }
         }
+    }
+
+    #[test]
+    fn stream_is_bit_identical_to_materialized_trace() {
+        let g = generator(120);
+        let trace = g.generate_with_utilization(300, 0.75);
+        let streamed: Vec<TraceJob> = g.stream_with_utilization(300, 0.75).collect();
+        assert_eq!(trace.len(), streamed.len());
+        for (a, b) in trace.jobs.iter().zip(&streamed) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.beta.to_bits(), b.beta.to_bits());
+            assert_eq!(a.template, b.template);
+            assert_eq!(a.dag_len(), b.dag_len());
+            for (pa, pb) in a.phases.iter().zip(&b.phases) {
+                assert_eq!(pa.task_works, pb.task_works);
+                assert_eq!(pa.upstream, pb.upstream);
+                assert_eq!(
+                    pa.output_mb_per_task.to_bits(),
+                    pb.output_mb_per_task.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_lazy_and_resumable() {
+        let g = generator(50);
+        let mut s = g.stream_with_utilization(200, 0.7);
+        assert_eq!(s.total_jobs(), 50);
+        assert_eq!(s.len(), 50);
+        let first = s.next().unwrap();
+        assert_eq!(first.id, 0);
+        assert_eq!(s.remaining(), 49);
+        // Consuming the rest yields ids 1..50 with nondecreasing arrivals.
+        let mut last_arrival = first.arrival;
+        for (i, j) in s.enumerate() {
+            assert_eq!(j.id, i + 1);
+            assert!(j.arrival >= last_arrival);
+            last_arrival = j.arrival;
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_a_prefix_of_the_full_stream() {
+        let g = generator(80);
+        let full: Vec<TraceJob> = g.stream_with_utilization(200, 0.7).collect();
+        let cut: Vec<TraceJob> = g.stream_with_utilization(200, 0.7).truncated(25).collect();
+        assert_eq!(cut.len(), 25);
+        for (a, b) in full.iter().zip(&cut) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.total_work_ms(), b.total_work_ms());
+        }
+        // Truncating above the total is a no-op.
+        let same: Vec<TraceJob> = g
+            .stream_with_utilization(200, 0.7)
+            .truncated(10_000)
+            .collect();
+        assert_eq!(same.len(), 80);
     }
 
     #[test]

@@ -10,9 +10,11 @@
 pub mod dist;
 pub mod generator;
 pub mod profile;
+pub mod source;
 pub mod trace;
 
 pub use dist::Dist;
-pub use generator::TraceGenerator;
+pub use generator::{TraceGenerator, TraceStream};
 pub use profile::WorkloadProfile;
+pub use source::ArrivalSource;
 pub use trace::{single_phase_job, CommPattern, JobId, Trace, TraceJob, TracePhase};

@@ -10,7 +10,7 @@ pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy
     VecStrategy { element, len }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

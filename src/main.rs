@@ -85,6 +85,8 @@ fn apply_flags(spec: &mut ExperimentSpec, rest: &[String]) {
             }
             "--workload" => spec.set("workload", &next("--workload")),
             "--interactive" => spec.set("interactive", "true"),
+            "--stream" => spec.set("stream", "on"),
+            "--max-jobs" => spec.set("max_jobs", &next("--max-jobs")),
             "--eps" => spec.set("eps", &next("--eps")),
             "--probe-ratio" => spec.set("probe_ratio", &next("--probe-ratio")),
             "--refusals" => spec.set("refusals", &next("--refusals")),
@@ -124,7 +126,7 @@ fn run_single(kind: EngineKind, rest: &[String]) {
          makespan {:.1} s, spec {}/{} won, events {}, msgs {}",
         spec.engine.as_str(),
         spec.policy,
-        out.jobs().len(),
+        out.digest().count(),
         spec.workload,
         spec.util * 100.0,
         seed,
@@ -136,7 +138,20 @@ fn run_single(kind: EngineKind, rest: &[String]) {
         core.events,
         core.messages,
     );
-    print_bins(out.jobs());
+    if spec.stream {
+        // Streaming runs retire per-job results; report the memory
+        // yardstick instead of the per-bin table.
+        println!(
+            "streaming: live-job high-water {} of {} total ({:.2}%), p50 ~{:.0} ms (sketch ε={})",
+            out.live_high_water(),
+            out.digest().count(),
+            100.0 * out.live_high_water() as f64 / out.digest().count().max(1) as f64,
+            out.percentile_duration_ms(0.5),
+            out.digest().eps(),
+        );
+    } else {
+        print_bins(out.jobs());
+    }
 }
 
 fn run_sweep(rest: &[String]) {
@@ -261,6 +276,6 @@ fn run_example() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  hopper central   [--policy srpt|fifo|fair|budgeted|hopper] [--jobs N] \\\n                   [--machines N] [--slots N] [--util F] [--seed N] \\\n                   [--workload facebook|bing] [--interactive] [--eps F]\n  hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--workers N] \\\n                   [--slots N] [--jobs N] [--util F] [--seed N] \\\n                   [--probe-ratio F] [--refusals N]\n  hopper sweep     [--spec FILE] [key=value ...] --axis KEY=V1,V2[,...] \\\n                   [--threads N] [--csv]\n  hopper example\n\ncluster-dynamics flags (central and decentral; all default off):\n  --hetero off|uniform|bimodal|lognormal   machine speed heterogeneity\n  --slow-frac F     bimodal slow-node fraction        --slow-factor F  slow speed\n  --hetero-sigma F  lognormal sigma                   --slowdown-rate F  per machine-hour\n  --fail-rate F     machine failures per machine-hour --mttr-ms N      mean recovery\n  (the same knobs are sweep keys: hetero=, slow_frac=, fail_rate=, ...)"
+        "usage:\n  hopper central   [--policy srpt|fifo|fair|budgeted|hopper] [--jobs N] \\\n                   [--machines N] [--slots N] [--util F] [--seed N] \\\n                   [--workload facebook|bing] [--interactive] [--eps F]\n  hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--workers N] \\\n                   [--slots N] [--jobs N] [--util F] [--seed N] \\\n                   [--probe-ratio F] [--refusals N]\n  hopper sweep     [--spec FILE] [key=value ...] --axis KEY=V1,V2[,...] \\\n                   [--threads N] [--csv]\n  hopper example\n\nstreaming flags (central and decentral; also sweep keys stream=, max_jobs=):\n  --stream          lazy arrivals + job retirement: O(active jobs) job state,\n                    identical results (percentiles via an ε=1% sketch)\n  --max-jobs N      stop consuming the arrival stream after N jobs\n\ncluster-dynamics flags (central and decentral; all default off):\n  --hetero off|uniform|bimodal|lognormal   machine speed heterogeneity\n  --slow-frac F     bimodal slow-node fraction        --slow-factor F  slow speed\n  --hetero-sigma F  lognormal sigma                   --slowdown-rate F  per machine-hour\n  --fail-rate F     machine failures per machine-hour --mttr-ms N      mean recovery\n  (the same knobs are sweep keys: hetero=, slow_frac=, fail_rate=, ...)"
     );
 }
