@@ -29,6 +29,13 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Interactive single-phase Facebook-style workload: the shape the paper's
 /// scale simulations use, and the one that stresses per-event dispatch
 /// rather than straggler modelling.
@@ -66,6 +73,16 @@ fn report(
     );
 }
 
+/// Allocator-churn counters of a central Hopper run, as a JSON line
+/// (all-zero for policies that never touch the incremental allocator).
+fn report_counters(policy: &str, c: hopper_core::AllocCounters) {
+    println!(
+        "{{\"bench\":\"throughput\",\"detail\":\"alloc_counters\",\"policy\":\"{policy}\",\
+         \"recomputes\":{},\"suffix_fills\":{},\"reuses\":{},\"stale_skips\":{}}}",
+        c.recomputes, c.suffix_fills, c.reuses, c.stale_skips
+    );
+}
+
 fn bench_central(policy: &Policy, jobs: usize, machines: usize, seed: u64) {
     let cluster = ClusterConfig {
         machines,
@@ -97,6 +114,9 @@ fn bench_central(policy: &Policy, jobs: usize, machines: usize, seed: u64) {
         out.mean_duration_ms(),
         out.stats.makespan,
     );
+    if matches!(policy, Policy::Hopper(_)) {
+        report_counters(policy.name(), out.alloc_counters);
+    }
 }
 
 fn bench_decentral(policy: DecPolicy, jobs: usize, machines: usize, seed: u64) {
@@ -143,15 +163,21 @@ fn main() {
     let drivers =
         std::env::var("HOPPER_BENCH_DRIVERS").unwrap_or_else(|_| "central,decentral".into());
     let enabled: Vec<&str> = drivers.split(',').map(str::trim).collect();
+    // Bounded-staleness knob for the central Hopper run (0 = exact).
+    let drift = env_f64("HOPPER_BENCH_DRIFT", 0.0);
     eprintln!(
-        "throughput bench: {jobs} jobs, {machines} machines, {seeds} seed(s), drivers {enabled:?} \
-         (HOPPER_BENCH_JOBS / HOPPER_BENCH_MACHINES / HOPPER_BENCH_SEEDS / HOPPER_BENCH_DRIVERS)"
+        "throughput bench: {jobs} jobs, {machines} machines, {seeds} seed(s), drivers {enabled:?}, \
+         realloc_drift {drift} (HOPPER_BENCH_JOBS / HOPPER_BENCH_MACHINES / HOPPER_BENCH_SEEDS / \
+         HOPPER_BENCH_DRIVERS / HOPPER_BENCH_DRIFT)"
     );
     for seed in 1..=seeds {
         if enabled.contains(&"central") {
             bench_central(&Policy::Srpt, jobs, machines, seed);
             bench_central(
-                &Policy::Hopper(central::HopperConfig::default()),
+                &Policy::Hopper(central::HopperConfig {
+                    realloc_drift: drift,
+                    ..Default::default()
+                }),
                 jobs,
                 machines,
                 seed,

@@ -14,7 +14,7 @@ use hopper_cluster::{
     ClusterConfig, CopyRef, DynEvent, DynamicsConfig, JobRun, JobSlab, MachineDynamics, MachineId,
     Machines, TaskRef,
 };
-use hopper_core::{allocate, AlphaEstimator, BetaEstimator, JobDemand, Regime};
+use hopper_core::{AllocCounters, AlphaEstimator, BetaEstimator, IncrementalAlloc, Regime};
 use hopper_metrics::{JobDigest, JobResult};
 use hopper_sim::{EventQueue, SeedSequence, SimTime};
 use hopper_spec::{Candidate, Speculator};
@@ -120,6 +120,9 @@ pub struct RunOutput {
     /// Maximum simultaneously live jobs — the streaming pipeline's
     /// memory yardstick (completed jobs retire their task/copy state).
     pub live_high_water: usize,
+    /// Allocation-churn counters of the incremental Hopper allocator
+    /// (all zero for non-Hopper policies).
+    pub alloc_counters: AllocCounters,
 }
 
 impl RunOutput {
@@ -173,8 +176,6 @@ struct Central<'a> {
     /// Live jobs' runtime state; completed jobs are retired (their
     /// task/copy state dropped, stats folded into accumulators).
     jobs: JobSlab,
-    /// Total jobs of the run (`jobs` only holds the live ones).
-    num_jobs: usize,
     /// Placement randomness for lazily constructed `JobRun`s; consumed
     /// in arrival (= id) order, exactly as the eager constructor did.
     placement_rng: StdRng,
@@ -198,14 +199,36 @@ struct Central<'a> {
     active: Vec<usize>,
     arrivals_pending: usize,
     scan_armed: bool,
-    /// Bumped whenever an input of `allocate` changes (arrivals,
-    /// completions, task finishes, α/β updates). When unchanged since the
-    /// last Hopper dispatch, the cached targets/order are reused instead
-    /// of recomputing `allocate` over every active job.
-    demand_epoch: u64,
-    /// `(epoch, per-job slot targets, priority order)` of the last fresh
-    /// allocation.
-    alloc_cache: Option<(u64, Vec<usize>, Vec<usize>)>,
+    /// Incrementally maintained Hopper allocation (empty for non-Hopper
+    /// policies). Every `allocate` input change is pushed into it at the
+    /// point the input changes — arrivals, task finishes, completions,
+    /// α/β updates — so dispatch recomputes exactly when something
+    /// actually moved (machine fail/recover and stale finishes change no
+    /// allocator input and leave the cache intact).
+    alloc: IncrementalAlloc,
+    /// Jobs whose first-allocation regime is not yet recorded; drained
+    /// into the regime counters at the next fresh allocation, exactly
+    /// when the eager path would have first included them.
+    uncounted: Vec<usize>,
+    /// Bounded staleness must not skip the next reallocation (a job
+    /// arrived or completed since the last one).
+    force_realloc: bool,
+    /// `approx_total_virtual` at the last fresh allocation — the
+    /// bounded-staleness drift base.
+    v_at_last_alloc: f64,
+    /// Defer dispatch until all same-instant events are processed
+    /// (Hopper with `realloc_drift > 0`: one allocation pass per
+    /// instant instead of per event).
+    defer_dispatch: bool,
+    pending_dispatch: bool,
+    /// Instant of the most recently delivered event (the deferred
+    /// dispatch runs at this time once the instant's batch drains).
+    last_now: SimTime,
+    /// Scratch for the Hopper launch loop (reused across dispatches):
+    /// `(job, target, hold)` rows in priority order + eligible row
+    /// indices.
+    rows_scratch: Vec<(usize, usize, usize)>,
+    elig_scratch: Vec<u32>,
     /// Cluster-wide running original copies (BudgetedSrpt's cap input).
     orig_running: usize,
     /// Machine speed/availability state; `None` when dynamics are off
@@ -244,13 +267,19 @@ impl<'a> Central<'a> {
                 queue.push(at, Event::Dyn(ev));
             }
         }
+        let beta_est = BetaEstimator::with_prior(1.5);
+        // Shared-β mode mirrors `beta_for`: with learning on, every job's
+        // virtual size uses the one global estimate.
+        let alloc = IncrementalAlloc::new(
+            matches!(policy, Policy::Hopper(h) if h.learn_beta).then(|| beta_est.beta()),
+        );
+        let defer_dispatch = matches!(policy, Policy::Hopper(h) if h.realloc_drift > 0.0);
         Central {
             policy,
             cfg,
             queue,
             machines: Machines::new(&cfg.cluster),
             arrivals,
-            num_jobs: n,
             placement_rng: seq.child_rng(0xB10C),
             retain_jobs,
             arrived: vec![false; n],
@@ -263,12 +292,19 @@ impl<'a> Central<'a> {
             active: Vec::new(),
             arrivals_pending: n,
             scan_armed: false,
-            demand_epoch: 0,
-            alloc_cache: None,
+            alloc,
+            uncounted: Vec::new(),
+            force_realloc: false,
+            v_at_last_alloc: 0.0,
+            defer_dispatch,
+            pending_dispatch: false,
+            last_now: SimTime::ZERO,
+            rows_scratch: Vec::new(),
+            elig_scratch: Vec::new(),
             orig_running: 0,
             dynamics,
             rng: seq.child_rng(0xD00D),
-            beta_est: BetaEstimator::with_prior(1.5),
+            beta_est,
             alpha_est: AlphaEstimator::new(),
             predicted_mb: vec![None; n],
             results: Vec::with_capacity(if retain_jobs { n } else { 0 }),
@@ -304,15 +340,81 @@ impl<'a> Central<'a> {
         self.arrivals_pending -= 1;
         let pos = self.active.binary_search(&j).unwrap_err();
         self.active.insert(pos, j);
-        self.demand_epoch += 1;
         self.predicted_mb[j] = self.alpha_est.predict(self.jobs[j].spec.template);
         self.refresh_alpha(j);
+        // Enter the allocator (refresh_alpha only upserts on α change).
+        self.alloc_upsert(j);
+        self.uncounted.push(j);
+        self.force_realloc = true;
         self.arm_scan();
-        self.dispatch(now);
+        self.dispatch_or_defer(now);
+    }
+
+    /// Push job `j`'s current demand inputs into the incremental
+    /// allocator (insert or update; a bit-identical update is a no-op
+    /// and keeps the allocation cache clean). Non-Hopper policies do not
+    /// allocate, so the allocator stays empty for them.
+    fn alloc_upsert(&mut self, j: usize) {
+        let Policy::Hopper(h) = self.policy else {
+            return;
+        };
+        // Allocation is sized by the *runnable* (current-phase) work; the
+        // priority key max(V, V') additionally sees all downstream work so
+        // a deep DAG is not mistaken for a small job (ordering stays
+        // SRPT-consistent).
+        let remaining = self.jobs[j].current_remaining() as f64;
+        let downstream = (self.jobs[j].total_remaining() - self.jobs[j].current_remaining()) as f64;
+        // α *amplifies* the virtual size of communication-heavy jobs
+        // (§4.2); flooring at 1 keeps map-heavy jobs from being allocated
+        // fewer slots than their running phase can use (√α < 1 would
+        // starve the upstream phase into extra waves — see DESIGN.md,
+        // deviations).
+        let alpha = if h.use_alpha {
+            self.alpha_cache[j].max(1.0)
+        } else {
+            1.0
+        };
+        self.alloc.upsert(
+            j,
+            remaining,
+            downstream,
+            alpha,
+            self.jobs[j].spec.beta,
+            self.jobs[j].spec.weight,
+        );
+    }
+
+    /// Dispatch now, or — in batching mode — once the current instant's
+    /// event batch has drained (the run loop flushes the pending flag
+    /// before delivering an event at a later instant).
+    fn dispatch_or_defer(&mut self, now: SimTime) {
+        if self.defer_dispatch {
+            self.pending_dispatch = true;
+        } else {
+            self.dispatch(now);
+        }
+    }
+
+    /// Earliest undelivered instant (arrival source merged with the
+    /// event queue).
+    fn next_instant(&mut self) -> Option<SimTime> {
+        match (self.arrivals.peek_arrival(), self.queue.peek_time()) {
+            (Some(a), Some(q)) => Some(a.min(q)),
+            (Some(a), None) => Some(a),
+            (None, q) => q,
+        }
     }
 
     fn run(mut self) -> RunOutput {
         loop {
+            // Batching mode: all events of one instant are processed
+            // before the single dispatch for that instant runs. Flushing
+            // here — before delivering an event at a *later* instant (or
+            // none) — is what makes the batch boundary exact.
+            if self.pending_dispatch && self.next_instant() != Some(self.last_now) {
+                self.pending_dispatch = false;
+                self.dispatch(self.last_now);
+            }
             // Merge the arrival source with the event queue; at equal
             // instants the arrival is delivered first (see
             // `ArrivalSource`'s ordering contract).
@@ -328,6 +430,7 @@ impl<'a> Central<'a> {
                 let now = spec.arrival;
                 self.queue.advance_to(now);
                 self.stats.events += 1;
+                self.last_now = now;
                 self.on_arrival(spec, now);
                 continue;
             }
@@ -335,6 +438,7 @@ impl<'a> Central<'a> {
                 break;
             };
             self.stats.events += 1;
+            self.last_now = now;
             assert!(
                 self.stats.events <= self.cfg.max_events,
                 "event budget exceeded: likely a livelock (policy {})",
@@ -377,9 +481,6 @@ impl<'a> Central<'a> {
                     let Some(out) = self.jobs[job].finish_copy(copy, now) else {
                         continue; // stale: the copy lost its race earlier
                     };
-                    // Remaining-task counts (and, below, the β estimate)
-                    // changed: the next Hopper dispatch must re-allocate.
-                    self.demand_epoch += 1;
                     // Slot bookkeeping for winner + killed siblings.
                     for &m in &out.freed {
                         self.machines.release_to(m, job);
@@ -395,11 +496,16 @@ impl<'a> Central<'a> {
                     if was_spec {
                         self.stats.spec_won += 1;
                     }
-                    // β learning: observed duration multiplier.
+                    // β learning: observed duration multiplier. A moved
+                    // estimate rescales every virtual size — pushed into
+                    // the allocator as one lazy shared-β refresh.
                     if out.nominal.as_millis() > 0 {
                         self.beta_est.observe(
                             out.duration.as_millis() as f64 / out.nominal.as_millis() as f64,
                         );
+                        if matches!(self.policy, Policy::Hopper(h) if h.learn_beta) {
+                            self.alloc.set_shared_beta(self.beta_est.beta());
+                        }
                     }
                     // α learning at phase completion.
                     if out.phase_done {
@@ -420,8 +526,13 @@ impl<'a> Central<'a> {
                     }
                     if out.job_done {
                         self.complete_job(job, now);
+                    } else {
+                        // Remaining-task counts changed: push the fresh
+                        // demand into the allocator (a no-op if α/remaining
+                        // bits happen to be unchanged).
+                        self.alloc_upsert(job);
                     }
-                    self.dispatch(now);
+                    self.dispatch_or_defer(now);
                 }
                 Event::Scan => {
                     self.scan_armed = false;
@@ -432,7 +543,7 @@ impl<'a> Central<'a> {
                         self.refresh_alpha(j);
                     }
                     self.arm_scan();
-                    self.dispatch(now);
+                    self.dispatch_or_defer(now);
                 }
                 Event::Dyn(ev) => {
                     // The incident chain dies with the workload: once every
@@ -468,6 +579,7 @@ impl<'a> Central<'a> {
             stats: self.stats,
             digest: self.digest,
             live_high_water: self.jobs.high_water(),
+            alloc_counters: self.alloc.counters(),
         }
     }
 
@@ -481,7 +593,8 @@ impl<'a> Central<'a> {
         if let Ok(pos) = self.active.binary_search(&j) {
             self.active.remove(pos);
         }
-        self.demand_epoch += 1;
+        self.alloc.remove(j);
+        self.force_realloc = true;
         self.candidates[j] = VecDeque::new();
         let job = self.jobs.retire(j);
         self.local_launches += job.local_launches;
@@ -553,13 +666,17 @@ impl<'a> Central<'a> {
                     self.stats.killed += fo.killed as u64;
                 }
                 self.machines.set_down(m);
-                self.demand_epoch += 1;
-                self.dispatch(now);
+                // No allocate input moved: killed tasks return to
+                // *pending* (remaining counts are unchanged) and the
+                // capacity input is the static configured slot total —
+                // the cached allocation stays valid.
+                self.dispatch_or_defer(now);
             }
             DynEvent::Recover(_) => {
+                // Pure capacity-return event; like `Fail`, it changes no
+                // allocator input and must not trash the cache.
                 self.machines.set_up(m);
-                self.demand_epoch += 1;
-                self.dispatch(now);
+                self.dispatch_or_defer(now);
             }
         }
     }
@@ -575,14 +692,18 @@ impl<'a> Central<'a> {
             self.jobs[j].alpha()
         };
         // Only an actual α change invalidates the cached allocation — a
-        // no-op scan refresh keeps the epoch (and the cache) intact.
+        // no-op scan refresh keeps the cache intact.
         if fresh.to_bits() != self.alpha_cache[j].to_bits() {
             self.alpha_cache[j] = fresh;
-            self.demand_epoch += 1;
+            self.alloc_upsert(j);
         }
     }
 
-    /// Effective β used for a job's virtual size.
+    /// Effective β used for a job's virtual size. The hot paths inline
+    /// this choice (`alloc_upsert` pushes β at input-change time and the
+    /// launch loop hoists the shared multiplier), so the method itself
+    /// only backs the debug-build eager shadow check.
+    #[cfg(debug_assertions)]
     fn beta_for(&self, j: usize) -> f64 {
         match self.policy {
             Policy::Hopper(h) if h.learn_beta => self.beta_est.beta(),
@@ -689,130 +810,227 @@ impl<'a> Central<'a> {
         }
     }
 
-    /// Hopper dispatch: targets from Pseudocode 1, slot-holding, and the
-    /// k% locality relaxation.
+    /// Hopper dispatch: targets from Pseudocode 1 (incrementally
+    /// maintained — see `hopper_core::incremental`), slot-holding, and
+    /// the k% locality relaxation.
     fn dispatch_hopper(&mut self, now: SimTime, hcfg: &HopperConfig) {
         if self.active.is_empty() || self.machines.total_free() == 0 {
             return;
         }
-        // Recompute the allocation only when a demand input changed since
-        // the last fresh compute; `allocate` is a pure function of the
-        // demands, so reusing its output across unchanged epochs (e.g.
-        // scans that moved no α) is exact, not an approximation.
-        let cache_valid = matches!(&self.alloc_cache, Some((e, _, _)) if *e == self.demand_epoch);
-        if !cache_valid {
-            // Build demands in a fixed order (`active` is id-sorted).
-            let demands: Vec<JobDemand> = self
-                .active
-                .iter()
-                .map(|&j| JobDemand {
-                    job: j,
-                    // Allocation is sized by the *runnable* (current-phase)
-                    // work; the priority key max(V, V') additionally sees all
-                    // downstream work so a deep DAG is not mistaken for a
-                    // small job (ordering stays SRPT-consistent).
-                    remaining_tasks: self.jobs[j].current_remaining() as f64,
-                    downstream_tasks: (self.jobs[j].total_remaining()
-                        - self.jobs[j].current_remaining())
-                        as f64,
-                    // α *amplifies* the virtual size of communication-heavy
-                    // jobs (§4.2); flooring at 1 keeps map-heavy jobs from
-                    // being allocated fewer slots than their running phase can
-                    // use (√α < 1 would starve the upstream phase into extra
-                    // waves — see DESIGN.md, deviations).
-                    alpha: if hcfg.use_alpha {
-                        self.alpha_cache[j].max(1.0)
-                    } else {
-                        1.0
-                    },
-                    beta: self.beta_for(j),
-                    weight: self.jobs[j].spec.weight,
-                })
-                .collect();
-            // Allocation is over *all* slots; a job's target includes its
-            // currently running copies.
-            let allocs = allocate(&demands, self.cfg.cluster.total_slots(), &hcfg.alloc);
-            let mut target = vec![0usize; self.num_jobs];
-            for a in &allocs {
-                target[a.job] = a.slots;
-                if !self.regime_counted[a.job] {
-                    self.regime_counted[a.job] = true;
-                    match a.regime {
-                        Regime::Constrained => self.stats.constrained_jobs += 1,
-                        Regime::Proportional => self.stats.proportional_jobs += 1,
-                    }
+        let capacity = self.cfg.cluster.total_slots();
+        // Reuse the previous allocation outright when no input changed
+        // (exact, not an approximation — `allocate` is a pure function of
+        // the demands). With `realloc_drift > 0`, additionally keep a
+        // *stale* allocation while the approximate total virtual size
+        // stays within the drift budget; arrivals and completions always
+        // force a fresh pass (the job set itself changed).
+        let stale = if !self.alloc.is_dirty() {
+            if !self.force_realloc {
+                self.alloc.note_reuse();
+            }
+            !self.force_realloc
+        } else if hcfg.realloc_drift > 0.0 && !self.force_realloc {
+            let base = self.v_at_last_alloc;
+            let within =
+                (self.alloc.approx_total_virtual() - base).abs() <= hcfg.realloc_drift * base.abs();
+            if within {
+                self.alloc.note_stale_skip();
+            }
+            within
+        } else {
+            false
+        };
+        if !stale {
+            self.realloc(capacity, hcfg);
+        }
+        let launched = self.hopper_launch_loop(now, hcfg);
+        // Work conservation under staleness: if a stale pass stranded
+        // free slots that runnable work could use, pay for one fresh
+        // allocation instead of idling capacity until the next forced
+        // reallocation.
+        if stale
+            && !launched
+            && self.alloc.is_dirty()
+            && self.machines.total_free() > 0
+            && self.active.iter().any(|&j| self.runnable(j) > 0)
+        {
+            self.realloc(capacity, hcfg);
+            self.hopper_launch_loop(now, hcfg);
+        }
+    }
+
+    /// One fresh (full or sorted-suffix) allocation pass; refreshes the
+    /// bounded-staleness drift base and the first-allocation regime
+    /// counters.
+    fn realloc(&mut self, capacity: usize, hcfg: &HopperConfig) {
+        // Allocation is over *all* slots; a job's target includes its
+        // currently running copies.
+        let regime = self.alloc.allocate(capacity, &hcfg.alloc);
+        self.v_at_last_alloc = self.alloc.approx_total_virtual();
+        self.force_realloc = false;
+        // Jobs first included in this allocation get their regime
+        // recorded — exactly when the eager path first saw them (a job
+        // cannot run, hence cannot complete, before its first fresh
+        // allocation: its own arrival forces one).
+        for j in self.uncounted.drain(..) {
+            if !self.regime_counted[j] {
+                self.regime_counted[j] = true;
+                match regime {
+                    Regime::Constrained => self.stats.constrained_jobs += 1,
+                    Regime::Proportional => self.stats.proportional_jobs += 1,
                 }
             }
-            // Priority: ascending max(V, V'), as in the allocator's fill.
-            let mut keyed: Vec<(f64, usize)> =
-                demands.iter().map(|d| (d.priority(), d.job)).collect();
-            keyed.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.1.cmp(&b.1))
-            });
-            let order: Vec<usize> = keyed.into_iter().map(|(_, j)| j).collect();
-            self.alloc_cache = Some((self.demand_epoch, target, order));
         }
-        // Borrow the cache by value for the launch loop (which needs `&mut
-        // self`) and put it back afterwards — no per-event O(jobs) clone.
-        let (epoch, target, order) = self.alloc_cache.take().expect("just filled");
+        #[cfg(debug_assertions)]
+        self.assert_alloc_matches_eager(capacity, hcfg, regime);
+    }
 
-        let bracket = ((hcfg.locality_relax_pct / 100.0 * order.len() as f64).ceil() as usize)
-            .min(order.len());
+    /// Debug-only shadow check: the incremental allocation must be
+    /// bit-identical to eager [`hopper_core::allocate`] over the same
+    /// demands (the exactness contract of `hopper_core::incremental`).
+    #[cfg(debug_assertions)]
+    fn assert_alloc_matches_eager(&self, capacity: usize, hcfg: &HopperConfig, regime: Regime) {
+        use hopper_core::{allocate, JobDemand};
+        let demands: Vec<JobDemand> = self
+            .active
+            .iter()
+            .map(|&j| JobDemand {
+                job: j,
+                remaining_tasks: self.jobs[j].current_remaining() as f64,
+                downstream_tasks: (self.jobs[j].total_remaining()
+                    - self.jobs[j].current_remaining()) as f64,
+                alpha: if hcfg.use_alpha {
+                    self.alpha_cache[j].max(1.0)
+                } else {
+                    1.0
+                },
+                beta: self.beta_for(j),
+                weight: self.jobs[j].spec.weight,
+            })
+            .collect();
+        for a in allocate(&demands, capacity, &hcfg.alloc) {
+            assert_eq!(
+                self.alloc.granted(a.job),
+                a.slots,
+                "incremental grant for job {} drifted from eager",
+                a.job
+            );
+            assert_eq!(a.regime, regime, "regime drifted from eager");
+        }
+    }
 
+    /// The launch loop over the current allocation: priority-ordered
+    /// launches with slot-holding and the k% locality relaxation.
+    ///
+    /// Equivalent to the historical rebuild-everything-per-iteration
+    /// loop, but the held total and the eligibility list are maintained
+    /// incrementally: one launch attempt moves usage/runnable state for
+    /// exactly the chosen job (a failed speculative attempt still prunes
+    /// its candidates), so only that row is refreshed. Eligibility is
+    /// monotone within one pass — usage only grows and runnable work
+    /// only shrinks — so rows that drop out are skipped permanently and
+    /// none ever re-enters. Returns whether any copy launched.
+    fn hopper_launch_loop(&mut self, now: SimTime, hcfg: &HopperConfig) -> bool {
+        let mut rows = std::mem::take(&mut self.rows_scratch);
+        let mut elig = std::mem::take(&mut self.elig_scratch);
+        rows.clear();
+        elig.clear();
+        // Under a learned β every job shares one speculation multiplier;
+        // hoist it so the per-row quota below is pure integer work.
+        let shared_mult = if hcfg.learn_beta {
+            Some(hopper_core::speculation_multiplier(self.beta_est.beta()))
+        } else {
+            None
+        };
+        // One pass in ascending max(V, V') order — the allocator's fill
+        // order — building the row table (job, target, hold), the held
+        // total, and the eligibility list together. Holds are slots kept
+        // idle for jobs whose allocation exceeds both their usage and
+        // their immediately runnable work (anticipated speculation —
+        // Figure 2's "budgeted slot 5 until time 2"); eligible rows have
+        // headroom and runnable work.
+        let mut held = 0usize;
+        for &(_, j) in self.alloc.order() {
+            let target = self.alloc.granted(j);
+            let hold = self.hold_quota(j, target, shared_mult);
+            held += hold;
+            if self.usage[j] < target && self.runnable(j) > 0 {
+                elig.push(rows.len() as u32);
+            }
+            rows.push((j, target, hold));
+        }
+        let bracket =
+            ((hcfg.locality_relax_pct / 100.0 * rows.len() as f64).ceil() as usize).min(rows.len());
+        let mut start = 0usize;
+        let mut launched_any = false;
         loop {
             let free = self.machines.total_free();
-            if free == 0 {
+            if free == 0 || free <= held {
                 break;
             }
-            // Slots held idle for jobs whose allocation exceeds both their
-            // usage and their immediately runnable work (anticipated
-            // speculation — Figure 2's "budgeted slot 5 until time 2").
-            let held: usize = order.iter().map(|&j| self.hold_quota(j, target[j])).sum();
-            if free <= held {
-                break;
-            }
-            // Jobs with headroom and runnable work, in priority order.
-            let eligible: Vec<usize> = order
-                .iter()
-                .copied()
-                .filter(|&j| self.usage[j] < target[j] && self.runnable(j) > 0)
-                .collect();
-            let Some(&head) = eligible.first() else { break };
+            // Head: first still-eligible row. Entries the loop already
+            // filled (or drained of work) are skipped for good.
+            let head = loop {
+                let Some(&ri) = elig.get(start) else {
+                    break None;
+                };
+                let (j, t, _) = rows[ri as usize];
+                if self.usage[j] < t && self.runnable(j) > 0 {
+                    break Some(ri as usize);
+                }
+                start += 1;
+            };
+            let Some(head) = head else { break };
             let mut chosen = head;
             // k% locality relaxation (§4.4): if the head job's next launch
             // would be non-local, any of the smallest k% of eligible jobs
             // with a data-local task on a free machine may take the slot.
-            if bracket > 0 && !self.would_launch_local(head) {
-                if let Some(&alt) = eligible
-                    .iter()
-                    .take(bracket)
-                    .find(|&&j| self.would_launch_local(j))
-                {
-                    chosen = alt;
+            if bracket > 0 && !self.would_launch_local(rows[head].0) {
+                let mut seen = 0usize;
+                for &ri in &elig[start..] {
+                    if seen == bracket {
+                        break;
+                    }
+                    let (j, t, _) = rows[ri as usize];
+                    if self.usage[j] >= t || self.runnable(j) == 0 {
+                        continue; // went ineligible mid-pass: not counted
+                    }
+                    seen += 1;
+                    if self.would_launch_local(j) {
+                        chosen = ri as usize;
+                        break;
+                    }
                 }
             }
-            let launched = if self.pending_orig[chosen] > 0 {
-                self.launch_original(chosen, now)
+            let j = rows[chosen].0;
+            let launched = if self.pending_orig[j] > 0 {
+                self.launch_original(j, now)
             } else {
-                self.try_speculative(chosen, now)
+                self.try_speculative(j, now)
             };
+            // Refresh the chosen row's hold (even on failure: pruned
+            // candidates shrink runnable work) so the held total and the
+            // bind phase below see current values.
+            held -= rows[chosen].2;
+            rows[chosen].2 = self.hold_quota(j, rows[chosen].1, shared_mult);
+            held += rows[chosen].2;
             if !launched {
                 break;
             }
+            launched_any = true;
         }
         // Pre-warm held slots: bind idle slots to their holders now so the
         // anticipated speculative copy starts without the hand-off cost —
         // the physical payoff of reservation (Figure 2).
-        for &j in &order {
-            let hold = self.hold_quota(j, target[j]);
+        for &(j, _, hold) in &rows {
             let have = self.machines.warm_total(j);
             if hold > have {
                 self.machines.bind_idle(j, hold - have);
             }
         }
-        self.alloc_cache = Some((epoch, target, order));
+        self.rows_scratch = rows;
+        self.elig_scratch = elig;
+        launched_any
     }
 
     /// Slots job `j` may hold idle in anticipation of speculation: the
@@ -821,11 +1039,18 @@ impl<'a> Central<'a> {
     /// virtual size that exists *for* speculation (in Figure 2 job A holds
     /// exactly ⌈0.25 × 4⌉ = 1 slot). Unbounded holding would idle capacity
     /// other jobs could use, costing more than prompt speculation saves.
-    fn hold_quota(&self, j: usize, target: usize) -> usize {
+    /// `shared_mult` is the hoisted learned-β multiplier (identical for
+    /// every job when β is learned); `None` falls back to the job's own
+    /// spec β.
+    fn hold_quota(&self, j: usize, target: usize, shared_mult: Option<f64>) -> usize {
         let headroom = target
             .saturating_sub(self.usage[j])
             .saturating_sub(self.runnable(j));
-        let mult = hopper_core::speculation_multiplier(self.beta_for(j));
+        if headroom == 0 {
+            return 0;
+        }
+        let mult = shared_mult
+            .unwrap_or_else(|| hopper_core::speculation_multiplier(self.jobs[j].spec.beta));
         let anticipation = ((mult - 1.0) * self.usage[j] as f64).ceil() as usize;
         headroom.min(anticipation)
     }

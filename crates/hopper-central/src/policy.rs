@@ -38,6 +38,15 @@ pub struct HopperConfig {
     pub learn_alpha: bool,
     /// Apply the √α DAG weighting at all (ablation knob; §4.2).
     pub use_alpha: bool,
+    /// Bounded-staleness reallocation threshold. `0.0` (the default) is
+    /// the exact eager schedule: every demand change reallocates before
+    /// the next dispatch. A positive value keeps the previous allocation
+    /// while the approximate total virtual size stays within
+    /// `realloc_drift` (relative) of its value at the last reallocation;
+    /// arrivals and removals always force a fresh allocation, and
+    /// same-instant events batch into one allocation pass. Dodoor-style
+    /// stale load views: cheaper decisions, slightly stale targets.
+    pub realloc_drift: f64,
 }
 
 impl Default for HopperConfig {
@@ -48,6 +57,7 @@ impl Default for HopperConfig {
             learn_beta: true,
             learn_alpha: true,
             use_alpha: true,
+            realloc_drift: 0.0,
         }
     }
 }
@@ -62,6 +72,7 @@ impl HopperConfig {
             learn_beta: false,
             learn_alpha: false,
             use_alpha: true,
+            realloc_drift: 0.0,
         }
     }
 }

@@ -14,8 +14,6 @@
 //! Figure 2) physically meaningful: binding happens while the slot idles,
 //! so the job's next speculative copy starts immediately.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
-
 use crate::ids::MachineId;
 
 /// Static cluster and execution-model parameters.
@@ -89,21 +87,205 @@ pub enum SlotTemp {
     Cold,
 }
 
+/// Ascending set of machine ids as a fixed-width bitset. The slot-holding
+/// bind/steal churn hits these sets on nearly every dispatch; a bitset
+/// makes membership flips branchless O(1) and `first`/`next_after` a short
+/// word scan (32 words for a 2 000-machine cluster), where the `BTreeSet`
+/// this replaces paid a node allocation and a pointer chase per flip.
+/// Iteration order is ascending machine id — identical to the tree's.
+#[derive(Debug, Clone, Default)]
+struct MachineSet {
+    words: Vec<u64>,
+}
+
+impl MachineSet {
+    fn empty(n: usize) -> Self {
+        MachineSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    fn full(n: usize) -> Self {
+        let mut s = Self::empty(n);
+        for m in 0..n {
+            s.words[m / 64] |= 1 << (m % 64);
+        }
+        s
+    }
+
+    #[inline]
+    fn insert(&mut self, m: usize) {
+        self.words[m / 64] |= 1 << (m % 64);
+    }
+
+    #[inline]
+    fn remove(&mut self, m: usize) {
+        self.words[m / 64] &= !(1 << (m % 64));
+    }
+
+    /// Smallest member, if any.
+    fn first(&self) -> Option<usize> {
+        self.scan(0, self.words.first().copied().unwrap_or(0))
+    }
+
+    fn scan(&self, mut wi: usize, mut cur: u64) -> Option<usize> {
+        loop {
+            if cur != 0 {
+                return Some(wi * 64 + cur.trailing_zeros() as usize);
+            }
+            wi += 1;
+            cur = *self.words.get(wi)?;
+        }
+    }
+
+    /// Insert, growing the word array on demand. The per-job warm sets
+    /// start as empty (zero-word) sets and only ever pay for the highest
+    /// machine id they have seen, so a dense job-indexed table of them
+    /// stays cheap for jobs that never hold warmth.
+    #[inline]
+    fn insert_grow(&mut self, m: usize) {
+        let wi = m / 64;
+        if self.words.len() <= wi {
+            self.words.resize(wi + 1, 0);
+        }
+        self.words[wi] |= 1 << (m % 64);
+    }
+
+    /// Members in ascending order.
+    fn iter(&self) -> MachineSetIter<'_> {
+        MachineSetIter {
+            words: &self.words,
+            wi: 0,
+            cur: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+struct MachineSetIter<'a> {
+    words: &'a [u64],
+    wi: usize,
+    cur: u64,
+}
+
+impl Iterator for MachineSetIter<'_> {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.cur != 0 {
+                let b = self.cur.trailing_zeros() as usize;
+                self.cur &= self.cur - 1;
+                return Some(self.wi * 64 + b);
+            }
+            self.wi += 1;
+            self.cur = *self.words.get(self.wi)?;
+        }
+    }
+}
+
+/// One machine's warm-slot counts: `(job, count)` ascending by job id.
+/// A machine has at most `slots_per_machine` warm entries (each counts a
+/// *free* slot), so linear probes over an inline vector beat the
+/// `BTreeMap` this replaces — the bind/steal hot path was dominated by
+/// tree-node allocator traffic. The smallest-id reads (`first_job`,
+/// `first_other`) that the deterministic victim picks rely on are the
+/// leading elements of the sorted vector.
+#[derive(Debug, Clone, Default)]
+struct WarmCounts {
+    e: Vec<(usize, usize)>,
+}
+
+impl WarmCounts {
+    fn is_empty(&self) -> bool {
+        self.e.is_empty()
+    }
+
+    fn get(&self, job: usize) -> usize {
+        self.e
+            .iter()
+            .find(|&&(j, _)| j == job)
+            .map_or(0, |&(_, c)| c)
+    }
+
+    fn contains(&self, job: usize) -> bool {
+        self.e.iter().any(|&(j, _)| j == job)
+    }
+
+    /// Number of distinct jobs with warm slots here.
+    fn distinct(&self) -> usize {
+        self.e.len()
+    }
+
+    /// Smallest job id with a warm slot here.
+    fn first_job(&self) -> Option<usize> {
+        self.e.first().map(|&(j, _)| j)
+    }
+
+    /// Smallest job id with a warm slot here, excluding `job`.
+    fn first_other(&self, job: usize) -> Option<usize> {
+        self.e.iter().map(|&(j, _)| j).find(|&j| j != job)
+    }
+
+    /// Add `k` warm slots for `job`; returns whether the job was absent
+    /// before (0 → k transition).
+    fn inc_by(&mut self, job: usize, k: usize) -> bool {
+        match self.e.iter().position(|&(j, _)| j >= job) {
+            Some(i) if self.e[i].0 == job => {
+                self.e[i].1 += k;
+                false
+            }
+            Some(i) => {
+                self.e.insert(i, (job, k));
+                true
+            }
+            None => {
+                self.e.push((job, k));
+                true
+            }
+        }
+    }
+
+    /// Drop `k` warm slots of `job` (entry removed at zero); returns the
+    /// new count. Panics if the job has fewer than `k`.
+    fn dec_by(&mut self, job: usize, k: usize) -> usize {
+        let i = self
+            .e
+            .iter()
+            .position(|&(j, _)| j == job)
+            .expect("warm slot to consume");
+        self.e[i].1 -= k;
+        let c = self.e[i].1;
+        if c == 0 {
+            self.e.remove(i);
+        }
+        c
+    }
+
+    /// Entries in ascending job order (debug-oracle reconciliation).
+    #[cfg(debug_assertions)]
+    fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.e.iter().copied()
+    }
+
+    fn take(&mut self) -> Vec<(usize, usize)> {
+        std::mem::take(&mut self.e)
+    }
+}
+
 /// Dynamic slot occupancy across machines, with per-job slot affinity.
 ///
 /// Beyond the per-machine arrays, the struct maintains deterministic
 /// indices — ascending-ordered sets of machines with free / unbound /
 /// bound slots, plus per-job warm-machine sets and warm totals — so that
 /// the hot queries (`machines_with_free`, `preferred_free_machine`,
-/// `warm_total`, `bind_idle`) cost O(log M) or O(1) instead of O(M) /
+/// `warm_total`, `bind_idle`) cost O(1)-ish instead of O(M) /
 /// O(M·jobs) scans. Every index iterates in ascending machine id, the
 /// exact order the replaced scans used, so placement tie-breaking is
 /// bit-identical (see DESIGN.md, "Index invariants").
 #[derive(Debug, Clone)]
 pub struct Machines {
-    /// Per machine: free slots bound (warm) per job. `BTreeMap` so the
-    /// deterministic smallest-id victim pick is a first-key read.
-    bound: Vec<BTreeMap<usize, usize>>,
+    /// Per machine: free slots bound (warm) per job, ascending job id (the
+    /// deterministic smallest-id victim pick is a leading read).
+    bound: Vec<WarmCounts>,
     /// Per machine: free slots bound to no job.
     unbound: Vec<usize>,
     /// Per machine: total free (cache of unbound + Σ bound).
@@ -111,15 +293,27 @@ pub struct Machines {
     slots_per_machine: usize,
     total_free: usize,
     /// Machines with at least one free slot, ascending.
-    free_set: BTreeSet<usize>,
+    free_set: MachineSet,
     /// Machines with at least one unbound free slot, ascending.
-    unbound_set: BTreeSet<usize>,
-    /// Machines whose bound map is non-empty, ascending.
-    bound_set: BTreeSet<usize>,
-    /// job → machines where the job has ≥ 1 warm slot (entries non-empty).
-    warm_machines: HashMap<usize, BTreeSet<usize>>,
-    /// job → total free slots bound to it (entries non-zero).
-    warm_totals: HashMap<usize, usize>,
+    unbound_set: MachineSet,
+    /// Machines with at least one warm (bound) slot, ascending.
+    bound_set: MachineSet,
+    /// Machines whose warm slots span ≥ 2 distinct jobs, ascending. Lets
+    /// the steal walk of [`Machines::bind_idle`] compute "machines with
+    /// warmth foreign to job j" with pure word ops:
+    /// `(bound & !warm_machines[j]) | (multi & warm_machines[j])` — a
+    /// machine has foreign warmth iff someone is warm there and j is not,
+    /// or j is warm there alongside at least one other job.
+    multi_set: MachineSet,
+    /// job → machines where the job has ≥ 1 warm slot, as an ascending
+    /// bitset (dense by job id, grown on demand; empty set = no warmth).
+    /// A bitset instead of a sorted vector because the steal churn of
+    /// `bind_idle` flips one machine in and one out per transfer — O(1)
+    /// word ops, where the vector paid a binary search plus a memmove.
+    warm_machines: Vec<MachineSet>,
+    /// job → total free slots bound to it (dense by job id, grown on
+    /// demand; 0 = no warmth).
+    warm_totals: Vec<usize>,
     /// Total bound (warm) slots across the cluster (Σ warm_totals).
     total_bound: usize,
     /// Machines currently failed (dynamics plane). A down machine has no
@@ -131,28 +325,34 @@ pub struct Machines {
 impl Machines {
     /// All slots free and unbound.
     pub fn new(cfg: &ClusterConfig) -> Self {
-        let all: BTreeSet<usize> = (0..cfg.machines).collect();
+        let all = if cfg.slots_per_machine > 0 {
+            MachineSet::full(cfg.machines)
+        } else {
+            MachineSet::empty(cfg.machines)
+        };
         Machines {
-            bound: vec![BTreeMap::new(); cfg.machines],
+            bound: vec![WarmCounts::default(); cfg.machines],
             unbound: vec![cfg.slots_per_machine; cfg.machines],
             free: vec![cfg.slots_per_machine; cfg.machines],
             slots_per_machine: cfg.slots_per_machine,
             total_free: cfg.total_slots(),
-            free_set: if cfg.slots_per_machine > 0 {
-                all.clone()
-            } else {
-                BTreeSet::new()
-            },
-            unbound_set: if cfg.slots_per_machine > 0 {
-                all
-            } else {
-                BTreeSet::new()
-            },
-            bound_set: BTreeSet::new(),
-            warm_machines: HashMap::new(),
-            warm_totals: HashMap::new(),
+            free_set: all.clone(),
+            unbound_set: all,
+            bound_set: MachineSet::empty(cfg.machines),
+            multi_set: MachineSet::empty(cfg.machines),
+            warm_machines: Vec::new(),
+            warm_totals: Vec::new(),
             total_bound: 0,
             down: vec![false; cfg.machines],
+        }
+    }
+
+    /// Grow the dense per-job indices to cover `job`.
+    #[inline]
+    fn ensure_job(&mut self, job: usize) {
+        if self.warm_totals.len() <= job {
+            self.warm_totals.resize(job + 1, 0);
+            self.warm_machines.resize(job + 1, MachineSet::default());
         }
     }
 
@@ -167,24 +367,16 @@ impl Machines {
         self.down[m] = true;
         self.total_free -= self.free[m];
         self.free[m] = 0;
-        self.free_set.remove(&m);
+        self.free_set.remove(m);
         self.unbound[m] = 0;
-        self.unbound_set.remove(&m);
-        for (job, c) in std::mem::take(&mut self.bound[m]) {
+        self.unbound_set.remove(m);
+        for (job, c) in self.bound[m].take() {
             self.total_bound -= c;
-            let t = self.warm_totals.get_mut(&job).expect("warm total");
-            *t -= c;
-            if *t == 0 {
-                self.warm_totals.remove(&job);
-            }
-            if let Some(set) = self.warm_machines.get_mut(&job) {
-                set.remove(&m);
-                if set.is_empty() {
-                    self.warm_machines.remove(&job);
-                }
-            }
+            self.warm_totals[job] -= c;
+            self.warm_machines[job].remove(m);
         }
-        self.bound_set.remove(&m);
+        self.bound_set.remove(m);
+        self.multi_set.remove(m);
         #[cfg(debug_assertions)]
         self.debug_check_index();
     }
@@ -217,7 +409,7 @@ impl Machines {
         self.free[m] -= 1;
         self.total_free -= 1;
         if self.free[m] == 0 {
-            self.free_set.remove(&m);
+            self.free_set.remove(m);
         }
     }
 
@@ -234,44 +426,85 @@ impl Machines {
     fn unbound_dec(&mut self, m: usize) {
         self.unbound[m] -= 1;
         if self.unbound[m] == 0 {
-            self.unbound_set.remove(&m);
+            self.unbound_set.remove(m);
         }
     }
 
     /// Bind one free slot on `m` to `job` (warm count +1).
     fn bound_inc(&mut self, m: usize, job: usize) {
-        let c = self.bound[m].entry(job).or_insert(0);
-        *c += 1;
-        if *c == 1 {
-            self.warm_machines.entry(job).or_default().insert(m);
-            self.bound_set.insert(m);
+        self.bound_inc_by(m, job, 1);
+    }
+
+    /// Bind `k` free slots on `m` to `job` in one index update — the
+    /// bind/steal loops transfer whole per-machine holdings at once, so
+    /// batching turns per-slot index churn into per-(machine, job) churn.
+    fn bound_inc_by(&mut self, m: usize, job: usize, k: usize) {
+        if k == 0 {
+            return;
         }
-        *self.warm_totals.entry(job).or_insert(0) += 1;
-        self.total_bound += 1;
+        self.ensure_job(job);
+        if self.bound[m].inc_by(job, k) {
+            self.warm_machines[job].insert_grow(m);
+            self.bound_set.insert(m);
+            self.refresh_multi(m);
+        }
+        self.warm_totals[job] += k;
+        self.total_bound += k;
+    }
+
+    /// Keep `multi_set` consistent with the distinct-job count of `m`'s
+    /// warm map after a membership change.
+    #[inline]
+    fn refresh_multi(&mut self, m: usize) {
+        if self.bound[m].distinct() >= 2 {
+            self.multi_set.insert(m);
+        } else {
+            self.multi_set.remove(m);
+        }
     }
 
     /// Unbind one of `job`'s warm slots on `m` (warm count −1).
     fn bound_dec(&mut self, m: usize, job: usize) {
-        let c = self.bound[m].get_mut(&job).expect("warm slot to consume");
-        *c -= 1;
-        if *c == 0 {
-            self.bound[m].remove(&job);
-            if let Some(set) = self.warm_machines.get_mut(&job) {
-                set.remove(&m);
-                if set.is_empty() {
-                    self.warm_machines.remove(&job);
-                }
-            }
+        self.bound_dec_by(m, job, 1);
+    }
+
+    /// Unbind `k` of `job`'s warm slots on `m` in one index update.
+    fn bound_dec_by(&mut self, m: usize, job: usize, k: usize) {
+        if k == 0 {
+            return;
+        }
+        if self.bound[m].dec_by(job, k) == 0 {
+            self.warm_machines[job].remove(m);
             if self.bound[m].is_empty() {
-                self.bound_set.remove(&m);
+                self.bound_set.remove(m);
             }
+            self.refresh_multi(m);
         }
-        let t = self.warm_totals.get_mut(&job).expect("warm total");
-        *t -= 1;
-        if *t == 0 {
-            self.warm_totals.remove(&job);
+        self.warm_totals[job] -= k;
+        self.total_bound -= k;
+    }
+
+    /// Move `k` warm slots on `m` from job `from` to job `to` in one index
+    /// update — the steal path of [`Machines::bind_idle`]. Equivalent to
+    /// `bound_dec_by(m, from, k); bound_inc_by(m, to, k)` but skips the
+    /// updates that cancel: `total_bound` is unchanged and `m` stays in
+    /// `bound_set` throughout (it holds `to`'s slots the moment it loses
+    /// `from`'s).
+    fn bound_transfer(&mut self, m: usize, from: usize, to: usize, k: usize) {
+        self.ensure_job(to);
+        let mut changed = self.bound[m].dec_by(from, k) == 0;
+        if changed {
+            self.warm_machines[from].remove(m);
         }
-        self.total_bound -= 1;
+        if self.bound[m].inc_by(to, k) {
+            self.warm_machines[to].insert_grow(m);
+            changed = true;
+        }
+        if changed {
+            self.refresh_multi(m);
+        }
+        self.warm_totals[from] -= k;
+        self.warm_totals[to] += k;
     }
 
     /// Debug-build oracle: every index must match the per-machine arrays.
@@ -284,35 +517,64 @@ impl Machines {
         if !TICK.fetch_add(1, Ordering::Relaxed).is_multiple_of(64) {
             return;
         }
-        let free_set: BTreeSet<usize> =
-            (0..self.free.len()).filter(|&m| self.free[m] > 0).collect();
-        assert_eq!(free_set, self.free_set, "free_set drifted");
-        let unbound_set: BTreeSet<usize> = (0..self.unbound.len())
+        let free_set: Vec<usize> = (0..self.free.len()).filter(|&m| self.free[m] > 0).collect();
+        assert_eq!(
+            free_set,
+            self.free_set.iter().collect::<Vec<_>>(),
+            "free_set drifted"
+        );
+        let unbound_set: Vec<usize> = (0..self.unbound.len())
             .filter(|&m| self.unbound[m] > 0)
             .collect();
-        assert_eq!(unbound_set, self.unbound_set, "unbound_set drifted");
-        let bound_set: BTreeSet<usize> = (0..self.bound.len())
+        assert_eq!(
+            unbound_set,
+            self.unbound_set.iter().collect::<Vec<_>>(),
+            "unbound_set drifted"
+        );
+        let bound_set: Vec<usize> = (0..self.bound.len())
             .filter(|&m| !self.bound[m].is_empty())
             .collect();
-        assert_eq!(bound_set, self.bound_set, "bound_set drifted");
-        let mut warm_machines: HashMap<usize, BTreeSet<usize>> = HashMap::new();
-        let mut warm_totals: HashMap<usize, usize> = HashMap::new();
+        assert_eq!(
+            bound_set,
+            self.bound_set.iter().collect::<Vec<_>>(),
+            "bound_set drifted"
+        );
+        let multi_set: Vec<usize> = (0..self.bound.len())
+            .filter(|&m| self.bound[m].distinct() >= 2)
+            .collect();
+        assert_eq!(
+            multi_set,
+            self.multi_set.iter().collect::<Vec<_>>(),
+            "multi_set drifted"
+        );
+        let jobs = self.warm_totals.len();
+        let mut warm_machines: Vec<Vec<usize>> = vec![Vec::new(); jobs];
+        let mut warm_totals: Vec<usize> = vec![0; jobs];
         for (m, b) in self.bound.iter().enumerate() {
-            for (&job, &c) in b {
+            for (job, c) in b.iter() {
                 assert!(c > 0, "zero-count bound entry survived");
-                warm_machines.entry(job).or_default().insert(m);
-                *warm_totals.entry(job).or_insert(0) += c;
+                assert!(job < jobs, "bound entry beyond the dense job index");
+                warm_machines[job].push(m);
+                warm_totals[job] += c;
             }
         }
-        assert_eq!(warm_machines, self.warm_machines, "warm_machines drifted");
+        for wm in &mut warm_machines {
+            wm.sort_unstable();
+        }
+        let indexed: Vec<Vec<usize>> = self
+            .warm_machines
+            .iter()
+            .map(|s| s.iter().collect())
+            .collect();
+        assert_eq!(warm_machines, indexed, "warm_machines drifted");
         assert_eq!(
-            warm_totals.values().sum::<usize>(),
+            warm_totals.iter().sum::<usize>(),
             self.total_bound,
             "total_bound drifted"
         );
         assert_eq!(warm_totals, self.warm_totals, "warm_totals drifted");
         for m in 0..self.free.len() {
-            let bound_sum: usize = self.bound[m].values().sum();
+            let bound_sum: usize = self.bound[m].iter().map(|(_, c)| c).sum();
             assert_eq!(
                 self.free[m],
                 self.unbound[m] + bound_sum,
@@ -343,19 +605,13 @@ impl Machines {
 
     /// Free slots on `m` already bound to `job`.
     pub fn warm_on(&self, m: MachineId, job: usize) -> usize {
-        self.bound[m.0].get(&job).copied().unwrap_or(0)
+        self.bound[m.0].get(job)
     }
 
     /// Total free slots bound to `job` across the cluster. O(1).
     pub fn warm_total(&self, job: usize) -> usize {
-        let total = self.warm_totals.get(&job).copied().unwrap_or(0);
-        debug_assert_eq!(
-            total,
-            self.bound
-                .iter()
-                .map(|b| b.get(&job).copied().unwrap_or(0))
-                .sum::<usize>()
-        );
+        let total = self.warm_totals.get(job).copied().unwrap_or(0);
+        debug_assert_eq!(total, self.bound.iter().map(|b| b.get(job)).sum::<usize>());
         total
     }
 
@@ -366,7 +622,7 @@ impl Machines {
         assert!(!self.down[m.0], "occupy on down machine {}", m.0);
         assert!(self.free[m.0] > 0, "occupy on full machine {}", m.0);
         self.free_dec(m.0);
-        let temp = if self.bound[m.0].contains_key(&job) {
+        let temp = if self.bound[m.0].contains(job) {
             self.bound_dec(m.0, job);
             SlotTemp::Warm
         } else if self.unbound[m.0] > 0 {
@@ -374,10 +630,9 @@ impl Machines {
             SlotTemp::Cold
         } else {
             // Steal a slot bound to some other job (deterministic:
-            // smallest id = the BTreeMap's first key).
-            let victim = *self.bound[m.0]
-                .keys()
-                .next()
+            // smallest id = the sorted vector's first entry).
+            let victim = self.bound[m.0]
+                .first_job()
                 .expect("free slot must exist somewhere");
             self.bound_dec(m.0, victim);
             SlotTemp::Cold
@@ -417,41 +672,56 @@ impl Machines {
         // it from the set) or satisfies `want`, so this makes progress
         // every step without materializing the whole set.
         while bound < want {
-            let Some(&m) = self.unbound_set.first() else {
+            let Some(m) = self.unbound_set.first() else {
                 break;
             };
-            while bound < want && self.unbound[m] > 0 {
-                self.unbound_dec(m);
-                self.bound_inc(m, job);
-                bound += 1;
+            let take = (want - bound).min(self.unbound[m]);
+            self.unbound[m] -= take;
+            if self.unbound[m] == 0 {
+                self.unbound_set.remove(m);
             }
+            self.bound_inc_by(m, job, take);
+            bound += take;
         }
         // Pass 2: steal from other jobs' warm slots (ascending machine,
         // smallest victim job id first on each machine). `foreign` bounds
         // the walk: once every remaining warm slot belongs to `job`
         // itself — the common steady state after a high-priority job has
-        // absorbed the cluster's idle warmth — there is nothing to steal
-        // and the machine scan is skipped outright.
-        let mut foreign = self.total_bound - self.warm_totals.get(&job).copied().unwrap_or(0);
-        let mut cursor: Option<usize> = None;
-        while bound < want && foreign > 0 {
-            let next = match cursor {
-                None => self.bound_set.first().copied(),
-                Some(c) => self
-                    .bound_set
-                    .range((std::ops::Bound::Excluded(c), std::ops::Bound::Unbounded))
-                    .next()
-                    .copied(),
-            };
-            let Some(m) = next else { break };
-            cursor = Some(m);
-            while bound < want {
-                let victim = self.bound[m].keys().copied().find(|&j| j != job);
-                let Some(v) = victim else { break };
-                self.bound_dec(m, v);
-                self.bound_inc(m, job);
-                bound += 1;
-                foreign -= 1;
+        // absorbed the cluster's idle warmth — there is nothing to steal.
+        // Candidate machines are found word-parallel: a machine has
+        // warmth foreign to `job` iff it is bound and `job` is not warm
+        // there, or `job` is warm there alongside ≥ 2 distinct jobs
+        // (`multi_set`) — so whole words of `job`'s own warm machines are
+        // skipped without per-machine probes. Draining a machine clears
+        // its candidate bit (all its foreign warmth now belongs to
+        // `job`), so re-deriving the word after each machine terminates.
+        let mut foreign = self.total_bound - self.warm_totals.get(job).copied().unwrap_or(0);
+        let nwords = self.bound_set.words.len();
+        'words: for wi in 0..nwords {
+            loop {
+                if bound >= want || foreign == 0 {
+                    break 'words;
+                }
+                let mine = self
+                    .warm_machines
+                    .get(job)
+                    .and_then(|s| s.words.get(wi))
+                    .copied()
+                    .unwrap_or(0);
+                let cand = (self.bound_set.words[wi] & !mine) | (self.multi_set.words[wi] & mine);
+                if cand == 0 {
+                    continue 'words;
+                }
+                let m = wi * 64 + cand.trailing_zeros() as usize;
+                while bound < want {
+                    let Some(v) = self.bound[m].first_other(job) else {
+                        break;
+                    };
+                    let take = (want - bound).min(self.bound[m].get(v));
+                    self.bound_transfer(m, v, job, take);
+                    bound += take;
+                    foreign -= take;
+                }
             }
         }
         #[cfg(debug_assertions)]
@@ -462,7 +732,7 @@ impl Machines {
     /// Iterate machines that currently have at least one free slot, in
     /// ascending id order. O(free machines), not O(M).
     pub fn machines_with_free(&self) -> impl Iterator<Item = MachineId> + '_ {
-        self.free_set.iter().map(|&m| MachineId(m))
+        self.free_set.iter().map(MachineId)
     }
 
     /// A free machine for `job`, preferring one where the job has a warm
@@ -488,8 +758,8 @@ impl Machines {
     fn pick_preferred(&self, job: usize, exclude: &[MachineId]) -> Option<MachineId> {
         // Warm machines hold ≥ 1 free slot by construction (`bound` only
         // counts free slots), so the first non-excluded one wins.
-        if let Some(warm) = self.warm_machines.get(&job) {
-            for &m in warm {
+        if let Some(warm) = self.warm_machines.get(job) {
+            for m in warm.iter() {
                 if !exclude.contains(&MachineId(m)) {
                     debug_assert!(self.free[m] > 0, "warm machine without a free slot");
                     return Some(MachineId(m));
@@ -498,9 +768,9 @@ impl Machines {
         }
         self.free_set
             .iter()
-            .find(|&&m| !exclude.contains(&MachineId(m)))
+            .find(|&m| !exclude.contains(&MachineId(m)))
             .or(self.free_set.first())
-            .map(|&m| MachineId(m))
+            .map(MachineId)
     }
 
     /// First free machine among `preferred`, if any.

@@ -93,6 +93,7 @@ impl JobSlab {
 impl Index<usize> for JobSlab {
     type Output = JobRun;
 
+    #[inline]
     fn index(&self, j: usize) -> &JobRun {
         self.slots[j]
             .as_deref()
@@ -101,6 +102,7 @@ impl Index<usize> for JobSlab {
 }
 
 impl IndexMut<usize> for JobSlab {
+    #[inline]
     fn index_mut(&mut self, j: usize) -> &mut JobRun {
         self.slots[j]
             .as_deref_mut()

@@ -153,13 +153,15 @@ pub fn allocate(demands: &[JobDemand], capacity: usize, cfg: &AllocConfig) -> Ve
     if n == 0 {
         return vec![];
     }
-    let total_virtual: f64 = demands.iter().map(|d| d.virtual_size()).sum();
+    let v: Vec<f64> = demands.iter().map(|d| d.virtual_size()).collect();
+    let total_virtual: f64 = v.iter().sum();
     let regime = if total_virtual > capacity as f64 {
         Regime::Constrained
     } else {
         Regime::Proportional
     };
 
+    let cap: Vec<usize> = demands.iter().map(|d| useful_cap(d, cfg)).collect();
     // ε-fair floors. Weighted fair share of job i is S·w_i/Σw; the floor is
     // (1−ε) of that, but never more than the job's own desired allocation
     // ⌈V⌉ (fairness should not force wasted slots) nor its useful cap.
@@ -167,27 +169,31 @@ pub fn allocate(demands: &[JobDemand], capacity: usize, cfg: &AllocConfig) -> Ve
     let mut floors = vec![0usize; n];
     if cfg.fairness_eps < 1.0 && total_weight > 0.0 {
         for (i, d) in demands.iter().enumerate() {
-            let fair = capacity as f64 * d.weight.max(0.0) / total_weight;
-            let floor = ((1.0 - cfg.fairness_eps) * fair).floor();
-            let cap = useful_cap(d, cfg);
-            floors[i] = (floor as usize)
-                .min(d.virtual_size().ceil() as usize)
-                .min(cap);
+            floors[i] = fair_floor(d.weight, v[i], cap[i], capacity, total_weight, cfg);
         }
     }
     // Floors must never oversubscribe (possible only via rounding).
-    let mut floor_sum: usize = floors.iter().sum();
-    while floor_sum > capacity {
-        // Trim the largest floor; deterministic order.
-        let i = (0..n).max_by_key(|&i| (floors[i], i)).unwrap();
-        floors[i] -= 1;
-        floor_sum -= 1;
-    }
+    let floor_sum: usize = floors.iter().sum();
+    let floor_sum = apply_floor_trim(&mut floors, floor_sum, capacity);
 
     let spare = capacity - floor_sum;
     let extra = match regime {
-        Regime::Constrained => fill_srpt(demands, &floors, spare, cfg),
-        Regime::Proportional => fill_proportional(demands, &floors, spare, cfg, total_virtual),
+        Regime::Constrained => {
+            let mut order: Vec<usize> = (0..n).collect();
+            // Total order: NaN-safe key comparison with a deterministic
+            // job-id tie-break (see [`cmp_priority`]) — equal-priority jobs
+            // can never flip across platforms or refactors.
+            let prio: Vec<f64> = demands.iter().map(|d| d.priority()).collect();
+            order.sort_by(|&a, &b| {
+                cmp_priority((prio[a], demands[a].job), (prio[b], demands[b].job))
+            });
+            let want: Vec<usize> = (0..n).map(|i| want_slots(v[i], cap[i])).collect();
+            fill_srpt_ordered(&order, &want, &floors, spare)
+        }
+        Regime::Proportional => {
+            let headroom: Vec<usize> = (0..n).map(|i| cap[i].saturating_sub(floors[i])).collect();
+            fill_proportional(&v, &headroom, spare, total_virtual)
+        }
     };
 
     demands
@@ -201,41 +207,91 @@ pub fn allocate(demands: &[JobDemand], capacity: usize, cfg: &AllocConfig) -> Ve
         .collect()
 }
 
+/// Total-order comparator for Guideline-2 fill position: ascending
+/// priority key (`f64::total_cmp`, so NaN and signed zeros order
+/// deterministically instead of collapsing to `Equal`), then ascending
+/// job id. Both the eager [`allocate`] and the incremental allocator
+/// ([`crate::IncrementalAlloc`]) order by exactly this function — the
+/// single definition is what makes their fills bit-identical.
+pub fn cmp_priority(a: (f64, usize), b: (f64, usize)) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+}
+
 /// Hard cap on slots a job can use productively.
-fn useful_cap(d: &JobDemand, cfg: &AllocConfig) -> usize {
+pub(crate) fn useful_cap(d: &JobDemand, cfg: &AllocConfig) -> usize {
     (d.remaining_tasks * cfg.max_useful_factor).ceil() as usize
 }
 
-/// Guideline 2: ascending `max(V, V')`, fill each job up to its virtual
-/// size (on top of its floor) until slots run out.
-fn fill_srpt(
-    demands: &[JobDemand],
+/// Desired slots under Guideline 2: fill up to ⌈V(t)⌉ — Pseudocode 2's
+/// acceptance rule is the strict float comparison `occupied < V`, so a
+/// job with V = 1.25 may hold 2 slots; flooring here would deny the last
+/// stragglers of a phase their speculative slot exactly when it matters
+/// most. The useful cap only binds at extreme β·α values.
+pub(crate) fn want_slots(v: f64, cap: usize) -> usize {
+    (v.ceil() as usize).min(cap)
+}
+
+/// The ε-fair floor of one job: `(1−ε)` of its weighted fair share,
+/// never beyond its own desired allocation ⌈V⌉ or its useful cap.
+pub(crate) fn fair_floor(
+    weight: f64,
+    v: f64,
+    cap: usize,
+    capacity: usize,
+    total_weight: f64,
+    cfg: &AllocConfig,
+) -> usize {
+    fair_share_floor(weight, capacity, total_weight, cfg)
+        .min(v.ceil() as usize)
+        .min(cap)
+}
+
+/// The share component of [`fair_floor`]: `⌊(1−ε)·S·w/Σw⌋`, before the
+/// `⌈V⌉`/cap clamps. Depends only on the weight set, capacity, and ε —
+/// not on β or task counts — so the incremental allocator caches it per
+/// entry across β-only refreshes.
+pub(crate) fn fair_share_floor(
+    weight: f64,
+    capacity: usize,
+    total_weight: f64,
+    cfg: &AllocConfig,
+) -> usize {
+    let fair = capacity as f64 * weight.max(0.0) / total_weight;
+    ((1.0 - cfg.fairness_eps) * fair).floor() as usize
+}
+
+/// Trim floors down to `capacity` (largest floor first, input index as
+/// the deterministic tie-break); returns the trimmed sum. Floor rounding
+/// makes oversubscription impossible in practice, but the guard is kept
+/// so the fill below can never underflow.
+pub(crate) fn apply_floor_trim(
+    floors: &mut [usize],
+    mut floor_sum: usize,
+    capacity: usize,
+) -> usize {
+    while floor_sum > capacity {
+        let i = (0..floors.len()).max_by_key(|&i| (floors[i], i)).unwrap();
+        floors[i] -= 1;
+        floor_sum -= 1;
+    }
+    floor_sum
+}
+
+/// Guideline 2: walk `order` (ascending `max(V, V')` positions into the
+/// parallel `want`/`floors` arrays), filling each job up to its desired
+/// slots on top of its floor until the spare pool runs out.
+pub(crate) fn fill_srpt_ordered(
+    order: &[usize],
+    want: &[usize],
     floors: &[usize],
     mut spare: usize,
-    cfg: &AllocConfig,
 ) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..demands.len()).collect();
-    // Deterministic tie-break on the caller id.
-    order.sort_by(|&a, &b| {
-        demands[a]
-            .priority()
-            .partial_cmp(&demands[b].priority())
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(demands[a].job.cmp(&demands[b].job))
-    });
-    let mut extra = vec![0usize; demands.len()];
-    for &i in &order {
+    let mut extra = vec![0usize; order.len()];
+    for &i in order {
         if spare == 0 {
             break;
         }
-        let d = &demands[i];
-        // Fill up to ⌈V(t)⌉: Pseudocode 2's acceptance rule is the strict
-        // float comparison `occupied < V`, so a job with V = 1.25 may hold
-        // 2 slots — flooring here would deny the last stragglers of a
-        // phase their speculative slot exactly when it matters most. The
-        // useful cap only binds at extreme β·α values.
-        let want = (d.virtual_size().ceil() as usize).min(useful_cap(d, cfg));
-        let grant = want.saturating_sub(floors[i]).min(spare);
+        let grant = want[i].saturating_sub(floors[i]).min(spare);
         extra[i] = grant;
         spare -= grant;
     }
@@ -243,31 +299,26 @@ fn fill_srpt(
 }
 
 /// Guideline 3: split spare slots proportionally to virtual sizes, capped
-/// at the useful cap, redistributing overflow until fixed point.
-fn fill_proportional(
-    demands: &[JobDemand],
-    floors: &[usize],
+/// at the useful headroom, redistributing overflow until fixed point.
+/// `v` and `headroom` are parallel arrays in the caller's input order.
+pub(crate) fn fill_proportional(
+    v: &[f64],
+    headroom: &[usize],
     spare: usize,
-    cfg: &AllocConfig,
     total_virtual: f64,
 ) -> Vec<usize> {
-    let n = demands.len();
+    let n = v.len();
     let mut extra = vec![0usize; n];
     if total_virtual <= 0.0 || spare == 0 {
         return extra;
     }
-    // Head-room per job above its floor.
-    let headroom: Vec<usize> = (0..n)
-        .map(|i| useful_cap(&demands[i], cfg).saturating_sub(floors[i]))
-        .collect();
-
     let mut remaining = spare;
     let mut active: Vec<usize> = (0..n).filter(|&i| headroom[i] > 0).collect();
     // Iteratively hand out proportional shares; jobs hitting their cap drop
     // out and their share is re-split. Terminates: each round either
     // assigns everything or removes ≥1 job.
     while remaining > 0 && !active.is_empty() {
-        let v_active: f64 = active.iter().map(|&i| demands[i].virtual_size()).sum();
+        let v_active: f64 = active.iter().map(|&i| v[i]).sum();
         if v_active <= 0.0 {
             break;
         }
@@ -276,7 +327,7 @@ fn fill_proportional(
         let mut fracs: Vec<(f64, usize)> = Vec::with_capacity(active.len());
         let mut round_grant = vec![0usize; n];
         for &i in &active {
-            let share = remaining as f64 * demands[i].virtual_size() / v_active;
+            let share = remaining as f64 * v[i] / v_active;
             let whole = share.floor() as usize;
             let capped = whole.min(headroom[i] - extra[i]);
             round_grant[i] = capped;
@@ -285,9 +336,10 @@ fn fill_proportional(
                 fracs.push((share - whole as f64, i));
             }
         }
-        // Largest-remainder distribution of the leftover integer slots.
+        // Largest-remainder distribution of the leftover integer slots
+        // (descending fraction, ascending input index on exact ties).
         let mut leftover = remaining - granted_this_round;
-        fracs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        fracs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         for &(_, i) in &fracs {
             if leftover == 0 {
                 break;

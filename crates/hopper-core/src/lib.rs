@@ -8,6 +8,8 @@
 //!   Guideline-2 priority key (paper §4.1–4.2);
 //! - [`allocate()`] — the two-regime slot allocator (Pseudocode 1) with
 //!   ε-fairness (§4.3);
+//! - [`incremental`] — the same allocation maintained incrementally
+//!   (sorted Guideline-2 order, suffix-only refills) for per-event use;
 //! - [`estimate`] — online β (Pareto MLE) and α (recurring-job history)
 //!   estimation (§5.3, §6.3);
 //! - [`protocol`] — the decentralized worker/scheduler decision rules
@@ -23,11 +25,13 @@
 
 pub mod allocate;
 pub mod estimate;
+pub mod incremental;
 pub mod protocol;
 pub mod vsize;
 
-pub use allocate::{allocate, AllocConfig, Allocation, JobDemand, Regime};
+pub use allocate::{allocate, cmp_priority, AllocConfig, Allocation, JobDemand, Regime};
 pub use estimate::{alpha_from_work, AlphaEstimator, BetaEstimator};
+pub use incremental::{AllocCounters, IncrementalAlloc};
 pub use protocol::{
     pick_fcfs, pick_srpt, scheduler_accepts, FreeSlotEpisode, Reservation, ResponseKind,
     UnsatisfiedJob, WorkerAction,

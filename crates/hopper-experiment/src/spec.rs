@@ -68,6 +68,7 @@ const KNOWN_KEYS: &[&str] = &[
     "fixed_dag_len",
     "fixed_beta",
     "learn_beta",
+    "realloc_drift",
     "jobs",
     "max_jobs",
     "stream",
@@ -116,6 +117,11 @@ pub struct ExperimentSpec {
     pub fixed_beta: Option<f64>,
     /// Centralized Hopper: learn β online (vs per-job trace β).
     pub learn_beta: bool,
+    /// Centralized Hopper: bounded-staleness reallocation threshold
+    /// (`realloc_drift=0` — the default — is the exact eager schedule;
+    /// a positive value keeps the previous allocation while the total
+    /// virtual size stays within that relative drift). Sweepable.
+    pub realloc_drift: f64,
     /// Jobs per trial.
     pub jobs: usize,
     /// Cap on jobs actually delivered (`max_jobs=none|N`): the arrival
@@ -189,6 +195,7 @@ impl ExperimentSpec {
             fixed_dag_len: None,
             fixed_beta: None,
             learn_beta: true,
+            realloc_drift: 0.0,
             jobs: 100,
             max_jobs: None,
             stream: false,
@@ -257,6 +264,7 @@ impl ExperimentSpec {
             "fixed_dag_len" => self.fixed_dag_len = parse_opt(key, value)?,
             "fixed_beta" => self.fixed_beta = parse_opt(key, value)?,
             "learn_beta" => self.learn_beta = parse_bool(key, value)?,
+            "realloc_drift" => self.realloc_drift = parse_num(key, value)?,
             "jobs" => self.jobs = parse_num(key, value)?,
             "max_jobs" => self.max_jobs = parse_opt(key, value)?,
             "stream" => {
@@ -361,6 +369,7 @@ impl ExperimentSpec {
                     .fixed_beta
                     .map_or("none".to_string(), |x| x.to_string()),
                 "learn_beta" => self.learn_beta.to_string(),
+                "realloc_drift" => self.realloc_drift.to_string(),
                 "jobs" => self.jobs.to_string(),
                 "max_jobs" => self.max_jobs.map_or("none".to_string(), |x| x.to_string()),
                 "stream" => if self.stream { "on" } else { "off" }.to_string(),
@@ -429,6 +438,12 @@ impl ExperimentSpec {
         }
         if self.jobs == 0 {
             return Err(err("jobs must be positive"));
+        }
+        if !(self.realloc_drift >= 0.0 && self.realloc_drift.is_finite()) {
+            return Err(err(format!(
+                "realloc_drift must be finite and >= 0, got {}",
+                self.realloc_drift
+            )));
         }
         if self.max_jobs == Some(0) {
             return Err(err("max_jobs must be positive (or none)"));
@@ -576,6 +591,7 @@ impl ExperimentSpec {
                             ..Default::default()
                         },
                         learn_beta: self.learn_beta,
+                        realloc_drift: self.realloc_drift,
                         ..Default::default()
                     }),
                 };
@@ -805,6 +821,22 @@ mttr_ms=20000
         s.fail_rate = 1.0;
         s.mttr_ms = 0;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn realloc_drift_round_trips_and_validates() {
+        let s = ExperimentSpec::parse("realloc_drift=0.05\n").unwrap();
+        assert_eq!(s.realloc_drift, 0.05);
+        let again = ExperimentSpec::parse(&s.render()).unwrap();
+        assert_eq!(s, again);
+        // Default is the exact eager schedule.
+        assert_eq!(ExperimentSpec::central().realloc_drift, 0.0);
+        assert!(ExperimentSpec::central()
+            .render()
+            .contains("realloc_drift=0\n"));
+        // Negative / non-finite values are rejected.
+        assert!(ExperimentSpec::parse("realloc_drift=-0.1\n").is_err());
+        assert!(ExperimentSpec::parse("realloc_drift=inf\n").is_err());
     }
 
     #[test]
