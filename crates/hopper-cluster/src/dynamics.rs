@@ -147,6 +147,39 @@ impl DynamicsConfig {
     }
 }
 
+/// Exponential inter-incident delay (ms, floored at 1) for a Poisson
+/// process of `rate_per_hour` events, drawn from `rng`. `None` when the
+/// rate is zero or negative — the chain never starts.
+///
+/// This is the draw every incident chain in the system shares: machine
+/// slowdown/failure chains here, and the scheduler crash chains of the
+/// decentralized message-fault plane (`hopper-decentral`). One
+/// definition, so "incidents per hour" means the same thing everywhere.
+pub fn exp_incident_delay_ms(rng: &mut StdRng, rate_per_hour: f64) -> Option<u64> {
+    if rate_per_hour <= 0.0 {
+        return None;
+    }
+    let mean_ms = 3_600_000.0 / rate_per_hour;
+    Some((Dist::Exp { mean: mean_ms }.sample(rng).round() as u64).max(1))
+}
+
+/// Uniform duration draw in `[lo, hi]` ms, floored at 1 ms (shared by
+/// recovery and slowdown intervals, machine and scheduler chains alike).
+/// A degenerate range (`hi <= lo`) returns `lo` (floored) without
+/// consuming the RNG.
+pub fn uniform_duration_ms(rng: &mut StdRng, (lo, hi): (u64, u64)) -> u64 {
+    if hi <= lo {
+        return lo.max(1);
+    }
+    (Dist::Uniform {
+        lo: lo as f64,
+        hi: hi as f64,
+    }
+    .sample(rng)
+    .round() as u64)
+        .clamp(lo.max(1), hi)
+}
+
 /// A machine-dynamics incident, scheduled through the driver's event
 /// queue. Slowdown and failure intervals are bracketed: every `Start`/
 /// `Fail` schedules its matching `End`/`Recover`, and only the closing
@@ -244,12 +277,8 @@ impl MachineDynamics {
     /// machine `m`, consuming only `m`'s RNG.
     fn next_incident(&mut self, m: usize) -> Option<(SimTime, DynEvent)> {
         let total = self.cfg.slowdown_rate_per_hour + self.cfg.fail_rate_per_hour;
-        if total <= 0.0 {
-            return None;
-        }
         let rng = &mut self.rngs[m];
-        let mean_ms = 3_600_000.0 / total;
-        let delay_ms = (Dist::Exp { mean: mean_ms }.sample(rng).round() as u64).max(1);
+        let delay_ms = exp_incident_delay_ms(rng, total)?;
         let fail = rng.gen::<f64>() * total < self.cfg.fail_rate_per_hour;
         let ev = if fail {
             DynEvent::Fail(MachineId(m))
@@ -257,19 +286,6 @@ impl MachineDynamics {
             DynEvent::SlowdownStart(MachineId(m))
         };
         Some((SimTime::from_millis(delay_ms), ev))
-    }
-
-    fn uniform_ms(rng: &mut StdRng, (lo, hi): (u64, u64)) -> u64 {
-        if hi <= lo {
-            return lo.max(1);
-        }
-        (Dist::Uniform {
-            lo: lo as f64,
-            hi: hi as f64,
-        }
-        .sample(rng)
-        .round() as u64)
-            .clamp(lo.max(1), hi)
     }
 
     /// Apply one incident to the machine's state. The caller (driver) is
@@ -286,7 +302,7 @@ impl MachineDynamics {
                 let factor = Dist::Uniform { lo: flo, hi: fhi }
                     .sample(&mut self.rngs[m])
                     .max(0.01);
-                let dur = Self::uniform_ms(&mut self.rngs[m], self.cfg.slowdown_ms);
+                let dur = uniform_duration_ms(&mut self.rngs[m], self.cfg.slowdown_ms);
                 self.transient[m] = factor;
                 let new = self.base[m] * self.transient[m];
                 DynOutcome {
@@ -309,7 +325,7 @@ impl MachineDynamics {
             DynEvent::Fail(_) => {
                 self.up[m] = false;
                 self.transient[m] = 1.0;
-                let rec = Self::uniform_ms(&mut self.rngs[m], self.cfg.recovery_ms);
+                let rec = uniform_duration_ms(&mut self.rngs[m], self.cfg.recovery_ms);
                 DynOutcome {
                     rescale_ratio: None,
                     next: vec![(SimTime::from_millis(rec), DynEvent::Recover(MachineId(m)))],

@@ -14,7 +14,10 @@ pub mod job;
 pub mod machine;
 pub mod slab;
 
-pub use dynamics::{DynEvent, DynOutcome, DynamicsConfig, HeteroProfile, MachineDynamics};
+pub use dynamics::{
+    exp_incident_delay_ms, uniform_duration_ms, DynEvent, DynOutcome, DynamicsConfig,
+    HeteroProfile, MachineDynamics,
+};
 pub use ids::{CopyRef, MachineId, TaskRef};
 pub use job::{
     Copy, CopyObservation, CopyStatus, FailOutcome, FinishOutcome, JobRun, PhaseRun, ScriptedTask,

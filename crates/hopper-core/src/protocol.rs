@@ -298,6 +298,56 @@ pub fn pick_srpt(queue: &[Reservation]) -> Option<&Reservation> {
     })
 }
 
+/// Retry pacing for the hardened RPC layer: capped exponential backoff
+/// with a bounded retry budget and graceful degradation.
+///
+/// The decentralized drivers arm per-job watchdogs with
+/// `delay_ms(attempt)`; after each unproductive firing the attempt
+/// counter advances through [`BackoffPolicy::next_attempt`]. Exhausting
+/// the budget does **not** give up — the counter wraps to zero, modelling
+/// the paper-era practice of falling back to a *fresh probe round* at
+/// base pacing instead of deadlocking (a lost message must never strand
+/// a job; see DESIGN.md "Message-fault plane"). Pure arithmetic, no
+/// clock: the caller owns time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Base delay (the RPC timeout), ms.
+    pub base_ms: u64,
+    /// Cap: delays grow as `base · 2^min(attempt, max_exponent)`.
+    pub max_exponent: u32,
+    /// Attempts before wrapping back to a fresh round at base pacing.
+    pub retry_budget: u32,
+}
+
+impl BackoffPolicy {
+    /// Policy with the conventional cap of 2⁵ = 32× base.
+    pub fn new(base_ms: u64, retry_budget: u32) -> Self {
+        BackoffPolicy {
+            base_ms: base_ms.max(1),
+            max_exponent: 5,
+            retry_budget: retry_budget.max(1),
+        }
+    }
+
+    /// Delay before the retry numbered `attempt` (0-based), ms:
+    /// `base · 2^min(attempt, max_exponent)` — saturating, never zero.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let exp = attempt.min(self.max_exponent);
+        self.base_ms.saturating_mul(1u64 << exp.min(63))
+    }
+
+    /// The attempt counter after one more unproductive retry: advances
+    /// until the budget is spent, then wraps to 0 (graceful degradation —
+    /// a fresh round at base pacing, not a deadlock).
+    pub fn next_attempt(&self, attempt: u32) -> u32 {
+        if attempt + 1 >= self.retry_budget {
+            0
+        } else {
+            attempt + 1
+        }
+    }
+}
+
 /// Scheduler-side acceptance rule — Pseudocode 2.
 ///
 /// A refusable response is accepted only while the job still occupies
@@ -531,6 +581,34 @@ mod tests {
             }
         }
         assert!(hits2 > 270, "dedup failed: {hits2}/300");
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_wraps() {
+        let p = BackoffPolicy::new(1000, 4);
+        // Exponential growth from base.
+        assert_eq!(p.delay_ms(0), 1000);
+        assert_eq!(p.delay_ms(1), 2000);
+        assert_eq!(p.delay_ms(2), 4000);
+        // Capped at 2^max_exponent.
+        assert_eq!(p.delay_ms(5), 32_000);
+        assert_eq!(p.delay_ms(40), 32_000);
+        // Budget of 4: attempts walk 0→1→2→3→0 (fresh round, no give-up).
+        assert_eq!(p.next_attempt(0), 1);
+        assert_eq!(p.next_attempt(2), 3);
+        assert_eq!(p.next_attempt(3), 0);
+    }
+
+    #[test]
+    fn backoff_degenerate_inputs_are_floored() {
+        // Zero base / zero budget are floored, never a zero delay or a
+        // divide-by-zero wrap.
+        let p = BackoffPolicy::new(0, 0);
+        assert!(p.delay_ms(0) >= 1);
+        assert_eq!(p.next_attempt(0), 0, "budget 1 wraps immediately");
+        // Saturation instead of overflow at absurd bases.
+        let big = BackoffPolicy::new(u64::MAX / 2, 3);
+        assert_eq!(big.delay_ms(5), u64::MAX);
     }
 
     #[test]

@@ -24,15 +24,17 @@
 //!   (Pseudocode 3). Virtual-size updates are piggybacked on every
 //!   scheduler→worker message (§5.3).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
+use crate::audit::{Auditor, MsgKind};
+use crate::faults::{FaultConfig, MsgFaults, SchedEv, SchedulerChain};
 use hopper_cluster::{
     ClusterConfig, CopyRef, DynEvent, DynamicsConfig, JobRun, JobSlab, MachineDynamics, MachineId,
     Machines, TaskRef,
 };
 use hopper_core::protocol::{
-    pick_fcfs, pick_srpt, scheduler_accepts, FreeSlotEpisode, Reservation, ResponseKind,
-    UnsatisfiedJob, WorkerAction,
+    pick_fcfs, pick_srpt, scheduler_accepts, BackoffPolicy, FreeSlotEpisode, Reservation,
+    ResponseKind, UnsatisfiedJob, WorkerAction,
 };
 use hopper_core::{virtual_size, BetaEstimator};
 use hopper_metrics::{JobDigest, JobResult};
@@ -97,6 +99,11 @@ pub struct DecConfig {
     /// slowdowns, failures. The default ([`DynamicsConfig::off`]) is
     /// bit-identical to a dynamics-free build.
     pub dynamics: DynamicsConfig,
+    /// Message-fault plane: RPC loss/jitter/duplication, scheduler
+    /// crash/recover chains, and the timeout/lease hardening knobs. The
+    /// default ([`FaultConfig::off`]) is bit-identical to a fault-free
+    /// build.
+    pub faults: FaultConfig,
 }
 
 impl Default for DecConfig {
@@ -121,6 +128,7 @@ impl Default for DecConfig {
             seed: 1,
             max_events: 500_000_000,
             dynamics: DynamicsConfig::off(),
+            faults: FaultConfig::off(),
         }
     }
 }
@@ -142,6 +150,20 @@ pub struct DecStats {
     pub refusals: u64,
     /// Episodes that switched to Guideline 3 (refusal threshold reached).
     pub guideline3_switches: u64,
+    /// Messages dropped by the fault plane (always 0 faults-off).
+    pub msgs_lost: u64,
+    /// Duplicate deliveries generated by the fault plane.
+    pub msgs_duplicated: u64,
+    /// Probe messages re-sent by watchdog retries and scheduler
+    /// recoveries.
+    pub msgs_retried: u64,
+    /// Per-job watchdog timeouts that fired on a stalled job.
+    pub timeouts_fired: u64,
+    /// Promised slots reclaimed by the response lease after a lost or
+    /// stale-dropped reply.
+    pub orphan_reclaimed: u64,
+    /// Scheduler crash incidents applied.
+    pub sched_failovers: u64,
     /// Events processed.
     pub events: u64,
     /// Completion time of the last job.
@@ -215,29 +237,38 @@ enum Ev {
     /// Worker offers its free slot to `job`'s scheduler. `inc` is the
     /// worker's incarnation at offer time: a machine failure bumps it, so
     /// replies referencing a slot that died with the machine are
-    /// recognizably stale (always 0 while dynamics are off).
+    /// recognizably stale (always 0 while dynamics are off). `ep` is the
+    /// worker's episode epoch at offer time (dedup key for the reply: a
+    /// duplicated or lease-superseded reply echoes a dead epoch). `sinc`
+    /// is the owning scheduler's incarnation at offer time — a scheduler
+    /// crash bumps it, so offers addressed to the pre-crash scheduler
+    /// are recognizably stale (always 0 while scheduler faults are off).
     Response {
         worker: usize,
         job: usize,
         kind: ResponseKind,
         inc: u64,
+        ep: u64,
+        sinc: u64,
     },
     /// Scheduler assigns a task to the worker's promised slot (echoes the
-    /// offer's incarnation).
+    /// offer's incarnation and episode epoch).
     Assign {
         worker: usize,
         job: usize,
         task: TaskRef,
         speculative: bool,
         inc: u64,
+        ep: u64,
     },
     /// Scheduler declines the offer (with optional unsatisfied-job info;
-    /// echoes the offer's incarnation).
+    /// echoes the offer's incarnation and episode epoch).
     Refusal {
         worker: usize,
         job: usize,
         unsatisfied: Option<UnsatisfiedJob>,
         inc: u64,
+        ep: u64,
     },
     /// A copy finished on `worker`.
     Finish {
@@ -248,12 +279,53 @@ enum Ev {
     /// Kill notification reaches the worker running a lost sibling
     /// (stamped with the worker's incarnation at race-resolution time —
     /// the slot return is dropped if the machine failed in flight).
-    Kill { worker: usize, job: usize, inc: u64 },
+    /// `copy` identifies the doomed copy: with faults on it keys the
+    /// pending-kill ledger, making duplicated kills idempotent and lost
+    /// kills recoverable at the copy's natural finish.
+    Kill {
+        worker: usize,
+        job: usize,
+        copy: CopyRef,
+        inc: u64,
+    },
     /// Periodic straggler scan (all schedulers).
     Scan,
     /// Machine-dynamics incident (slowdown / failure / recovery). Only
     /// ever queued when `DecConfig::dynamics` is enabled.
     Dyn(DynEvent),
+    /// Scheduler crash/recover incident. Only ever queued when the
+    /// fault plane's scheduler chains are enabled.
+    SchedDyn(SchedEv),
+    /// Response lease: fires `rpc_timeout_ms` after a worker's offer; if
+    /// the worker's RPC sequence has not moved since (no reply of any
+    /// kind was processed), the promised slot is reclaimed. Only ever
+    /// queued when faults are enabled.
+    Lease { worker: usize, seq: u64 },
+    /// Per-job watchdog: fires on a backoff schedule; a job with no
+    /// launch/finish progress since the last check is reconciled against
+    /// ground truth and re-probed. Only ever queued when faults are
+    /// enabled.
+    JobTimeout { job: usize },
+}
+
+/// Conservation-ledger kind of a scheduler↔worker RPC — the five
+/// message kinds the fault plane applies to. `None` for local events:
+/// finishes (the executing worker observes its own copy), scans, and
+/// dynamics/timer events never cross the simulated network.
+fn msg_kind(ev: &Ev) -> Option<MsgKind> {
+    match ev {
+        Ev::Reservation { .. } => Some(MsgKind::Reservation),
+        Ev::Response { .. } => Some(MsgKind::Response),
+        Ev::Assign { .. } => Some(MsgKind::Assign),
+        Ev::Refusal { .. } => Some(MsgKind::Refusal),
+        Ev::Kill { .. } => Some(MsgKind::Kill),
+        Ev::Finish { .. }
+        | Ev::Scan
+        | Ev::Dyn(_)
+        | Ev::SchedDyn(_)
+        | Ev::Lease { .. }
+        | Ev::JobTimeout { .. } => None,
+    }
 }
 
 struct WorkerState {
@@ -334,14 +406,53 @@ struct Decentral<'a> {
     /// were stamped with; a mismatch on delivery means the slot died with
     /// the machine.
     dyn_inc: Vec<u64>,
+    /// Per-message fault sampler; `None` when faults are off (in which
+    /// case `send_msg` degenerates to the historical exactly-once push).
+    faults: Option<MsgFaults>,
+    /// Scheduler crash chains; `None` unless faults with a nonzero
+    /// scheduler crash rate are enabled.
+    sched_chain: Option<SchedulerChain>,
+    /// Per-scheduler liveness (all true while scheduler faults are off).
+    sched_up: Vec<bool>,
+    /// Per-scheduler incarnation, bumped on crash — the scheduler-side
+    /// mirror of `dyn_inc` (always 0 while scheduler faults are off).
+    sched_inc: Vec<u64>,
+    /// Per-worker episode epoch, bumped at every episode termination
+    /// (assignment consumed, idle teardown, lease reclaim, machine
+    /// failure). Replies echo the epoch of the offer they answer; a
+    /// mismatch means the episode they belong to is already over —
+    /// the dedup key that makes duplicated assigns/refusals no-ops.
+    ep_epoch: Vec<u64>,
+    /// Per-worker RPC sequence, bumped on every offer sent and every
+    /// reply processed (and at episode teardown). A response lease
+    /// snapshots it at send; if it has not moved when the lease fires,
+    /// the reply was lost and the promised slot is reclaimed.
+    rpc_seq: Vec<u64>,
+    /// Watchdog pacing (from `faults.rpc_timeout_ms`/`rpc_retries`).
+    backoff: BackoffPolicy,
+    /// Per-job progress clock: bumped on every launch and finish. The
+    /// watchdog compares it against `wd_seen` to detect stalls.
+    wd_progress: Vec<u64>,
+    wd_seen: Vec<u64>,
+    wd_attempt: Vec<u32>,
+    /// Kill messages in flight, keyed by the doomed copy and stamped
+    /// with the worker incarnation at send. Maintained only when faults
+    /// are enabled: a duplicate kill finds no entry (idempotent), and a
+    /// lost kill's entry lets the copy's natural finish return the slot
+    /// instead of leaking it.
+    pending_kill: HashMap<(usize, CopyRef), u64>,
+    /// Dev-profile conservation auditor (`None` in release/bench — the
+    /// whole dev test suite re-proves the protocol invariants).
+    audit: Option<Box<Auditor>>,
     rng: StdRng,
     results: Vec<JobResult>,
     stats: DecStats,
     /// Online duration statistics, folded at each retirement.
     digest: JobDigest,
     /// Event-type counters (diagnostics): arrive, reservation, response,
-    /// assign, refusal, finish, kill, scan, dyn.
-    ev_counts: [u64; 9],
+    /// assign, refusal, finish, kill, scan, dyn, sched-dyn, lease,
+    /// job-timeout.
+    ev_counts: [u64; 12],
 }
 
 impl<'a> Decentral<'a> {
@@ -361,6 +472,17 @@ impl<'a> Decentral<'a> {
         if let Some(d) = dynamics.as_mut() {
             for (at, ev) in d.initial_incidents() {
                 queue.push(at, Ev::Dyn(ev));
+            }
+        }
+        // Faults-off nothing below constructs: no RNG child is drawn and
+        // no event is queued, keeping runs bit-identical to a fault-free
+        // build (the same contract the dynamics plane honors).
+        let faults_on = cfg.faults.enabled();
+        let mut sched_chain = (faults_on && cfg.faults.sched_fail_rate_per_hour > 0.0)
+            .then(|| SchedulerChain::new(&cfg.faults, cfg.num_schedulers.max(1), &seq));
+        if let Some(c) = sched_chain.as_mut() {
+            for (at, ev) in c.initial_incidents() {
+                queue.push(at, Ev::SchedDyn(ev));
             }
         }
         Decentral {
@@ -399,11 +521,23 @@ impl<'a> Decentral<'a> {
             scan_armed: false,
             dynamics,
             dyn_inc: vec![0; cfg.cluster.machines],
+            faults: faults_on.then(|| MsgFaults::new(cfg.faults, &seq)),
+            sched_chain,
+            sched_up: vec![true; cfg.num_schedulers.max(1)],
+            sched_inc: vec![0; cfg.num_schedulers.max(1)],
+            ep_epoch: vec![0; cfg.cluster.machines],
+            rpc_seq: vec![0; cfg.cluster.machines],
+            backoff: BackoffPolicy::new(cfg.faults.rpc_timeout_ms, cfg.faults.rpc_retries),
+            wd_progress: vec![0; n],
+            wd_seen: vec![0; n],
+            wd_attempt: vec![0; n],
+            pending_kill: HashMap::new(),
+            audit: cfg!(debug_assertions).then(|| Auditor::new(cfg.cluster.machines)),
             rng: seq.child_rng(0xDEC),
             results: Vec::with_capacity(if retain_jobs { n } else { 0 }),
             stats: DecStats::default(),
             digest: JobDigest::new(),
-            ev_counts: [0; 9],
+            ev_counts: [0; 12],
             jobs: JobSlab::new(n),
         }
     }
@@ -436,6 +570,104 @@ impl<'a> Decentral<'a> {
             beta,
             self.jobs[j].alpha().max(1.0),
         )
+    }
+
+    /// Send one scheduler↔worker RPC through the message plane. Faults
+    /// off this is *exactly* the historical send — one push after the
+    /// fixed message latency, no RNG consumed. Faults on, the message
+    /// may be lost, jittered (so deliveries reorder), or duplicated.
+    fn send_msg(&mut self, ev: Ev) {
+        let faults_off = self.faults.is_none();
+        if let Some(a) = self.audit.as_mut() {
+            let k = msg_kind(&ev).expect("send_msg only carries scheduler↔worker RPCs");
+            a.note_sent(k);
+            if faults_off {
+                match &ev {
+                    Ev::Assign { job, .. } | Ev::Kill { job, .. } => a.note_occ_sent(*job),
+                    _ => {}
+                }
+            }
+        }
+        let Some(f) = self.faults.as_mut() else {
+            self.queue.push_after(self.cfg.msg_latency, ev);
+            return;
+        };
+        let out = f.send();
+        if out.lost {
+            self.stats.msgs_lost += 1;
+            if let Some(a) = self.audit.as_mut() {
+                a.note_lost(msg_kind(&ev).expect("rpc"));
+            }
+            return;
+        }
+        if out.duplicated {
+            self.stats.msgs_duplicated += 1;
+            if let Some(a) = self.audit.as_mut() {
+                a.note_dup(msg_kind(&ev).expect("rpc"));
+            }
+        }
+        let latency = self.cfg.msg_latency;
+        let mut deliveries = out.deliveries.into_iter();
+        let first = deliveries.next().expect("surviving message delivers");
+        for d in deliveries {
+            self.queue.push_after(latency + d.extra, ev.clone());
+        }
+        self.queue.push_after(latency + first.extra, ev);
+    }
+
+    /// Terminate worker `w`'s episode bookkeeping: the episode slot is
+    /// gone (consumed, reclaimed, or dead), replies echoing the old
+    /// epoch are stale, and any armed lease is void. Callers settle the
+    /// `free` count themselves (a consumed promise frees nothing; a
+    /// reclaimed one returns to the pool).
+    fn end_episode(&mut self, w: usize) {
+        self.workers[w].episode = None;
+        self.ep_epoch[w] += 1;
+        self.rpc_seq[w] += 1;
+    }
+
+    /// Dev-profile invariant re-check after an event touched a worker
+    /// and/or a job (see `crate::audit`).
+    fn audit_event(&self, ev: &Ev) {
+        let Some(a) = self.audit.as_ref() else { return };
+        let check_w = |w: usize| {
+            a.check_worker(
+                w,
+                self.worker_up(w),
+                self.workers[w].free as u64,
+                self.workers[w].episode.is_some(),
+                self.cfg.cluster.slots_per_machine as u64,
+            );
+        };
+        // Per-job occupancy only reconciles exactly while faults are off
+        // (see `Auditor::check_job`), and a retired job has no ground
+        // truth left to compare.
+        let check_j = |j: usize| {
+            if self.faults.is_none() && !self.done[j] {
+                a.check_job(
+                    j,
+                    self.occupied[j] as u64,
+                    self.jobs[j].occupied_slots() as u64,
+                );
+            }
+        };
+        match *ev {
+            Ev::Reservation { worker, ref res } => {
+                check_w(worker);
+                check_j(res.job as usize);
+            }
+            Ev::Response { worker, job, .. }
+            | Ev::Assign { worker, job, .. }
+            | Ev::Refusal { worker, job, .. }
+            | Ev::Kill { worker, job, .. }
+            | Ev::Finish { worker, job, .. } => {
+                check_w(worker);
+                check_j(job);
+            }
+            Ev::Lease { worker, .. } => check_w(worker),
+            Ev::Dyn(d) => check_w(d.machine().0),
+            Ev::Scan | Ev::SchedDyn(_) | Ev::JobTimeout { .. } => {}
+        }
     }
 
     fn run(mut self) -> DecOutput {
@@ -487,7 +719,7 @@ impl<'a> Decentral<'a> {
                 let active_eps = self.workers.iter().filter(|w| w.episode.is_some()).count();
                 let queued_res: usize = self.workers.iter().map(|w| w.queue.len()).sum();
                 panic!(
-                    "event budget exceeded ({}) at t={now}; active_count={} pending_events={} worker_episodes={} queued_reservations={} ev_counts(arr/res/resp/asgn/ref/fin/kill/scan)={:?} unfinished: {stuck:#?}",
+                    "event budget exceeded ({}) at t={now}; active_count={} pending_events={} worker_episodes={} queued_reservations={} ev_counts(arr/res/resp/asgn/ref/fin/kill/scan/dyn/sdyn/lease/wd)={:?} unfinished: {stuck:#?}",
                     self.policy.name(),
                     self.active_count,
                     self.queue.len(),
@@ -505,7 +737,28 @@ impl<'a> Decentral<'a> {
                 Ev::Kill { .. } => 6,
                 Ev::Scan => 7,
                 Ev::Dyn(_) => 8,
+                Ev::SchedDyn(_) => 9,
+                Ev::Lease { .. } => 10,
+                Ev::JobTimeout { .. } => 11,
             }] += 1;
+            // Dev-profile auditing: conserve every RPC delivery, then —
+            // after the handler runs — re-check the touched worker/job
+            // invariants (the clone is auditor-gated, so release pays
+            // nothing).
+            let audit_ev = self.audit.is_some().then(|| ev.clone());
+            if let Some(a) = self.audit.as_mut() {
+                if let Some(k) = msg_kind(&ev) {
+                    a.note_delivered(k);
+                    if self.faults.is_none() {
+                        match &ev {
+                            Ev::Assign { job, .. } | Ev::Kill { job, .. } => {
+                                a.note_occ_delivered(*job)
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
             match ev {
                 Ev::Reservation { worker, res } => {
                     // A job can complete while its reservation is still in
@@ -530,32 +783,41 @@ impl<'a> Decentral<'a> {
                     job,
                     kind,
                     inc,
-                } => self.on_response(worker, job, kind, inc, now),
+                    ep,
+                    sinc,
+                } => self.on_response(worker, job, kind, inc, ep, sinc, now),
                 Ev::Assign {
                     worker,
                     job,
                     task,
                     speculative,
                     inc,
-                } => self.on_assign(worker, job, task, speculative, inc, now),
+                    ep,
+                } => self.on_assign(worker, job, task, speculative, inc, ep, now),
                 Ev::Refusal {
                     worker,
                     job,
                     unsatisfied,
                     inc,
-                } => self.on_refusal(worker, job, unsatisfied, inc, now),
+                    ep,
+                } => self.on_refusal(worker, job, unsatisfied, inc, ep, now),
                 Ev::Finish { job, copy, worker } => self.on_finish(job, copy, worker, now),
-                Ev::Kill { worker, job, inc } => {
-                    // The lost sibling's copy is accounted gone either way;
-                    // its slot only returns if the machine has not failed
-                    // since the kill was sent (incarnation match).
-                    self.occupied[job] = self.occupied[job].saturating_sub(1);
-                    if inc == self.dyn_inc[worker] {
-                        self.workers[worker].free += 1;
-                        self.machines.release_to(MachineId(worker), job);
-                        self.maybe_start_episode(worker, now);
+                Ev::Kill {
+                    worker,
+                    job,
+                    copy,
+                    inc,
+                } => self.on_kill(worker, job, copy, inc, now),
+                Ev::SchedDyn(sev) => {
+                    // Same drain rule as machine dynamics: the crash
+                    // chain dies with the workload.
+                    if self.active_count == 0 && self.arrivals_pending == 0 {
+                        continue;
                     }
+                    self.on_sched_dyn(sev, now);
                 }
+                Ev::Lease { worker, seq } => self.on_lease(worker, seq, now),
+                Ev::JobTimeout { job } => self.on_job_timeout(job, now),
                 Ev::Dyn(ev) => {
                     // The incident chain dies with the workload (see the
                     // centralized driver): drop unapplied once all jobs
@@ -573,6 +835,12 @@ impl<'a> Decentral<'a> {
                     // ever arrived).
                     for idx in 0..self.live.len() {
                         let j = self.live[idx];
+                        // A crashed scheduler scans nothing (its scratch
+                        // is rebuilt at recovery); never taken while
+                        // scheduler faults are off.
+                        if !self.sched_up[self.owner[j]] {
+                            continue;
+                        }
                         if self.jobs[j].occupied_slots() > 0 {
                             self.candidates[j] =
                                 self.cfg.speculator.candidates(&self.jobs[j], now).into();
@@ -582,7 +850,7 @@ impl<'a> Decentral<'a> {
                     // while launchable work remains (otherwise they starve).
                     for idx in 0..self.live.len() {
                         let j = self.live[idx];
-                        if self.live_res[j] > 0 {
+                        if !self.sched_up[self.owner[j]] || self.live_res[j] > 0 {
                             continue;
                         }
                         let launchable = self.pending_orig[j] > 0 || !self.candidates[j].is_empty();
@@ -602,6 +870,9 @@ impl<'a> Decentral<'a> {
                     }
                 }
             }
+            if let Some(ev) = audit_ev {
+                self.audit_event(&ev);
+            }
         }
         assert!(
             self.done_count as usize == self.num_jobs && self.arrivals_pending == 0,
@@ -609,6 +880,18 @@ impl<'a> Decentral<'a> {
             self.done_count,
             self.num_jobs
         );
+        if let Some(a) = self.audit.as_ref() {
+            for w in 0..self.workers.len() {
+                a.check_worker(
+                    w,
+                    self.worker_up(w),
+                    self.workers[w].free as u64,
+                    self.workers[w].episode.is_some(),
+                    self.cfg.cluster.slots_per_machine as u64,
+                );
+            }
+            a.check_end(self.pending_kill.len());
+        }
         let mut jobs = self.results;
         jobs.sort_by_key(|r| r.job);
         DecOutput {
@@ -649,30 +932,32 @@ impl<'a> Decentral<'a> {
         self.live.push(j);
         self.sched_jobs[self.owner[j]].push(j);
         self.arm_scan();
-        // Place probe_ratio × tasks reservations. Input tasks probe their
-        // replica machines first (§6.1), the remainder go to random
-        // workers.
-        let tasks = self.jobs[j].spec.size_tasks().max(1);
-        let probes = ((tasks as f64 * self.cfg.probe_ratio).ceil() as usize).max(1);
-        let vsize = self.vsize(j);
-        let remaining = self.jobs[j].current_remaining() as f64;
-        let mut targets: Vec<usize> = Vec::with_capacity(probes);
-        for t in &self.jobs[j].phases()[0].tasks {
-            for r in &t.replicas {
-                if targets.len() < probes {
-                    targets.push(r.0);
+        // A job arriving at a crashed scheduler places no probes — the
+        // scheduler's recovery (and the job's watchdog) re-probe from
+        // ground truth. Never taken while scheduler faults are off.
+        if self.sched_up[self.owner[j]] {
+            // Place probe_ratio × tasks reservations. Input tasks probe
+            // their replica machines first (§6.1), the remainder go to
+            // random workers.
+            let tasks = self.jobs[j].spec.size_tasks().max(1);
+            let probes = ((tasks as f64 * self.cfg.probe_ratio).ceil() as usize).max(1);
+            let vsize = self.vsize(j);
+            let remaining = self.jobs[j].current_remaining() as f64;
+            let mut targets: Vec<usize> = Vec::with_capacity(probes);
+            for t in &self.jobs[j].phases()[0].tasks {
+                for r in &t.replicas {
+                    if targets.len() < probes {
+                        targets.push(r.0);
+                    }
                 }
             }
-        }
-        while targets.len() < probes {
-            targets.push(self.rng.gen_range(0..self.workers.len()));
-        }
-        for w in targets {
-            self.stats.reservations += 1;
-            self.live_res[j] += 1;
-            self.queue.push_after(
-                self.cfg.msg_latency,
-                Ev::Reservation {
+            while targets.len() < probes {
+                targets.push(self.rng.gen_range(0..self.workers.len()));
+            }
+            for w in targets {
+                self.stats.reservations += 1;
+                self.live_res[j] += 1;
+                self.send_msg(Ev::Reservation {
                     worker: w,
                     res: Reservation {
                         scheduler: self.owner[j],
@@ -680,31 +965,41 @@ impl<'a> Decentral<'a> {
                         virtual_size: vsize,
                         remaining_tasks: remaining,
                     },
-                },
+                });
+            }
+        }
+        // Watchdog (faults only): first check one timeout out; resets
+        // whenever the job makes progress, backs off while it does not.
+        if self.faults.is_some() {
+            self.queue.push_after(
+                SimTime::from_millis(self.backoff.delay_ms(0)),
+                Ev::JobTimeout { job: j },
             );
         }
     }
 
     /// Send `count` fresh reservations for `job` to random workers.
     fn send_probes(&mut self, job: usize, count: usize) {
+        // A crashed scheduler sends nothing (its recovery re-probes);
+        // never taken while scheduler faults are off.
+        if !self.sched_up[self.owner[job]] {
+            return;
+        }
         let vsize = self.vsize(job);
         let rem = self.jobs[job].current_remaining() as f64;
         for _ in 0..count {
             let w = self.rng.gen_range(0..self.workers.len());
             self.stats.reservations += 1;
             self.live_res[job] += 1;
-            self.queue.push_after(
-                self.cfg.msg_latency,
-                Ev::Reservation {
-                    worker: w,
-                    res: Reservation {
-                        scheduler: self.owner[job],
-                        job: job as u64,
-                        virtual_size: vsize,
-                        remaining_tasks: rem,
-                    },
+            self.send_msg(Ev::Reservation {
+                worker: w,
+                res: Reservation {
+                    scheduler: self.owner[job],
+                    job: job as u64,
+                    virtual_size: vsize,
+                    remaining_tasks: rem,
                 },
-            );
+            });
         }
     }
 
@@ -781,41 +1076,68 @@ impl<'a> Decentral<'a> {
                 job,
                 kind,
             } => {
-                let _ = scheduler;
                 if let Some(ep) = self.workers[w].episode.as_mut() {
                     ep.mark_probed(scheduler);
                 }
                 self.stats.responses += 1;
-                self.queue.push_after(
-                    self.cfg.msg_latency,
-                    Ev::Response {
-                        worker: w,
-                        job: job as usize,
-                        kind,
-                        inc: self.dyn_inc[w],
-                    },
-                );
+                self.rpc_seq[w] += 1;
+                self.send_msg(Ev::Response {
+                    worker: w,
+                    job: job as usize,
+                    kind,
+                    inc: self.dyn_inc[w],
+                    ep: self.ep_epoch[w],
+                    sinc: self.sched_inc[scheduler],
+                });
+                // Lease the promised slot (faults only): if no reply of
+                // any kind is processed within the RPC timeout, the
+                // episode is reclaimed instead of hanging forever.
+                if self.faults.is_some() {
+                    self.queue.push_after(
+                        SimTime::from_millis(self.cfg.faults.rpc_timeout_ms),
+                        Ev::Lease {
+                            worker: w,
+                            seq: self.rpc_seq[w],
+                        },
+                    );
+                }
             }
             WorkerAction::Idle => {
                 // Episode dies; slot returns to the free pool.
-                self.workers[w].episode = None;
+                self.end_episode(w);
                 self.workers[w].free += 1;
             }
         }
     }
 
     /// Scheduler-side handling of a worker's slot offer (Pseudocode 2).
-    /// `inc` is the offer's worker incarnation, echoed into the reply.
+    /// `inc`/`ep` are the offer's worker incarnation and episode epoch,
+    /// echoed into the reply; `sinc` is the scheduler incarnation the
+    /// offer was addressed to.
+    #[allow(clippy::too_many_arguments)]
     fn on_response(
         &mut self,
         worker: usize,
         job: usize,
         kind: ResponseKind,
         inc: u64,
+        ep: u64,
+        sinc: u64,
         now: SimTime,
     ) {
+        // Offer addressed to a crashed scheduler (down, or a pre-crash
+        // incarnation): the reply is effectively lost — the worker's
+        // lease reclaims the promised slot. `owner` is indexed by a
+        // message-carried id, but reservations are only ever created for
+        // real jobs, so `job < owner.len()` holds by construction; the
+        // `get` is belt-and-braces for the degenerate 0-scheduler cap.
+        // Never taken while scheduler faults are off (all up, all inc 0).
+        let sched = self.owner.get(job).copied().unwrap_or(0);
+        if !self.sched_up[sched] || sinc != self.sched_inc[sched] {
+            return;
+        }
         if self.done[job] {
-            self.send_refusal(worker, job, inc, now);
+            self.send_refusal(worker, job, inc, ep, now);
             return;
         }
         let accepts = match self.policy {
@@ -849,18 +1171,16 @@ impl<'a> Decentral<'a> {
                 } else {
                     self.pending_orig[job] -= 1;
                 }
-                self.queue.push_after(
-                    self.cfg.msg_latency,
-                    Ev::Assign {
-                        worker,
-                        job,
-                        task,
-                        speculative,
-                        inc,
-                    },
-                );
+                self.send_msg(Ev::Assign {
+                    worker,
+                    job,
+                    task,
+                    speculative,
+                    inc,
+                    ep,
+                });
             }
-            None => self.send_refusal(worker, job, inc, now),
+            None => self.send_refusal(worker, job, inc, ep, now),
         }
     }
 
@@ -975,7 +1295,7 @@ impl<'a> Decentral<'a> {
         fallback
     }
 
-    fn send_refusal(&mut self, worker: usize, job: usize, inc: u64, now: SimTime) {
+    fn send_refusal(&mut self, worker: usize, job: usize, inc: u64, ep: u64, now: SimTime) {
         let _ = now;
         self.stats.refusals += 1;
         // Advertise this scheduler's smallest unsatisfied job (Pseudocode
@@ -1023,15 +1343,13 @@ impl<'a> Decentral<'a> {
                 }
             }
         }
-        self.queue.push_after(
-            self.cfg.msg_latency,
-            Ev::Refusal {
-                worker,
-                job,
-                unsatisfied: best,
-                inc,
-            },
-        );
+        self.send_msg(Ev::Refusal {
+            worker,
+            job,
+            unsatisfied: best,
+            inc,
+            ep,
+        });
     }
 
     fn on_refusal(
@@ -1040,13 +1358,20 @@ impl<'a> Decentral<'a> {
         job: usize,
         unsatisfied: Option<UnsatisfiedJob>,
         inc: u64,
+        ep: u64,
         now: SimTime,
     ) {
         // The offer this refusal answers referenced a slot that died with
-        // the machine: everything about the episode is already torn down.
-        if inc != self.dyn_inc[worker] {
+        // the machine (incarnation mismatch: everything about the episode
+        // is already torn down), or an episode that already ended (epoch
+        // mismatch: a duplicated or lease-superseded reply). Faults-off
+        // the two conditions coincide — a machine failure is the only
+        // mid-flight teardown — so behavior is unchanged.
+        if inc != self.dyn_inc[worker] || ep != self.ep_epoch[worker] {
             return;
         }
+        // A reply reached the episode: any armed lease is void.
+        self.rpc_seq[worker] += 1;
         match self.policy {
             DecPolicy::Sparrow | DecPolicy::SparrowSrpt => {
                 // Sparrow consumes the reservation on no-task and moves on.
@@ -1074,6 +1399,7 @@ impl<'a> Decentral<'a> {
 
     /// A task assignment arrives at the worker: consume a reservation and
     /// start executing.
+    #[allow(clippy::too_many_arguments)]
     fn on_assign(
         &mut self,
         worker: usize,
@@ -1081,19 +1407,25 @@ impl<'a> Decentral<'a> {
         task: TaskRef,
         speculative: bool,
         inc: u64,
+        ep: u64,
         now: SimTime,
     ) {
         if !speculative {
             self.claimed[job].remove(&task);
         }
-        // The promised slot died with the machine (failure while the
-        // assignment was in flight): undo the scheduler-side accounting
+        // The promised slot is gone: the machine failed while the
+        // assignment was in flight (incarnation mismatch), or the episode
+        // already ended (epoch mismatch — a duplicated assign whose first
+        // delivery consumed the episode, or a lease reclaim after this
+        // reply was presumed lost). Undo the scheduler-side accounting
         // and return the original to the pending pool if it still needs
         // one — but touch no worker state, the episode and slot are gone.
-        // A completed (retired) job's tasks are all finished, so the
+        // Faults-off the two mismatches coincide (a machine failure is
+        // the only mid-flight teardown), so behavior is unchanged. A
+        // completed (retired) job's tasks are all finished, so the
         // done-guard preserves the old `needs_original()` answer without
         // dereferencing retired state.
-        if inc != self.dyn_inc[worker] {
+        if inc != self.dyn_inc[worker] || ep != self.ep_epoch[worker] {
             self.occupied[job] = self.occupied[job].saturating_sub(1);
             if !speculative
                 && !self.done[job]
@@ -1103,8 +1435,9 @@ impl<'a> Decentral<'a> {
             }
             return;
         }
-        // Episode resolved successfully; the promised slot is consumed.
-        self.workers[worker].episode = None;
+        // Episode resolved successfully; the promised slot is consumed
+        // (and later replies echoing this epoch are stale).
+        self.end_episode(worker);
         // Consume one reservation of this job at this worker (if present).
         if let Some(pos) = self.workers[worker]
             .queue
@@ -1141,6 +1474,16 @@ impl<'a> Decentral<'a> {
             self.maybe_start_episode(worker, now);
             return;
         }
+        if let Some(a) = self.audit.as_mut() {
+            let t = &self.jobs[job].phases()[task.phase].tasks[task.task];
+            a.note_launch(
+                worker,
+                !speculative,
+                t.running_copies() as u64,
+                t.is_finished(),
+            );
+        }
+        self.wd_progress[job] += 1;
         self.machines.occupy_for(MachineId(worker), job);
         let speed = self.machine_speed(worker);
         let (copy, dur) = self.jobs[job].launch_copy_at_speed(
@@ -1213,8 +1556,11 @@ impl<'a> Decentral<'a> {
                 for r in std::mem::take(&mut self.workers[w].queue) {
                     self.live_res[r.job as usize] = self.live_res[r.job as usize].saturating_sub(1);
                 }
-                self.workers[w].episode = None;
+                self.end_episode(w);
                 self.workers[w].free = 0;
+                if let Some(a) = self.audit.as_mut() {
+                    a.note_machine_failed(w);
+                }
                 // Scheduler-side: killed copies leave the occupancy
                 // accounting; requeued tasks get fresh probes immediately
                 // (their old reservations may be anywhere, but the pending
@@ -1246,6 +1592,27 @@ impl<'a> Decentral<'a> {
     }
 
     fn on_finish(&mut self, job: usize, copy: CopyRef, worker: usize, now: SimTime) {
+        // Lost or still-in-flight kill (faults only): the kill ledger
+        // still holds this copy, so the worker never heard the race was
+        // lost and ran the copy to this scheduled finish — it discovers
+        // the result is moot and returns the slot itself (lease-style
+        // orphan reclamation at task granularity). If the machine failed
+        // since the kill was stamped, the slot died with it. The job may
+        // already be retired; nothing here dereferences `jobs[job]`.
+        if self.faults.is_some() {
+            if let Some(kill_inc) = self.pending_kill.remove(&(job, copy)) {
+                self.occupied[job] = self.occupied[job].saturating_sub(1);
+                if kill_inc == self.dyn_inc[worker] {
+                    if let Some(a) = self.audit.as_mut() {
+                        a.note_copy_stopped(worker);
+                    }
+                    self.workers[worker].free += 1;
+                    self.machines.release_to(MachineId(worker), job);
+                    self.maybe_start_episode(worker, now);
+                }
+                return;
+            }
+        }
         // Completions queued for copies that lost their race pop after
         // the job completed and retired; they are stale by definition
         // and must not touch its (gone) state.
@@ -1263,14 +1630,15 @@ impl<'a> Decentral<'a> {
             }
         }
         // Collect running siblings *before* resolving the race: their
-        // kill notifications travel over the network.
-        let siblings: Vec<MachineId> = self.jobs[job].phases()[copy.task.phase].tasks
+        // kill notifications travel over the network (keyed by copy so
+        // the kill ledger can recognize each one individually).
+        let siblings: Vec<(CopyRef, MachineId)> = self.jobs[job].phases()[copy.task.phase].tasks
             [copy.task.task]
             .copies
             .iter()
             .enumerate()
             .filter(|(i, c)| *i != copy.copy && c.status == hopper_cluster::CopyStatus::Running)
-            .map(|(_, c)| c.machine)
+            .map(|(i, c)| (CopyRef::new(copy.task.phase, copy.task.task, i), c.machine))
             .collect();
         let Some(out) = self.jobs[job].finish_copy(copy, now) else {
             return; // stale (copy killed earlier)
@@ -1282,25 +1650,34 @@ impl<'a> Decentral<'a> {
             self.stats.spec_won += 1;
         }
         // The winner's slot frees immediately.
+        if let Some(a) = self.audit.as_mut() {
+            a.note_copy_stopped(worker);
+        }
+        self.wd_progress[job] += 1;
         self.workers[worker].free += 1;
         self.machines.release_to(MachineId(worker), job);
         self.occupied[job] = self.occupied[job].saturating_sub(1);
-        // β learning at the owning scheduler.
-        if out.nominal.as_millis() > 0 {
+        // β learning at the owning scheduler (skipped while it is down —
+        // a crash loses the estimator; never taken faults-off).
+        if out.nominal.as_millis() > 0 && self.sched_up[self.owner[job]] {
             self.beta_est[self.owner[job]]
                 .observe(out.duration.as_millis() as f64 / out.nominal.as_millis() as f64);
         }
         // Kill messages to losing siblings, stamped with the sibling
-        // machine's current incarnation.
-        for m in siblings {
-            self.queue.push_after(
-                self.cfg.msg_latency,
-                Ev::Kill {
-                    worker: m.0,
-                    job,
-                    inc: self.dyn_inc[m.0],
-                },
-            );
+        // machine's current incarnation. With faults on, each kill is
+        // also entered into the pending ledger so duplicates are
+        // idempotent and losses are recovered at the copy's scheduled
+        // finish.
+        for (c, m) in siblings {
+            if self.faults.is_some() {
+                self.pending_kill.insert((job, c), self.dyn_inc[m.0]);
+            }
+            self.send_msg(Ev::Kill {
+                worker: m.0,
+                job,
+                copy: c,
+                inc: self.dyn_inc[m.0],
+            });
         }
         // New phases: their tasks need reservations too.
         for &pi in &out.newly_eligible {
@@ -1313,6 +1690,144 @@ impl<'a> Decentral<'a> {
             self.complete_job(job, now);
         }
         self.maybe_start_episode(worker, now);
+    }
+
+    /// Kill notification reaches the worker running a lost sibling.
+    fn on_kill(&mut self, worker: usize, job: usize, copy: CopyRef, inc: u64, now: SimTime) {
+        // Idempotence (faults only): only the kill still present in the
+        // pending ledger settles accounting — a duplicate, or a kill
+        // whose copy already returned its slot at its scheduled finish,
+        // is a complete no-op. The job may be retired; nothing here
+        // dereferences `jobs[job]` (the copy was marked killed in job
+        // state at race-resolution time, before any retirement).
+        if self.faults.is_some() && self.pending_kill.remove(&(job, copy)).is_none() {
+            return;
+        }
+        // The lost sibling's copy is accounted gone either way; its slot
+        // only returns if the machine has not failed since the kill was
+        // sent (incarnation match).
+        self.occupied[job] = self.occupied[job].saturating_sub(1);
+        if inc == self.dyn_inc[worker] {
+            if let Some(a) = self.audit.as_mut() {
+                a.note_copy_stopped(worker);
+            }
+            self.workers[worker].free += 1;
+            self.machines.release_to(MachineId(worker), job);
+            self.maybe_start_episode(worker, now);
+        }
+    }
+
+    /// Apply one scheduler crash/recover incident (never reached while
+    /// scheduler faults are off).
+    fn on_sched_dyn(&mut self, ev: SchedEv, now: SimTime) {
+        if let Some((delay, next)) = self
+            .sched_chain
+            .as_mut()
+            .expect("scheduler event without a crash chain")
+            .apply(ev)
+        {
+            self.queue.push(now + delay, Ev::SchedDyn(next));
+        }
+        match ev {
+            SchedEv::Fail(s) => {
+                // The crash loses every piece of scheduler-side scratch:
+                // claims, candidate lists, the learned β prior. Ground
+                // truth (running copies) lives on the workers and
+                // survives; in-flight replies to this scheduler are
+                // invalidated by the incarnation bump, and in-flight
+                // assigns it already sent stay valid — their delivery-
+                // time re-validation makes re-dispatch after recovery
+                // safe.
+                self.sched_up[s] = false;
+                self.sched_inc[s] += 1;
+                self.stats.sched_failovers += 1;
+                for idx in 0..self.sched_jobs[s].len() {
+                    let j = self.sched_jobs[s][idx];
+                    self.candidates[j] = VecDeque::new();
+                    self.claimed[j] = std::collections::HashSet::new();
+                }
+                self.beta_est[s] = BetaEstimator::with_prior(1.5);
+            }
+            SchedEv::Recover(s) => {
+                // Recovery rebuilds the counters from ground truth (the
+                // workers' running copies) and re-probes every owned job
+                // with launchable work. Candidates regrow at the next
+                // scan; β re-learns from scratch.
+                self.sched_up[s] = true;
+                let owned: Vec<usize> = self.sched_jobs[s].clone();
+                for j in owned {
+                    self.occupied[j] = self.jobs[j].occupied_slots();
+                    self.pending_orig[j] = self.jobs[j].pending_tasks().count();
+                    if self.pending_orig[j] > 0 {
+                        let probes = ((self.pending_orig[j] as f64 * self.cfg.probe_ratio).ceil()
+                            as usize)
+                            .max(1);
+                        self.stats.msgs_retried += probes as u64;
+                        self.send_probes(j, probes);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A response lease fired (faults only): if the worker processed any
+    /// reply since the lease was armed its RPC sequence moved on and the
+    /// lease is void; otherwise the reply was lost (or stale-dropped)
+    /// and the promised slot is reclaimed instead of leaking.
+    fn on_lease(&mut self, worker: usize, seq: u64, now: SimTime) {
+        if seq != self.rpc_seq[worker] || self.workers[worker].episode.is_none() {
+            return;
+        }
+        self.stats.orphan_reclaimed += 1;
+        self.end_episode(worker);
+        self.workers[worker].free += 1;
+        self.maybe_start_episode(worker, now);
+    }
+
+    /// The per-job watchdog fired (faults only). Progress resets the
+    /// backoff; a genuine stall reconciles the scheduler's counters
+    /// against ground truth and sends a fresh probe round, with capped
+    /// exponential backoff and a retry budget that wraps around — after
+    /// exhaustion the job simply gets another fresh round at base pace,
+    /// so a job can degrade but never deadlock.
+    fn on_job_timeout(&mut self, job: usize, now: SimTime) {
+        if self.done[job] {
+            return; // no re-arm: the watchdog dies with the job
+        }
+        let delay_ms = if self.wd_progress[job] != self.wd_seen[job] {
+            // Progress since the last check: reset and keep watching.
+            self.wd_seen[job] = self.wd_progress[job];
+            self.wd_attempt[job] = 0;
+            self.backoff.delay_ms(0)
+        } else if !self.sched_up[self.owner[job]] {
+            // Owner down: its recovery will reconcile and re-probe; the
+            // watchdog only keeps the clock running.
+            self.backoff.delay_ms(0)
+        } else {
+            // Stalled: every probe/reply chain for this job died (lost
+            // messages, reclaimed episodes, crashed schedulers). Drop
+            // any claims stuck on lost assigns, resync the counters to
+            // ground truth, and re-probe. In-flight assigns briefly
+            // de-sync `occupied` again — delivery-time re-validation
+            // keeps that safe (no task double-launches).
+            self.stats.timeouts_fired += 1;
+            self.claimed[job] = std::collections::HashSet::new();
+            self.occupied[job] = self.jobs[job].occupied_slots();
+            self.pending_orig[job] = self.jobs[job].pending_tasks().count();
+            if self.pending_orig[job] > 0 || !self.candidates[job].is_empty() {
+                let probes = ((self.jobs[job].current_remaining() as f64 * self.cfg.probe_ratio)
+                    .ceil() as usize)
+                    .max(1);
+                self.stats.msgs_retried += probes as u64;
+                self.send_probes(job, probes);
+            }
+            let attempt = self.wd_attempt[job];
+            self.wd_attempt[job] = self.backoff.next_attempt(attempt);
+            self.backoff.delay_ms(attempt)
+        };
+        let _ = now;
+        self.queue
+            .push_after(SimTime::from_millis(delay_ms), Ev::JobTimeout { job });
     }
 
     /// Complete and **retire** `job`: fold its outcome into the digest

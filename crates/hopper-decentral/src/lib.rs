@@ -8,6 +8,9 @@
 //! baseline), and decentralized Hopper with the refusal protocol
 //! (Pseudocodes 2 & 3) and piggybacked virtual-size updates.
 
+pub mod audit;
 pub mod driver;
+pub mod faults;
 
 pub use driver::{run, run_stream, DecConfig, DecOutput, DecPolicy, DecStats};
+pub use faults::FaultConfig;

@@ -15,7 +15,7 @@
 use hopper_central::{HopperConfig, Policy, SimConfig};
 use hopper_cluster::{ClusterConfig, DynamicsConfig, HeteroProfile};
 use hopper_core::AllocConfig;
-use hopper_decentral::{DecConfig, DecPolicy};
+use hopper_decentral::{DecConfig, DecPolicy, FaultConfig};
 use hopper_sim::SimTime;
 use hopper_spec::{SpecConfig, Speculator};
 use hopper_workload::{Trace, TraceGenerator, TraceStream, WorkloadProfile};
@@ -89,6 +89,13 @@ const KNOWN_KEYS: &[&str] = &[
     "slowdown_rate",
     "fail_rate",
     "mttr_ms",
+    "msg_loss",
+    "msg_jitter_ms",
+    "msg_dup",
+    "sched_fail_rate",
+    "sched_mttr_ms",
+    "rpc_timeout_ms",
+    "rpc_retries",
     "seeds",
 ];
 
@@ -179,6 +186,25 @@ pub struct ExperimentSpec {
     /// Mean time to recover a failed machine, ms (recovery times are
     /// uniform in `[0.5, 1.5] × mttr_ms`).
     pub mttr_ms: u64,
+    /// Decentralized message-fault plane: per-RPC loss probability in
+    /// `[0, 1]` (0 disables). Sweepable.
+    pub msg_loss: f64,
+    /// Max extra per-message delivery jitter, ms (uniform per-message
+    /// draw, so deliveries reorder; 0 disables).
+    pub msg_jitter_ms: u64,
+    /// Per-RPC duplication probability in `[0, 1]` (0 disables).
+    pub msg_dup: f64,
+    /// Scheduler crashes per scheduler per hour (0 disables the chains).
+    pub sched_fail_rate: f64,
+    /// Mean scheduler recovery time, ms (uniform in
+    /// `[0.5, 1.5] × sched_mttr_ms`).
+    pub sched_mttr_ms: u64,
+    /// RPC hardening: per-job watchdog / per-response lease horizon, ms.
+    /// Must be positive. Hardening knobs alone never change a run.
+    pub rpc_timeout_ms: u64,
+    /// RPC hardening: watchdog retries before the capped exponential
+    /// backoff wraps to a fresh probe round. Must be at least 1.
+    pub rpc_retries: u32,
     /// Seed list — one trial per seed.
     pub seeds: Vec<u64>,
 }
@@ -216,6 +242,13 @@ impl ExperimentSpec {
             slowdown_rate: 0.0,
             fail_rate: 0.0,
             mttr_ms: 30_000,
+            msg_loss: 0.0,
+            msg_jitter_ms: 0,
+            msg_dup: 0.0,
+            sched_fail_rate: 0.0,
+            sched_mttr_ms: 10_000,
+            rpc_timeout_ms: 2_000,
+            rpc_retries: 3,
             seeds: vec![1],
         }
     }
@@ -291,6 +324,13 @@ impl ExperimentSpec {
             "slowdown_rate" => self.slowdown_rate = parse_num(key, value)?,
             "fail_rate" => self.fail_rate = parse_num(key, value)?,
             "mttr_ms" => self.mttr_ms = parse_num(key, value)?,
+            "msg_loss" => self.msg_loss = parse_num(key, value)?,
+            "msg_jitter_ms" => self.msg_jitter_ms = parse_num(key, value)?,
+            "msg_dup" => self.msg_dup = parse_num(key, value)?,
+            "sched_fail_rate" => self.sched_fail_rate = parse_num(key, value)?,
+            "sched_mttr_ms" => self.sched_mttr_ms = parse_num(key, value)?,
+            "rpc_timeout_ms" => self.rpc_timeout_ms = parse_num(key, value)?,
+            "rpc_retries" => self.rpc_retries = parse_num(key, value)?,
             "seeds" => {
                 let seeds: Result<Vec<u64>, _> = value
                     .split(',')
@@ -390,6 +430,13 @@ impl ExperimentSpec {
                 "slowdown_rate" => self.slowdown_rate.to_string(),
                 "fail_rate" => self.fail_rate.to_string(),
                 "mttr_ms" => self.mttr_ms.to_string(),
+                "msg_loss" => self.msg_loss.to_string(),
+                "msg_jitter_ms" => self.msg_jitter_ms.to_string(),
+                "msg_dup" => self.msg_dup.to_string(),
+                "sched_fail_rate" => self.sched_fail_rate.to_string(),
+                "sched_mttr_ms" => self.sched_mttr_ms.to_string(),
+                "rpc_timeout_ms" => self.rpc_timeout_ms.to_string(),
+                "rpc_retries" => self.rpc_retries.to_string(),
                 "seeds" => self
                     .seeds
                     .iter()
@@ -489,6 +536,43 @@ impl ExperimentSpec {
         if self.fail_rate > 0.0 && self.mttr_ms == 0 {
             return Err(err("mttr_ms must be positive when fail_rate > 0"));
         }
+        for (key, p) in [("msg_loss", self.msg_loss), ("msg_dup", self.msg_dup)] {
+            if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                return Err(err(format!("{key} must be in [0, 1], got {p}")));
+            }
+        }
+        if !(self.sched_fail_rate >= 0.0 && self.sched_fail_rate.is_finite()) {
+            return Err(err(format!(
+                "sched_fail_rate must be finite and >= 0, got {}",
+                self.sched_fail_rate
+            )));
+        }
+        if self.sched_fail_rate > 0.0 && self.sched_mttr_ms == 0 {
+            return Err(err(
+                "sched_mttr_ms must be positive when sched_fail_rate > 0",
+            ));
+        }
+        if self.rpc_timeout_ms == 0 {
+            return Err(err("rpc_timeout_ms must be positive"));
+        }
+        if self.rpc_retries == 0 {
+            return Err(err("rpc_retries must be at least 1"));
+        }
+        if self.engine == EngineKind::Central && self.faults().enabled() {
+            return Err(err(
+                "message faults (msg_loss/msg_jitter_ms/msg_dup/sched_fail_rate) \
+                 require engine=decentral — the central engine has no RPC plane",
+            ));
+        }
+        if !(self.probe_ratio > 0.0 && self.probe_ratio.is_finite()) {
+            return Err(err(format!(
+                "probe_ratio must be finite and > 0, got {}",
+                self.probe_ratio
+            )));
+        }
+        if !(self.eps.is_finite() && (0.0..=1.0).contains(&self.eps)) {
+            return Err(err(format!("eps must be in [0, 1], got {}", self.eps)));
+        }
         if self.seeds.is_empty() {
             return Err(err("seeds must name at least one seed"));
         }
@@ -519,6 +603,22 @@ impl ExperimentSpec {
             fail_rate_per_hour: self.fail_rate,
             recovery_ms: (self.mttr_ms / 2, self.mttr_ms + self.mttr_ms / 2),
             ..DynamicsConfig::off()
+        }
+    }
+
+    /// The message-fault plane this spec describes (decentralized only).
+    /// [`FaultConfig::off`] — bit-identical runs — unless a fault key was
+    /// set; hardening keys (`rpc_timeout_ms`, `rpc_retries`,
+    /// `sched_mttr_ms`) alone do not enable it.
+    pub fn faults(&self) -> FaultConfig {
+        FaultConfig {
+            msg_loss: self.msg_loss,
+            msg_jitter_ms: self.msg_jitter_ms,
+            msg_dup: self.msg_dup,
+            sched_fail_rate_per_hour: self.sched_fail_rate,
+            sched_mttr_ms: self.sched_mttr_ms,
+            rpc_timeout_ms: self.rpc_timeout_ms,
+            rpc_retries: self.rpc_retries,
         }
     }
 
@@ -625,6 +725,7 @@ impl ExperimentSpec {
                     refusal_threshold: self.refusals,
                     fairness_eps: Some(self.eps),
                     dynamics: self.dynamics(),
+                    faults: self.faults(),
                     seed,
                     ..Default::default()
                 };
@@ -821,6 +922,84 @@ mttr_ms=20000
         s.fail_rate = 1.0;
         s.mttr_ms = 0;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn fault_keys_round_trip_and_map() {
+        let text = "\
+engine=decentral
+msg_loss=0.05
+msg_jitter_ms=5
+msg_dup=0.02
+sched_fail_rate=12
+sched_mttr_ms=1500
+rpc_timeout_ms=1000
+rpc_retries=4
+";
+        let s = ExperimentSpec::parse(text).unwrap();
+        let again = ExperimentSpec::parse(&s.render()).unwrap();
+        assert_eq!(s, again);
+        let f = s.faults();
+        assert!(f.enabled());
+        assert_eq!(f.msg_loss, 0.05);
+        assert_eq!(f.msg_jitter_ms, 5);
+        assert_eq!(f.msg_dup, 0.02);
+        assert_eq!(f.sched_fail_rate_per_hour, 12.0);
+        assert_eq!(f.sched_mttr_ms, 1_500);
+        assert_eq!(f.rpc_timeout_ms, 1_000);
+        assert_eq!(f.rpc_retries, 4);
+        // The default spec carries a disabled plane.
+        assert!(!ExperimentSpec::decentral().faults().enabled());
+    }
+
+    #[test]
+    fn fault_values_are_validated() {
+        // Probabilities outside [0, 1] / non-finite are rejected, and
+        // the error names the key.
+        for bad in ["msg_loss=1.5", "msg_loss=-0.1", "msg_loss=nan", "msg_dup=2"] {
+            let e = ExperimentSpec::parse(&format!("engine=decentral\n{bad}\n")).unwrap_err();
+            let key = bad.split('=').next().unwrap();
+            assert!(e.0.contains(key), "error should name `{key}`: {e}");
+        }
+        let e = ExperimentSpec::parse("engine=decentral\nsched_fail_rate=-5\n").unwrap_err();
+        assert!(e.0.contains("sched_fail_rate"), "{e}");
+        // Hardening knobs have hard floors.
+        let e = ExperimentSpec::parse("engine=decentral\nrpc_timeout_ms=0\n").unwrap_err();
+        assert!(e.0.contains("rpc_timeout_ms"), "{e}");
+        let e = ExperimentSpec::parse("engine=decentral\nrpc_retries=0\n").unwrap_err();
+        assert!(e.0.contains("rpc_retries"), "{e}");
+        let e = ExperimentSpec::parse("engine=decentral\nsched_fail_rate=1\nsched_mttr_ms=0\n")
+            .unwrap_err();
+        assert!(e.0.contains("sched_mttr_ms"), "{e}");
+        // Fault injection is decentralized-only; neutral hardening keys
+        // are fine on the central engine.
+        assert!(ExperimentSpec::parse("engine=central\nmsg_loss=0.1\n").is_err());
+        assert!(ExperimentSpec::parse("engine=central\nrpc_timeout_ms=500\n").is_ok());
+    }
+
+    #[test]
+    fn probe_ratio_and_eps_are_validated() {
+        for bad in ["probe_ratio=0", "probe_ratio=-1", "probe_ratio=inf"] {
+            let e = ExperimentSpec::parse(&format!("engine=decentral\n{bad}\n")).unwrap_err();
+            assert!(e.0.contains("probe_ratio"), "{e}");
+        }
+        for bad in ["eps=-0.1", "eps=1.5", "eps=nan"] {
+            let e = ExperimentSpec::parse(&format!("{bad}\n")).unwrap_err();
+            assert!(e.0.contains("eps"), "{e}");
+        }
+    }
+
+    #[test]
+    fn faulted_run_one_completes_every_job() {
+        let mut s = ExperimentSpec::decentral();
+        s.jobs = 8;
+        s.machines = 30;
+        s.util = 0.6;
+        s.msg_loss = 0.05;
+        s.msg_jitter_ms = 3;
+        s.rpc_timeout_ms = 1_000;
+        let out = s.run_one(4).unwrap();
+        assert_eq!(out.jobs().len(), 8);
     }
 
     #[test]

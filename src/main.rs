@@ -7,6 +7,9 @@
 //! hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--jobs N]
 //!                  [--workers N] [--slots N] [--util F] [--seed N]
 //!                  [--probe-ratio F] [--refusals N] [--workload facebook|bing]
+//!                  [--msg-loss F] [--msg-jitter-ms N] [--msg-dup F]
+//!                  [--sched-fail-rate F] [--sched-mttr-ms N]
+//!                  [--rpc-timeout-ms N] [--rpc-retries N]
 //! hopper sweep     [--spec FILE] [key=value ...] --axis KEY=V1,V2[,...]
 //!                  [--threads N] [--csv]
 //! hopper example   # the §3 motivating example (Table 1 / Figures 1-2)
@@ -98,6 +101,13 @@ fn apply_flags(spec: &mut ExperimentSpec, rest: &[String]) {
             "--slowdown-rate" => spec.set("slowdown_rate", &next("--slowdown-rate")),
             "--fail-rate" => spec.set("fail_rate", &next("--fail-rate")),
             "--mttr-ms" => spec.set("mttr_ms", &next("--mttr-ms")),
+            "--msg-loss" => spec.set("msg_loss", &next("--msg-loss")),
+            "--msg-jitter-ms" => spec.set("msg_jitter_ms", &next("--msg-jitter-ms")),
+            "--msg-dup" => spec.set("msg_dup", &next("--msg-dup")),
+            "--sched-fail-rate" => spec.set("sched_fail_rate", &next("--sched-fail-rate")),
+            "--sched-mttr-ms" => spec.set("sched_mttr_ms", &next("--sched-mttr-ms")),
+            "--rpc-timeout-ms" => spec.set("rpc_timeout_ms", &next("--rpc-timeout-ms")),
+            "--rpc-retries" => spec.set("rpc_retries", &next("--rpc-retries")),
             other => {
                 eprintln!("unknown flag: {other}");
                 usage();
@@ -277,6 +287,6 @@ fn run_example() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  hopper central   [--policy srpt|fifo|fair|budgeted|hopper] [--jobs N] \\\n                   [--machines N] [--slots N] [--util F] [--seed N] \\\n                   [--workload facebook|bing] [--interactive] [--eps F] \\\n                   [--realloc-drift F]  (0 = exact eager reallocation;\n                    F > 0 keeps the last Hopper allocation while total\n                    virtual size drifts < F, relative; sweep key realloc_drift=)\n  hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--workers N] \\\n                   [--slots N] [--jobs N] [--util F] [--seed N] \\\n                   [--probe-ratio F] [--refusals N]\n  hopper sweep     [--spec FILE] [key=value ...] --axis KEY=V1,V2[,...] \\\n                   [--threads N] [--csv]\n  hopper example\n\nstreaming flags (central and decentral; also sweep keys stream=, max_jobs=):\n  --stream          lazy arrivals + job retirement: O(active jobs) job state,\n                    identical results (percentiles via an ε=1% sketch)\n  --max-jobs N      stop consuming the arrival stream after N jobs\n\ncluster-dynamics flags (central and decentral; all default off):\n  --hetero off|uniform|bimodal|lognormal   machine speed heterogeneity\n  --slow-frac F     bimodal slow-node fraction        --slow-factor F  slow speed\n  --hetero-sigma F  lognormal sigma                   --slowdown-rate F  per machine-hour\n  --fail-rate F     machine failures per machine-hour --mttr-ms N      mean recovery\n  (the same knobs are sweep keys: hetero=, slow_frac=, fail_rate=, ...)"
+        "usage:\n  hopper central   [--policy srpt|fifo|fair|budgeted|hopper] [--jobs N] \\\n                   [--machines N] [--slots N] [--util F] [--seed N] \\\n                   [--workload facebook|bing] [--interactive] [--eps F] \\\n                   [--realloc-drift F]  (0 = exact eager reallocation;\n                    F > 0 keeps the last Hopper allocation while total\n                    virtual size drifts < F, relative; sweep key realloc_drift=)\n  hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--workers N] \\\n                   [--slots N] [--jobs N] [--util F] [--seed N] \\\n                   [--probe-ratio F] [--refusals N]\n  hopper sweep     [--spec FILE] [key=value ...] --axis KEY=V1,V2[,...] \\\n                   [--threads N] [--csv]\n  hopper example\n\nstreaming flags (central and decentral; also sweep keys stream=, max_jobs=):\n  --stream          lazy arrivals + job retirement: O(active jobs) job state,\n                    identical results (percentiles via an ε=1% sketch)\n  --max-jobs N      stop consuming the arrival stream after N jobs\n\ncluster-dynamics flags (central and decentral; all default off):\n  --hetero off|uniform|bimodal|lognormal   machine speed heterogeneity\n  --slow-frac F     bimodal slow-node fraction        --slow-factor F  slow speed\n  --hetero-sigma F  lognormal sigma                   --slowdown-rate F  per machine-hour\n  --fail-rate F     machine failures per machine-hour --mttr-ms N      mean recovery\n  (the same knobs are sweep keys: hetero=, slow_frac=, fail_rate=, ...)\n\nmessage-fault flags (decentral only; all default off):\n  --msg-loss F      per-RPC loss probability [0,1]   --msg-jitter-ms N  max extra delay\n  --msg-dup F       per-RPC duplication prob [0,1]   --sched-fail-rate F  crashes/sched-hour\n  --sched-mttr-ms N mean scheduler recovery\n  hardening (neutral unless a fault source is on):\n  --rpc-timeout-ms N  watchdog/lease horizon         --rpc-retries N  before fresh round\n  (the same knobs are sweep keys: msg_loss=, msg_dup=, rpc_timeout_ms=, ...)"
     );
 }

@@ -1,0 +1,174 @@
+//! Chaos suite for the message-fault plane: property-style storms of RPC
+//! loss/jitter/duplication, scheduler crashes, and machine failures.
+//!
+//! Every storm runs with the dev-profile conservation auditor live (it
+//! panics on any protocol violation, so "the test passed" means "no task
+//! was lost or double-launched, no slot leaked, and every counter
+//! reconciled across every event of every storm"). On top of that the
+//! suite asserts the externally visible contract: every job completes,
+//! per-seed stats are deterministic, and faults-off — including with
+//! hardening knobs moved — reproduces the pinned goldens bit-identically.
+
+mod common;
+
+use hopper::cluster::{ClusterConfig, DynamicsConfig};
+use hopper::decentral::{self, DecConfig, DecPolicy, FaultConfig};
+use hopper::workload::{Trace, TraceGenerator, WorkloadProfile};
+
+fn storm_trace(seed: u64, n: usize) -> Trace {
+    let profile = WorkloadProfile::facebook()
+        .interactive()
+        .single_phase()
+        .fixed_beta(1.5);
+    TraceGenerator::new(profile, n, seed).generate_with_utilization(200, 0.7)
+}
+
+fn storm_cfg(seed: u64, faults: FaultConfig) -> DecConfig {
+    DecConfig {
+        cluster: ClusterConfig {
+            machines: 100,
+            slots_per_machine: 2,
+            handoff_ms: 0,
+            ..Default::default()
+        },
+        num_schedulers: 5,
+        seed,
+        faults,
+        ..Default::default()
+    }
+}
+
+/// The full storm: the acceptance-criterion loss rate plus jitter,
+/// duplication, and scheduler crashes.
+fn full_storm() -> FaultConfig {
+    FaultConfig {
+        msg_loss: 0.05,
+        msg_jitter_ms: 5,
+        msg_dup: 0.02,
+        sched_fail_rate_per_hour: 400.0,
+        sched_mttr_ms: 1_500,
+        rpc_timeout_ms: 1_000,
+        rpc_retries: 3,
+    }
+}
+
+/// Hardening knobs are not a fault source: cranking timeouts and retry
+/// budgets while every injection rate stays zero must leave each pinned
+/// decentralized golden bit-identical — no RNG draw, no timer event.
+#[test]
+fn hardening_knobs_alone_reproduce_goldens_bit_identically() {
+    let rendered = common::render_decentral_goldens(|cfg| {
+        cfg.faults.rpc_timeout_ms = 500;
+        cfg.faults.rpc_retries = 9;
+        cfg.faults.sched_mttr_ms = 1;
+    });
+    let expected = common::golden_decentral_lines();
+    let actual: Vec<&str> = rendered.lines().collect();
+    assert_eq!(
+        actual.len(),
+        expected.len(),
+        "decentral golden scenario count"
+    );
+    for (i, (e, a)) in expected.iter().zip(&actual).enumerate() {
+        assert_eq!(e, a, "decentral golden line {} drifted", i + 1);
+    }
+}
+
+/// Message storms at the acceptance loss rate: every job completes under
+/// every policy and seed, and the fault counters actually move (the storm
+/// is not vacuous).
+#[test]
+fn message_storms_complete_every_job() {
+    let faults = FaultConfig {
+        sched_fail_rate_per_hour: 0.0,
+        ..full_storm()
+    };
+    let mut lost = 0;
+    let mut duplicated = 0;
+    let mut recovered = 0;
+    for seed in 1..=3u64 {
+        let t = storm_trace(seed, 40);
+        for policy in [
+            DecPolicy::Sparrow,
+            DecPolicy::SparrowSrpt,
+            DecPolicy::Hopper,
+        ] {
+            let out = decentral::run(&t, policy, &storm_cfg(seed, faults));
+            assert_eq!(out.jobs.len(), t.len(), "{} seed {seed}", policy.name());
+            lost += out.stats.msgs_lost;
+            duplicated += out.stats.msgs_duplicated;
+            recovered += out.stats.timeouts_fired + out.stats.orphan_reclaimed;
+        }
+    }
+    assert!(lost > 0, "storm lost no messages");
+    assert!(duplicated > 0, "storm duplicated no messages");
+    assert!(recovered > 0, "no timeout or lease ever fired");
+}
+
+/// Scheduler crash/recover chains: jobs owned by a crashed scheduler
+/// survive the loss of its queue state and still complete.
+#[test]
+fn scheduler_crashes_lose_state_but_every_job_completes() {
+    let faults = FaultConfig {
+        msg_loss: 0.02,
+        msg_jitter_ms: 2,
+        msg_dup: 0.0,
+        sched_fail_rate_per_hour: 400.0,
+        sched_mttr_ms: 1_500,
+        rpc_timeout_ms: 1_000,
+        rpc_retries: 3,
+    };
+    let mut failovers = 0;
+    for seed in 1..=3u64 {
+        let t = storm_trace(seed + 10, 40);
+        for policy in [DecPolicy::Sparrow, DecPolicy::Hopper] {
+            let out = decentral::run(&t, policy, &storm_cfg(seed, faults));
+            assert_eq!(out.jobs.len(), t.len(), "{} seed {seed}", policy.name());
+            failovers += out.stats.sched_failovers;
+        }
+    }
+    assert!(failovers > 0, "no scheduler ever crashed — storm vacuous");
+}
+
+/// The combined storm: message faults + scheduler crashes + machine
+/// failures and slowdowns, at the acceptance-criterion loss rate.
+#[test]
+fn combined_storm_with_machine_failures_completes() {
+    let dynamics = DynamicsConfig {
+        slowdown_rate_per_hour: 60.0,
+        fail_rate_per_hour: 30.0,
+        recovery_ms: (2_500, 7_500),
+        ..DynamicsConfig::off()
+    };
+    for seed in 1..=2u64 {
+        let t = storm_trace(seed + 20, 35);
+        for policy in [DecPolicy::Sparrow, DecPolicy::Hopper] {
+            let mut cfg = storm_cfg(seed, full_storm());
+            cfg.dynamics = dynamics.clone();
+            let out = decentral::run(&t, policy, &cfg);
+            assert_eq!(out.jobs.len(), t.len(), "{} seed {seed}", policy.name());
+        }
+    }
+}
+
+/// Storms are seeded: the same seed reproduces the exact stats, fault
+/// fates, and per-job completion digest; a different seed does not.
+#[test]
+fn storms_are_deterministic_per_seed() {
+    let t = storm_trace(7, 40);
+    let run = |seed: u64| decentral::run(&t, DecPolicy::Hopper, &storm_cfg(seed, full_storm()));
+    let a = run(9);
+    let b = run(9);
+    assert_eq!(a.stats, b.stats, "same seed must reproduce stats exactly");
+    assert_eq!(
+        common::jobs_digest(&a.jobs),
+        common::jobs_digest(&b.jobs),
+        "same seed must reproduce every completion time"
+    );
+    let c = run(10);
+    assert_ne!(
+        common::jobs_digest(&a.jobs),
+        common::jobs_digest(&c.jobs),
+        "different seed should draw different fault fates"
+    );
+}

@@ -20,6 +20,7 @@ pub fn trace(seed: u64) -> Trace {
     TraceGenerator::new(profile, 30, seed).generate_with_utilization(100, 0.7)
 }
 
+#[allow(dead_code)] // each suite uses its own subset of this module
 pub fn central_cfg(seed: u64, dynamics: DynamicsConfig) -> central::SimConfig {
     central::SimConfig {
         cluster: ClusterConfig {
@@ -71,6 +72,7 @@ pub fn jobs_digest(jobs: &[hopper::metrics::JobResult]) -> u64 {
 /// dynamics plane. `Debug` for the stats structs prints f64 fields with
 /// shortest-roundtrip formatting, so two renders are equal iff the stats
 /// are bit-identical.
+#[allow(dead_code)] // each suite uses its own subset of this module
 pub fn render_goldens(dynamics: &DynamicsConfig) -> String {
     let mut out = String::new();
     let central_policies: Vec<(&str, central::Policy)> = vec![
@@ -119,8 +121,53 @@ pub fn render_goldens(dynamics: &DynamicsConfig) -> String {
     out
 }
 
+/// Render only the decentralized golden scenarios, with a caller hook to
+/// adjust the config. The chaos suite uses this to prove that fault-plane
+/// *hardening* knobs alone (timeouts, retry budgets) leave runs
+/// bit-identical — only enabled fault sources may change a run.
+#[allow(dead_code)]
+pub fn render_decentral_goldens(mutate: impl Fn(&mut decentral::DecConfig)) -> String {
+    let mut out = String::new();
+    for seed in [5u64, 11] {
+        let t = trace(seed);
+        for policy in [
+            decentral::DecPolicy::Sparrow,
+            decentral::DecPolicy::SparrowSrpt,
+            decentral::DecPolicy::Hopper,
+        ] {
+            let mut cfg = decentral_cfg(seed, DynamicsConfig::off());
+            mutate(&mut cfg);
+            let r = decentral::run(&t, policy, &cfg);
+            writeln!(
+                out,
+                "decentral/{}/seed{seed}: jobs_digest={:#018x} stats={:?}",
+                policy.name(),
+                jobs_digest(&r.jobs),
+                r.stats
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// The decentralized lines of the pinned golden file, in file order.
+#[allow(dead_code)]
+pub fn golden_decentral_lines() -> Vec<String> {
+    std::fs::read_to_string(GOLDEN_PATH)
+        .expect(
+            "missing tests/goldens/stats.txt — run \
+            `HOPPER_UPDATE_GOLDENS=1 cargo test --test golden_stats` once",
+        )
+        .lines()
+        .filter(|l| l.starts_with("decentral/"))
+        .map(str::to_owned)
+        .collect()
+}
+
 /// Line-by-line comparison against the pinned golden file, with a
 /// caller-supplied context string in the failure message.
+#[allow(dead_code)] // each suite uses its own subset of this module
 pub fn assert_matches_goldens(actual: &str, context: &str) {
     let expected = std::fs::read_to_string(GOLDEN_PATH).expect(
         "missing tests/goldens/stats.txt — run \
