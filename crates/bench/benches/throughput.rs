@@ -119,7 +119,21 @@ fn bench_central(policy: &Policy, jobs: usize, machines: usize, seed: u64) {
     }
 }
 
-fn bench_decentral(policy: DecPolicy, jobs: usize, machines: usize, seed: u64) {
+/// Sharded-engine counters of a decentralized run, as a JSON line
+/// (printed only when `HOPPER_BENCH_SHARDS >= 1` selected the
+/// conservative-PDES engine). Observability, not goldens: the window
+/// count is partition-independent but the stall count and the
+/// cross/local split legitimately vary with the shard count.
+fn report_shard_stats(policy: &str, s: &decentral::ShardStats) {
+    println!(
+        "{{\"bench\":\"throughput\",\"detail\":\"shard_stats\",\"policy\":\"{policy}\",\
+         \"shards\":{},\"windows\":{},\"horizon_stalls\":{},\"cross_msgs\":{},\
+         \"local_msgs\":{}}}",
+        s.shards, s.windows, s.horizon_stalls, s.cross_msgs, s.local_msgs
+    );
+}
+
+fn bench_decentral(policy: DecPolicy, jobs: usize, machines: usize, seed: u64, shards: usize) {
     let cluster = ClusterConfig {
         machines,
         slots_per_machine: 2,
@@ -134,6 +148,7 @@ fn bench_decentral(policy: DecPolicy, jobs: usize, machines: usize, seed: u64) {
         num_schedulers: 20,
         scan_interval: SimTime::from_millis(1000),
         seed,
+        shards,
         ..Default::default()
     };
     let start = Instant::now();
@@ -152,6 +167,9 @@ fn bench_decentral(policy: DecPolicy, jobs: usize, machines: usize, seed: u64) {
         out.mean_duration_ms(),
         out.stats.makespan,
     );
+    if let Some(s) = &out.shard {
+        report_shard_stats(policy.name(), s);
+    }
 }
 
 fn main() {
@@ -165,10 +183,12 @@ fn main() {
     let enabled: Vec<&str> = drivers.split(',').map(str::trim).collect();
     // Bounded-staleness knob for the central Hopper run (0 = exact).
     let drift = env_f64("HOPPER_BENCH_DRIFT", 0.0);
+    // Sharded-engine selector for the decentral run (0 = serial driver).
+    let shards = env_usize("HOPPER_BENCH_SHARDS", 0);
     eprintln!(
         "throughput bench: {jobs} jobs, {machines} machines, {seeds} seed(s), drivers {enabled:?}, \
-         realloc_drift {drift} (HOPPER_BENCH_JOBS / HOPPER_BENCH_MACHINES / HOPPER_BENCH_SEEDS / \
-         HOPPER_BENCH_DRIVERS / HOPPER_BENCH_DRIFT)"
+         realloc_drift {drift}, shards {shards} (HOPPER_BENCH_JOBS / HOPPER_BENCH_MACHINES / \
+         HOPPER_BENCH_SEEDS / HOPPER_BENCH_DRIVERS / HOPPER_BENCH_DRIFT / HOPPER_BENCH_SHARDS)"
     );
     for seed in 1..=seeds {
         if enabled.contains(&"central") {
@@ -184,7 +204,7 @@ fn main() {
             );
         }
         if enabled.contains(&"decentral") {
-            bench_decentral(DecPolicy::Hopper, jobs, machines, seed);
+            bench_decentral(DecPolicy::Hopper, jobs, machines, seed, shards);
         }
     }
 }

@@ -668,6 +668,159 @@ impl JobRun {
         )
     }
 
+    /// Draw the unit-speed duration a copy of `task` would run for on
+    /// `machine`, *without* launching it — the sharded engine's
+    /// scheduler-side pre-draw: the owning scheduler samples the
+    /// duration (consuming only its own RNG child), ships it inside the
+    /// assignment, and the worker commits it via
+    /// [`JobRun::launch_copy_prepared`] after scaling by its local
+    /// machine speed. Scripted tasks consume no randomness, exactly
+    /// like [`JobRun::launch_copy_at_speed`].
+    pub fn sample_unit_duration(
+        &self,
+        task: TaskRef,
+        machine: MachineId,
+        speculative: bool,
+        cfg: &ClusterConfig,
+        rng: &mut StdRng,
+    ) -> SimTime {
+        let phase = &self.phases[task.phase];
+        let effective = phase.effective_work(task.task);
+        let t = &phase.tasks[task.task];
+        let local = t.replicas.is_empty() || t.replicas.contains(&machine);
+        match t.scripted {
+            Some(s) => {
+                if speculative {
+                    s.speculative
+                } else {
+                    s.original
+                }
+            }
+            None => {
+                let mult = Dist::unit_mean_pareto(self.spec.beta)
+                    .sample(rng)
+                    .min(cfg.max_straggle_factor);
+                let penalty = if local { 1.0 } else { cfg.remote_read_penalty };
+                effective.scale(mult * penalty)
+            }
+        }
+    }
+
+    /// Commit a copy whose start instant and (already speed-scaled)
+    /// duration were fixed elsewhere — the worker-side half of the
+    /// sharded launch protocol ([`JobRun::sample_unit_duration`] is the
+    /// scheduler-side half). Identical index/counter maintenance to
+    /// [`JobRun::launch_copy_at_speed`], with no RNG consumed. `start`
+    /// may lie in the past relative to the caller's clock (the launch
+    /// acknowledgment travelled over the simulated network); all
+    /// consumers of copy finish times saturate.
+    pub fn launch_copy_prepared(
+        &mut self,
+        task: TaskRef,
+        machine: MachineId,
+        speculative: bool,
+        start: SimTime,
+        duration: SimTime,
+    ) -> CopyRef {
+        let phase = &mut self.phases[task.phase];
+        assert!(phase.eligible, "launching into ineligible phase");
+        let t = &mut phase.tasks[task.task];
+        assert!(t.finished_at.is_none(), "launching a finished task");
+        debug_assert!(
+            !speculative || t.running > 0,
+            "speculating on a task with no running copy"
+        );
+        let local = t.replicas.is_empty() || t.replicas.contains(&machine);
+        if !t.replicas.is_empty() {
+            if local {
+                self.local_launches += 1;
+            } else {
+                self.nonlocal_launches += 1;
+            }
+        }
+        let was_pending = t.running == 0;
+        let copy_idx = t.copies.len();
+        t.copies.push(Copy {
+            machine,
+            start,
+            duration,
+            status: CopyStatus::Running,
+            speculative,
+            local,
+        });
+        t.running += 1;
+        self.idx.running_copies += 1;
+        let running_now = self.phases[task.phase].tasks[task.task].running;
+        match running_now {
+            1 => {
+                self.idx.solo_running.insert((start + duration, task));
+            }
+            2 => {
+                let prev = self.phases[task.phase].tasks[task.task]
+                    .copies
+                    .iter()
+                    .enumerate()
+                    .find(|(i, c)| *i != copy_idx && c.status == CopyStatus::Running)
+                    .map(|(_, c)| c.finish_time())
+                    .expect("second running copy implies a first");
+                self.idx.solo_running.remove(&(prev, task));
+            }
+            _ => {}
+        }
+        if was_pending {
+            self.idx.pending_originals -= 1;
+            self.index_remove_pending(task);
+        }
+        #[cfg(debug_assertions)]
+        self.debug_check_index();
+        CopyRef {
+            task,
+            copy: copy_idx,
+        }
+    }
+
+    /// Kill one running copy — its machine died under it (the sharded
+    /// engine's per-copy mirror of [`JobRun::fail_machine`], driven by
+    /// individual loss notifications instead of one bulk sweep). The
+    /// slot freed nothing (it died with the machine); a task whose last
+    /// running copy was lost becomes pending again. Returns
+    /// `Some(requeued)` — or `None` when the copy is no longer running
+    /// (its race resolved while the loss notification was in flight).
+    pub fn lose_copy(&mut self, c: CopyRef) -> Option<bool> {
+        let t = &mut self.phases[c.task.phase].tasks[c.task.task];
+        if t.finished_at.is_some() || t.copies[c.copy].status != CopyStatus::Running {
+            return None;
+        }
+        let prev_running = t.running;
+        let killed_finish = t.copies[c.copy].finish_time();
+        t.copies[c.copy].status = CopyStatus::Killed;
+        t.running -= 1;
+        let now_running = t.running;
+        let survivor_finish = t
+            .copies
+            .iter()
+            .find(|cp| cp.status == CopyStatus::Running)
+            .map(|cp| cp.finish_time());
+        self.idx.running_copies -= 1;
+        if prev_running == 1 {
+            let removed = self.idx.solo_running.remove(&(killed_finish, c.task));
+            debug_assert!(removed, "solo-running entry missing at copy loss");
+        }
+        if now_running == 1 {
+            self.idx
+                .solo_running
+                .insert((survivor_finish.expect("one running copy"), c.task));
+        }
+        let requeued = now_running == 0;
+        if requeued {
+            self.idx.pending_originals += 1;
+            self.index_insert_pending(c.task);
+        }
+        #[cfg(debug_assertions)]
+        self.debug_check_index();
+        Some(requeued)
+    }
+
     /// Handle a copy-completion event. Returns `None` when the event is
     /// stale (the copy was killed or its task already finished) — drivers
     /// simply drop such events.

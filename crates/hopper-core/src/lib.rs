@@ -27,6 +27,7 @@ pub mod allocate;
 pub mod estimate;
 pub mod incremental;
 pub mod protocol;
+pub mod shard;
 pub mod vsize;
 
 pub use allocate::{allocate, cmp_priority, AllocConfig, Allocation, JobDemand, Regime};
@@ -36,4 +37,5 @@ pub use protocol::{
     pick_fcfs, pick_srpt, scheduler_accepts, FreeSlotEpisode, Reservation, ResponseKind,
     UnsatisfiedJob, WorkerAction,
 };
+pub use shard::{safe_horizon, EventKey, Mailbox, SyncBarrier};
 pub use vsize::{priority_key, speculation_multiplier, virtual_size};

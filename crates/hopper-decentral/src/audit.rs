@@ -92,6 +92,36 @@ impl Auditor {
         self.running[w] += 1;
     }
 
+    /// A copy started running on worker `w` — the sharded engine's
+    /// launch note. Under the ack'd launch protocol the worker commits
+    /// the copy before the owning scheduler can check ground truth, so
+    /// the double-launch precondition is asserted scheduler-side (the
+    /// stale-assignment predicate) rather than here; this only grows
+    /// the running mirror for the slot equation.
+    pub fn note_copy_started(&mut self, w: usize) {
+        self.running[w] += 1;
+    }
+
+    /// Fold another auditor's ledgers into this one — used at the end
+    /// of a sharded run to combine per-shard auditors before the global
+    /// end-of-run laws. Shards own disjoint worker ranges, so summing
+    /// the running mirrors elementwise is exact.
+    pub fn merge(&mut self, other: &Auditor) {
+        assert_eq!(self.running.len(), other.running.len());
+        for (r, o) in self.running.iter_mut().zip(&other.running) {
+            *r += o;
+        }
+        for (&job, &n) in &other.in_flight_occ {
+            *self.in_flight_occ.entry(job).or_insert(0) += n;
+        }
+        for i in 0..NUM_KINDS {
+            self.sent[i] += other.sent[i];
+            self.dup[i] += other.dup[i];
+            self.lost[i] += other.lost[i];
+            self.delivered[i] += other.delivered[i];
+        }
+    }
+
     /// A copy on worker `w` stopped occupying its slot (finished, was
     /// killed, or its kill was lost and the finish reclaimed the slot).
     pub fn note_copy_stopped(&mut self, w: usize) {

@@ -104,6 +104,15 @@ pub struct DecConfig {
     /// default ([`FaultConfig::off`]) is bit-identical to a fault-free
     /// build.
     pub faults: FaultConfig,
+    /// Execution shards for the conservative-PDES engine
+    /// (`crates/hopper-decentral/src/shard.rs`). `0` (the default) runs
+    /// the serial driver in this file; any value `>= 1` partitions
+    /// schedulers and workers across that many shards and runs them on
+    /// threads in lockstep conservative windows. Sharded results are
+    /// bit-identical across *all* shard counts `>= 1` for a fixed
+    /// config, but are a distinct (documented) equivalence family from
+    /// the serial driver — see DESIGN.md, "Sharded execution".
+    pub shards: usize,
 }
 
 impl Default for DecConfig {
@@ -129,6 +138,7 @@ impl Default for DecConfig {
             max_events: 500_000_000,
             dynamics: DynamicsConfig::off(),
             faults: FaultConfig::off(),
+            shards: 0,
         }
     }
 }
@@ -202,7 +212,14 @@ pub struct DecOutput {
     pub digest: JobDigest,
     /// Maximum simultaneously live jobs — the streaming pipeline's
     /// memory yardstick (completed jobs retire their task/copy state).
+    /// For sharded runs this is the sum of per-scheduler slab
+    /// high-waters (an upper bound on the serial driver's global
+    /// high-water).
     pub live_high_water: usize,
+    /// Sharded-engine counters (`None` for the serial driver). These
+    /// are observability only — never part of the determinism contract
+    /// beyond `ShardStats`'s own documented fields.
+    pub shard: Option<crate::shard::ShardStats>,
 }
 
 impl DecOutput {
@@ -218,6 +235,14 @@ impl DecOutput {
 
 /// Run `trace` under decentralized `policy`, retaining per-job results.
 pub fn run(trace: &Trace, policy: DecPolicy, cfg: &DecConfig) -> DecOutput {
+    if cfg.shards >= 1 {
+        return crate::shard::run_sharded(
+            crate::shard::ShardInput::Trace(trace),
+            policy,
+            cfg,
+            true,
+        );
+    }
     Decentral::new(ArrivalSource::from_trace(trace), policy, cfg, true).run()
 }
 
@@ -227,6 +252,14 @@ pub fn run(trace: &Trace, policy: DecPolicy, cfg: &DecConfig) -> DecOutput {
 /// (`DecOutput::jobs` is empty). Simulation decisions are bit-identical
 /// to [`run`] on the materialized form of the same stream.
 pub fn run_stream(stream: TraceStream, policy: DecPolicy, cfg: &DecConfig) -> DecOutput {
+    if cfg.shards >= 1 {
+        return crate::shard::run_sharded(
+            crate::shard::ShardInput::Stream(Box::new(stream)),
+            policy,
+            cfg,
+            false,
+        );
+    }
     Decentral::new(ArrivalSource::from_stream(stream), policy, cfg, false).run()
 }
 
@@ -899,6 +932,7 @@ impl<'a> Decentral<'a> {
             stats: self.stats,
             digest: self.digest,
             live_high_water: self.jobs.high_water(),
+            shard: None,
         }
     }
 

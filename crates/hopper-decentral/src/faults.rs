@@ -136,6 +136,19 @@ impl MsgFaults {
         }
     }
 
+    /// Build a sampler on an explicit seed label — the sharded engine
+    /// gives every entity (scheduler, worker) its own sampler so each
+    /// consumes fault randomness in its own send order, independent of
+    /// how entities are partitioned across shards. Labels live in
+    /// namespaces disjoint from every existing child (see the constants
+    /// at the top of this module and `shard.rs`).
+    pub fn with_seed(cfg: FaultConfig, seq: &SeedSequence, label: u64) -> Self {
+        MsgFaults {
+            cfg,
+            rng: seq.child_rng(label),
+        }
+    }
+
     fn jitter(&mut self) -> SimTime {
         if self.cfg.msg_jitter_ms == 0 {
             return SimTime::ZERO;

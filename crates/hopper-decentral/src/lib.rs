@@ -11,6 +11,8 @@
 pub mod audit;
 pub mod driver;
 pub mod faults;
+pub mod shard;
 
 pub use driver::{run, run_stream, DecConfig, DecOutput, DecPolicy, DecStats};
 pub use faults::FaultConfig;
+pub use shard::ShardStats;

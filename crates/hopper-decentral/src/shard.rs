@@ -1,0 +1,2432 @@
+//! Sharded decentralized engine: one run, many cores, bit-identical
+//! results for every shard count.
+//!
+//! `run_sharded` (crate-internal; reached through [`crate::run`] when
+//! `DecConfig::shards >= 1`) partitions the decentralized simulation's
+//! *entities*
+//! — schedulers and workers — across `DecConfig::shards` shards.
+//! Scheduler `s` lives on shard `s % S`; worker `w` on `w % S`; job `j`
+//! belongs to scheduler `j % K` and therefore to its shard. Each shard
+//! owns a private event heap, per-entity RNG children, and the complete
+//! runtime state of its entities (worker queues and running-copy
+//! records; scheduler job slabs, counters, and estimators). Shards
+//! advance in lockstep *conservative windows* (classic conservative
+//! PDES): at each window barrier every shard publishes its earliest
+//! pending event; the next window executes everything strictly before
+//! `min(next event) + lookahead`, where the lookahead is the one-way
+//! message latency (asserted ≥ 1 ms). Every cross-entity interaction is
+//! a message paying at least that latency, so nothing a peer shard has
+//! not yet executed can land inside the current window — no rollbacks,
+//! no speculation, no locks on simulation state.
+//!
+//! **Why the result is independent of the shard count.** Three facts
+//! compose (pinned by `tests/shard.rs`, spelled out in DESIGN.md,
+//! "Sharded execution"):
+//!
+//! 1. every entity's state is touched only by its own handler, and all
+//!    inter-entity interaction rides on messages with ≥ lookahead
+//!    latency;
+//! 2. every event carries an [`EventKey`] `(time, origin, seq)` whose
+//!    per-origin sequence is assigned by the *emitting* entity in its
+//!    own deterministic order, so each shard's heap pops in a total
+//!    order that restricts the same global order regardless of the
+//!    partition;
+//! 3. every stream of randomness is owned by a single entity
+//!    (per-scheduler decision/placement/fault children, per-worker
+//!    Guideline-3/fault children, the per-machine and per-scheduler
+//!    incident chains), so draws depend only on that entity's own
+//!    event history.
+//!
+//! Global quantities a handler reads — the ε-fairness active-job count,
+//! the drain flag that retires idle incident chains, the event-budget
+//! check — are computed from the window-start barrier snapshot, which
+//! is itself shard-count-independent because window boundaries are.
+//!
+//! **Relation to the serial driver.** `shards = 0` (the default) is the
+//! untouched legacy [`crate::driver`] path, byte-identical to every
+//! pinned golden. `shards ≥ 1` selects this engine — a slightly
+//! different *protocol embedding* of the same scheduler logic (launch
+//! durations are pre-drawn by the owning scheduler and committed at the
+//! worker with an explicit ack; kill/loss notifications are per-copy
+//! messages; workers self-poll instead of being poked by a global
+//! scan), so its trajectories differ from `shards = 0` by a few
+//! milliseconds of extra acknowledgment latency, but are identical to
+//! *each other* for every shard count ≥ 1. The deliberate deviations
+//! are cataloged in DESIGN.md.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::Mutex;
+
+use crate::audit::{Auditor, MsgKind};
+use crate::driver::{DecConfig, DecOutput, DecPolicy, DecStats};
+use crate::faults::{MsgFaults, SchedEv, SchedulerChain};
+use hopper_cluster::{
+    CopyRef, DynEvent, JobRun, JobSlab, MachineDynamics, MachineId, Machines, TaskRef,
+};
+use hopper_core::protocol::{
+    pick_fcfs, pick_srpt, scheduler_accepts, BackoffPolicy, FreeSlotEpisode, Reservation,
+    ResponseKind, UnsatisfiedJob, WorkerAction,
+};
+use hopper_core::{safe_horizon, virtual_size, BetaEstimator, EventKey, Mailbox, SyncBarrier};
+use hopper_metrics::{JobDigest, JobResult};
+use hopper_sim::{SeedSequence, SimTime};
+use hopper_spec::Candidate;
+use hopper_workload::{ArrivalSource, Trace, TraceJob, TraceStream};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Child-seed namespaces for the sharded engine's per-entity RNGs.
+/// Disjoint from every legacy child: placement `0xB10C`, decisions
+/// `0xDEC`, message faults `0xFA_0175`, scheduler chains
+/// `0x5C_4ED0_0000 + s`, machine dynamics `0xD1_CE00_0000 + m`.
+const SHARD_SCHED_RNG: u64 = 0xDEC0_0000;
+const SHARD_SCHED_PLACE: u64 = 0xB10C_0000;
+const SHARD_WORKER_RNG: u64 = 0xE9_0000_0000;
+const SHARD_SCHED_FAULT: u64 = 0xFA_1000_0000;
+const SHARD_WORKER_FAULT: u64 = 0xFA_2000_0000;
+
+/// Non-golden observability counters of one sharded run. These describe
+/// the *engine* (how the conservative windows behaved), not the
+/// simulation: every field except `shards` may vary with the shard
+/// count even though the simulation results do not, so none of them
+/// belong in goldens or equivalence checks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard count the run executed with.
+    pub shards: usize,
+    /// Conservative windows advanced (identical on every shard).
+    pub windows: u64,
+    /// Window slots in which a shard had nothing to execute — it
+    /// advanced only because the safe horizon was bounded by a peer
+    /// (summed over shards; the load-imbalance signal).
+    pub horizon_stalls: u64,
+    /// Messages that crossed a shard boundary (through a mailbox).
+    pub cross_msgs: u64,
+    /// Messages whose sender and receiver shared a shard (heap-local).
+    pub local_msgs: u64,
+}
+
+/// Arrival input of a sharded run: a materialized trace (borrowed, like
+/// [`crate::driver::run`]) or a lazy stream (cloned per shard — each
+/// shard replays the generator and keeps only its own jobs, preserving
+/// the streaming pipeline's constant-memory property per shard).
+pub enum ShardInput<'a> {
+    /// Materialized trace.
+    Trace(&'a Trace),
+    /// Lazy arrival stream (boxed: a generator is much larger than a
+    /// trace reference).
+    Stream(Box<TraceStream>),
+}
+
+/// One simulation event of the sharded engine. Worker-addressed events
+/// carry a global worker id; scheduler-addressed events are routed by
+/// the job's owner (`job % K`) or an explicit scheduler id.
+///
+/// Five kinds are scheduler↔worker RPCs subject to the message-fault
+/// plane (`Reservation`, `Response`, `Assign`, `Refusal`, `Kill` — the
+/// same five the conservation auditor ledgers). The launch-protocol
+/// acks (`Launched`, `AssignFailed`, `TaskDone`, `CopyLost`, `ResGone`)
+/// are *reliable* internal messages at fixed latency: they replace
+/// state the serial driver mutated directly across the scheduler/worker
+/// boundary, so faulting them would invent failure modes the modeled
+/// system does not have.
+#[derive(Debug, Clone)]
+enum SEv {
+    /// Reservation lands in a worker queue.
+    Reservation { worker: usize, res: Reservation },
+    /// Scheduler assigns a task to the worker's promised slot. Carries
+    /// the scheduler-pre-drawn unit-speed duration (the worker scales
+    /// it by its local machine speed and commits), plus the job's
+    /// virtual-size/remaining snapshot for the §5.3 piggyback.
+    Assign {
+        worker: usize,
+        job: usize,
+        task: TaskRef,
+        speculative: bool,
+        unit_dur: SimTime,
+        vsize: f64,
+        remaining: f64,
+        inc: u64,
+        ep: u64,
+    },
+    /// Scheduler declines the offer. `job_done` doubles as the
+    /// completion notification that purges the job's parked
+    /// reservations from the worker's queue.
+    Refusal {
+        worker: usize,
+        job: usize,
+        job_done: bool,
+        unsatisfied: Option<UnsatisfiedJob>,
+        inc: u64,
+        ep: u64,
+    },
+    /// Kill the copy behind `wtoken` (race lost). Idempotent at the
+    /// worker: no record, no effect.
+    Kill { worker: usize, wtoken: u64 },
+    /// Local copy-completion timer at the executing worker.
+    Finish { worker: usize, wtoken: u64 },
+    /// Worker self-poll: re-examine the queue for a startable episode
+    /// (replaces the serial driver's global-scan worker poke).
+    Poll { worker: usize },
+    /// Response lease (faults only), as in the serial driver.
+    Lease { worker: usize, seq: u64 },
+    /// Machine-dynamics incident for the owning worker's machine.
+    Dyn(DynEvent),
+    /// Worker offers its free slot to `job`'s scheduler.
+    Response {
+        worker: usize,
+        job: usize,
+        kind: ResponseKind,
+        inc: u64,
+        ep: u64,
+    },
+    /// Worker committed an assigned copy: the launch ack. `consumed`
+    /// reports whether a parked reservation was eaten by the assign.
+    Launched {
+        job: usize,
+        worker: usize,
+        wtoken: u64,
+        task: TaskRef,
+        speculative: bool,
+        start: SimTime,
+        dur: SimTime,
+        consumed: bool,
+    },
+    /// The assign reached a dead episode (machine failed or episode
+    /// ended first): nothing was committed, undo the send-side books.
+    AssignFailed {
+        job: usize,
+        task: TaskRef,
+        speculative: bool,
+    },
+    /// A committed copy ran to completion on `worker`.
+    TaskDone {
+        job: usize,
+        worker: usize,
+        wtoken: u64,
+        dur: SimTime,
+    },
+    /// A committed copy died with its machine.
+    CopyLost {
+        job: usize,
+        worker: usize,
+        wtoken: u64,
+    },
+    /// `count` of the job's reservations evaporated at a worker (down
+    /// machine, failure wipe, or a Sparrow no-task consume).
+    ResGone { job: usize, count: usize },
+    /// Per-scheduler straggler scan.
+    Scan { sched: usize },
+    /// Scheduler crash/recover incident for an owned scheduler.
+    SchedDyn(SchedEv),
+    /// Per-job watchdog (faults only), armed by the owning scheduler.
+    JobTimeout { job: usize },
+}
+
+/// Conservation-ledger kind of a scheduler↔worker RPC (`None` for the
+/// reliable internal messages and local timers).
+fn rpc_kind(ev: &SEv) -> Option<MsgKind> {
+    match ev {
+        SEv::Reservation { .. } => Some(MsgKind::Reservation),
+        SEv::Response { .. } => Some(MsgKind::Response),
+        SEv::Assign { .. } => Some(MsgKind::Assign),
+        SEv::Refusal { .. } => Some(MsgKind::Refusal),
+        SEv::Kill { .. } => Some(MsgKind::Kill),
+        _ => None,
+    }
+}
+
+/// Heap entry ordered by [`EventKey`] alone — the payload never
+/// participates, so the pop order is the deterministic global order
+/// restricted to this shard.
+#[derive(Debug)]
+struct HeapEv {
+    key: EventKey,
+    ev: SEv,
+}
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for HeapEv {}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// What a shard publishes at each window barrier.
+#[derive(Debug, Default)]
+struct SlotPub {
+    /// Earliest pending event (heap min or next owned arrival).
+    next: Option<SimTime>,
+    /// Live (arrived, unfinished) jobs owned by this shard.
+    live: usize,
+    /// Arrivals this shard still owes the simulation.
+    arrivals: usize,
+    /// Events executed so far (for the global budget check).
+    events: u64,
+}
+
+/// Shared coordination state: the window barrier, one publish slot and
+/// one inter-shard mailbox per shard. Slots are written by their owner
+/// before barrier A and read by everyone between barriers A and B, so
+/// the lock is never contended across a write.
+struct Coord {
+    barrier: SyncBarrier,
+    slots: Vec<Mutex<SlotPub>>,
+    mailboxes: Vec<Mailbox<SEv>>,
+}
+
+/// Poisons the window barrier if its shard unwinds, so peers blocked at
+/// the barrier panic instead of deadlocking (see [`SyncBarrier`]).
+struct PoisonGuard<'b> {
+    barrier: &'b SyncBarrier,
+}
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.barrier.poison();
+        }
+    }
+}
+
+/// A committed running copy as the executing worker sees it: which job
+/// it serves and when it started / will finish (rescaled in place by
+/// machine-speed changes).
+#[derive(Debug, Clone, Copy)]
+struct CopyRec {
+    job: usize,
+    start: SimTime,
+    finish: SimTime,
+}
+
+/// One scheduler's complete runtime state. Job-indexed vectors use the
+/// scheduler-local dense index `lj = j / K` (the scheduler owns exactly
+/// the jobs with `j % K == s`).
+struct SchedSt {
+    /// Global scheduler id.
+    s: usize,
+    up: bool,
+    /// Event-emission counter (the `seq` of every key this scheduler
+    /// stamps).
+    seq: u64,
+    jobs: JobSlab,
+    done: Vec<bool>,
+    arrived: Vec<bool>,
+    occupied: Vec<usize>,
+    pending_orig: Vec<usize>,
+    claimed: Vec<HashSet<TaskRef>>,
+    live_res: Vec<usize>,
+    candidates: Vec<VecDeque<Candidate>>,
+    wd_progress: Vec<u64>,
+    wd_seen: Vec<u64>,
+    wd_attempt: Vec<u32>,
+    /// Live owned jobs, ascending global id.
+    live: Vec<usize>,
+    arrivals_pending: usize,
+    beta: BetaEstimator,
+    scan_armed: bool,
+    rng: StdRng,
+    placement_rng: StdRng,
+    faults: Option<MsgFaults>,
+    /// (job, copy) → (worker, wtoken): the scheduler's handle on every
+    /// committed copy, for kill addressing. Lookup/remove only — never
+    /// iterated, so HashMap nondeterminism cannot leak into events.
+    copy_tok: HashMap<(usize, CopyRef), (usize, u64)>,
+    /// (worker, wtoken) → (job, copy): resolves acks from workers.
+    tok_copy: HashMap<(usize, u64), (usize, CopyRef)>,
+    digest: JobDigest,
+    done_count: u64,
+}
+
+/// One worker's complete runtime state.
+struct WorkSt {
+    /// Global worker id (= machine id).
+    w: usize,
+    /// Event-emission counter.
+    seq: u64,
+    queue: Vec<Reservation>,
+    free: usize,
+    episode: Option<FreeSlotEpisode>,
+    /// Committed running copies by worker-local token. A BTreeMap
+    /// because machine failure *iterates* it to emit loss
+    /// notifications — iteration order must be deterministic.
+    records: BTreeMap<u64, CopyRec>,
+    next_wtoken: u64,
+    /// Machine incarnation (bumped on failure).
+    inc: u64,
+    /// Episode epoch (bumped at every episode end).
+    ep: u64,
+    /// RPC sequence (lease dedup), as in the serial driver.
+    rpc: u64,
+    poll_armed: bool,
+    rng: StdRng,
+    faults: Option<MsgFaults>,
+}
+
+/// Event-type diagnostic counters (for the budget-exceeded panic):
+/// arrive, reservation, response, assign, refusal, kill, finish, poll,
+/// lease, dyn, launched, assign-failed, task-done, copy-lost, res-gone,
+/// scan, sched-dyn, job-timeout.
+const EV_KINDS: usize = 18;
+
+struct Shard<'a> {
+    id: usize,
+    nshards: usize,
+    /// Scheduler count (the job→owner modulus).
+    k: usize,
+    policy: DecPolicy,
+    cfg: &'a DecConfig,
+    faults_on: bool,
+    retain_jobs: bool,
+    lookahead: SimTime,
+    backoff: BackoffPolicy,
+    heap: BinaryHeap<Reverse<HeapEv>>,
+    /// Cross-shard sends buffered during a window, flushed to the
+    /// destination mailboxes once at the barrier.
+    outboxes: Vec<Vec<(EventKey, SEv)>>,
+    arrivals: ArrivalSource<'a>,
+    /// Next owned arrival, buffered because foreign arrivals must be
+    /// popped-and-discarded to see past them.
+    pending_arrival: Option<TraceJob>,
+    scheds: Vec<SchedSt>,
+    workers: Vec<WorkSt>,
+    machines: Machines,
+    dynamics: Option<MachineDynamics>,
+    sched_chain: Option<SchedulerChain>,
+    audit: Option<Box<Auditor>>,
+    /// Live jobs owned by this shard (Σ over its schedulers).
+    live_count: usize,
+    /// Arrivals this shard still owes.
+    arrivals_pending: usize,
+    /// Window-start snapshot of the global live-job count (ε-fairness
+    /// input; shard-count-independent because window boundaries are).
+    active_global: usize,
+    /// Window-start flag: the workload is globally complete, idle
+    /// incident chains stop re-arming (monotone once set).
+    drained: bool,
+    stats: DecStats,
+    results: Vec<JobResult>,
+    ev_counts: [u64; EV_KINDS],
+    windows: u64,
+    stalls: u64,
+    cross_msgs: u64,
+    local_msgs: u64,
+}
+
+/// Run one decentralized simulation sharded across
+/// `cfg.shards.max(1)` shards. Private engine behind
+/// [`crate::driver::run`] / [`crate::driver::run_stream`]
+/// (`cfg.shards ≥ 1` selects it).
+pub(crate) fn run_sharded(
+    input: ShardInput<'_>,
+    policy: DecPolicy,
+    cfg: &DecConfig,
+    retain_jobs: bool,
+) -> DecOutput {
+    assert!(
+        cfg.msg_latency >= SimTime::from_millis(1),
+        "sharded engine needs msg_latency >= 1ms (it is the conservative lookahead)"
+    );
+    let nshards = cfg.shards.max(1);
+    let mut shards: Vec<Shard<'_>> = (0..nshards)
+        .map(|id| {
+            let arrivals = match &input {
+                ShardInput::Trace(t) => ArrivalSource::from_trace(t),
+                ShardInput::Stream(s) => ArrivalSource::from_stream((**s).clone()),
+            };
+            Shard::new(id, nshards, arrivals, policy, cfg, retain_jobs)
+        })
+        .collect();
+    let n: usize = shards.iter().map(|sh| sh.arrivals_pending).sum();
+    let coord = Coord {
+        barrier: SyncBarrier::new(nshards),
+        slots: (0..nshards)
+            .map(|_| Mutex::new(SlotPub::default()))
+            .collect(),
+        mailboxes: (0..nshards).map(|_| Mailbox::new()).collect(),
+    };
+    if nshards == 1 {
+        shards[0].run_loop(&coord);
+    } else {
+        std::thread::scope(|scope| {
+            let coord = &coord;
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .map(|sh| scope.spawn(move || sh.run_loop(coord)))
+                .collect();
+            for h in handles {
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        });
+    }
+    merge(shards, n, nshards)
+}
+
+/// Fold per-shard state into one [`DecOutput`], exactly as the serial
+/// driver would have reported it: counters sum, makespan maxes, the
+/// digest merges in scheduler order, per-job results sort by id, and
+/// the merged conservation auditor proves the end-of-run laws globally.
+fn merge(shards: Vec<Shard<'_>>, n: usize, nshards: usize) -> DecOutput {
+    let k = shards.first().map(|sh| sh.k).expect("at least one shard");
+    let mut stats = DecStats::default();
+    let mut digest = JobDigest::new();
+    let mut results: Vec<JobResult> = Vec::new();
+    let mut live_high_water = 0usize;
+    let mut done_total = 0u64;
+    let mut audit: Option<Box<Auditor>> = None;
+    let mut shard_stats = ShardStats {
+        shards: nshards,
+        windows: shards.first().map_or(0, |sh| sh.windows),
+        ..ShardStats::default()
+    };
+    // Per-scheduler digests merge in global scheduler order so the
+    // merged sketch is the same regardless of the partition.
+    for s in 0..k {
+        let sh = &shards[s % nshards];
+        digest.merge(&sh.scheds[s / nshards].digest);
+    }
+    for sh in shards {
+        let st = sh.stats;
+        stats.orig_launched += st.orig_launched;
+        stats.spec_launched += st.spec_launched;
+        stats.spec_won += st.spec_won;
+        stats.reservations += st.reservations;
+        stats.responses += st.responses;
+        stats.refusals += st.refusals;
+        stats.guideline3_switches += st.guideline3_switches;
+        stats.msgs_lost += st.msgs_lost;
+        stats.msgs_duplicated += st.msgs_duplicated;
+        stats.msgs_retried += st.msgs_retried;
+        stats.timeouts_fired += st.timeouts_fired;
+        stats.orphan_reclaimed += st.orphan_reclaimed;
+        stats.sched_failovers += st.sched_failovers;
+        stats.events += st.events;
+        stats.makespan = stats.makespan.max(st.makespan);
+        shard_stats.horizon_stalls += sh.stalls;
+        shard_stats.cross_msgs += sh.cross_msgs;
+        shard_stats.local_msgs += sh.local_msgs;
+        results.extend(sh.results);
+        for sched in &sh.scheds {
+            live_high_water += sched.jobs.high_water();
+            done_total += sched.done_count;
+        }
+        match audit.as_mut() {
+            None => audit = sh.audit,
+            Some(a) => {
+                if let Some(b) = sh.audit.as_ref() {
+                    a.merge(b);
+                }
+            }
+        }
+    }
+    assert!(
+        done_total as usize == n,
+        "sharded run drained with {done_total} of {n} jobs finished"
+    );
+    if let Some(a) = audit.as_ref() {
+        a.check_end(0);
+    }
+    results.sort_by_key(|r| r.job);
+    DecOutput {
+        jobs: results,
+        stats,
+        digest,
+        live_high_water,
+        shard: Some(shard_stats),
+    }
+}
+
+/// Global scheduler id of a [`SchedEv`].
+fn sched_of(ev: &SchedEv) -> usize {
+    match *ev {
+        SchedEv::Fail(s) | SchedEv::Recover(s) => s,
+    }
+}
+
+/// Diagnostic counter slot of an event (see [`EV_KINDS`]).
+fn ev_idx(ev: &SEv) -> usize {
+    match ev {
+        SEv::Reservation { .. } => 1,
+        SEv::Response { .. } => 2,
+        SEv::Assign { .. } => 3,
+        SEv::Refusal { .. } => 4,
+        SEv::Kill { .. } => 5,
+        SEv::Finish { .. } => 6,
+        SEv::Poll { .. } => 7,
+        SEv::Lease { .. } => 8,
+        SEv::Dyn(_) => 9,
+        SEv::Launched { .. } => 10,
+        SEv::AssignFailed { .. } => 11,
+        SEv::TaskDone { .. } => 12,
+        SEv::CopyLost { .. } => 13,
+        SEv::ResGone { .. } => 14,
+        SEv::Scan { .. } => 15,
+        SEv::SchedDyn(_) => 16,
+        SEv::JobTimeout { .. } => 17,
+    }
+}
+
+impl<'a> Shard<'a> {
+    fn new(
+        id: usize,
+        nshards: usize,
+        arrivals: ArrivalSource<'a>,
+        policy: DecPolicy,
+        cfg: &'a DecConfig,
+        retain_jobs: bool,
+    ) -> Self {
+        let seq = SeedSequence::new(cfg.seed);
+        let k = cfg.num_schedulers.max(1);
+        let n = arrivals.total_jobs();
+        let nworkers = cfg.cluster.machines;
+        let faults_on = cfg.faults.enabled();
+        let scheds: Vec<SchedSt> = (id..k)
+            .step_by(nshards)
+            .map(|s| {
+                // Jobs owned by scheduler s: {j : j % K == s}, densely
+                // indexed as lj = j / K.
+                let n_s = if n > s { (n - s).div_ceil(k) } else { 0 };
+                SchedSt {
+                    s,
+                    up: true,
+                    seq: 0,
+                    jobs: JobSlab::new(n_s),
+                    done: vec![false; n_s],
+                    arrived: vec![false; n_s],
+                    occupied: vec![0; n_s],
+                    pending_orig: vec![0; n_s],
+                    claimed: vec![HashSet::new(); n_s],
+                    live_res: vec![0; n_s],
+                    candidates: vec![VecDeque::new(); n_s],
+                    wd_progress: vec![0; n_s],
+                    wd_seen: vec![0; n_s],
+                    wd_attempt: vec![0; n_s],
+                    live: Vec::new(),
+                    arrivals_pending: n_s,
+                    beta: BetaEstimator::with_prior(1.5),
+                    scan_armed: false,
+                    rng: seq.child_rng(SHARD_SCHED_RNG + s as u64),
+                    placement_rng: seq.child_rng(SHARD_SCHED_PLACE + s as u64),
+                    faults: faults_on.then(|| {
+                        MsgFaults::with_seed(cfg.faults, &seq, SHARD_SCHED_FAULT + s as u64)
+                    }),
+                    copy_tok: HashMap::new(),
+                    tok_copy: HashMap::new(),
+                    digest: JobDigest::new(),
+                    done_count: 0,
+                }
+            })
+            .collect();
+        let mut workers: Vec<WorkSt> = (id..nworkers)
+            .step_by(nshards)
+            .map(|w| WorkSt {
+                w,
+                seq: 0,
+                queue: Vec::new(),
+                free: cfg.cluster.slots_per_machine,
+                episode: None,
+                records: BTreeMap::new(),
+                next_wtoken: 0,
+                inc: 0,
+                ep: 0,
+                rpc: 0,
+                poll_armed: false,
+                rng: seq.child_rng(SHARD_WORKER_RNG + w as u64),
+                faults: faults_on
+                    .then(|| MsgFaults::with_seed(cfg.faults, &seq, SHARD_WORKER_FAULT + w as u64)),
+            })
+            .collect();
+        let mut heap: BinaryHeap<Reverse<HeapEv>> = BinaryHeap::new();
+        // Every shard constructs the *full* dynamics plane and scheduler
+        // chain — identical RNG draws everywhere, because both keep
+        // strictly per-entity generators — then seeds its heap with only
+        // its own entities' incidents. Applying an incident consumes only
+        // the owning entity's generator, so the replicas never diverge.
+        let mut dynamics = cfg
+            .dynamics
+            .enabled()
+            .then(|| MachineDynamics::new(cfg.dynamics.clone(), nworkers, &seq));
+        if let Some(d) = dynamics.as_mut() {
+            for (at, ev) in d.initial_incidents() {
+                let m = ev.machine().0;
+                if m % nshards != id {
+                    continue;
+                }
+                let wk = &mut workers[m / nshards];
+                let key = EventKey {
+                    time: at,
+                    origin: (k + m) as u64,
+                    seq: wk.seq,
+                };
+                wk.seq += 1;
+                heap.push(Reverse(HeapEv {
+                    key,
+                    ev: SEv::Dyn(ev),
+                }));
+            }
+        }
+        let mut sched_chain = (faults_on && cfg.faults.sched_fail_rate_per_hour > 0.0)
+            .then(|| SchedulerChain::new(&cfg.faults, k, &seq));
+        let mut sched_seqs: Vec<u64> = vec![0; scheds.len()];
+        if let Some(c) = sched_chain.as_mut() {
+            for (at, ev) in c.initial_incidents() {
+                let s = sched_of(&ev);
+                if s % nshards != id {
+                    continue;
+                }
+                let si = s / nshards;
+                let key = EventKey {
+                    time: at,
+                    origin: s as u64,
+                    seq: sched_seqs[si],
+                };
+                sched_seqs[si] += 1;
+                heap.push(Reverse(HeapEv {
+                    key,
+                    ev: SEv::SchedDyn(ev),
+                }));
+            }
+        }
+        let mut scheds = scheds;
+        for (st, sq) in scheds.iter_mut().zip(sched_seqs) {
+            st.seq = sq;
+        }
+        let arrivals_pending: usize = scheds.iter().map(|st| st.arrivals_pending).sum();
+        Shard {
+            id,
+            nshards,
+            k,
+            policy,
+            cfg,
+            faults_on,
+            retain_jobs,
+            lookahead: cfg.msg_latency,
+            backoff: BackoffPolicy::new(cfg.faults.rpc_timeout_ms, cfg.faults.rpc_retries),
+            heap,
+            outboxes: (0..nshards).map(|_| Vec::new()).collect(),
+            arrivals,
+            pending_arrival: None,
+            scheds,
+            workers,
+            machines: Machines::new(&cfg.cluster),
+            dynamics,
+            sched_chain,
+            audit: cfg!(debug_assertions).then(|| Auditor::new(nworkers)),
+            live_count: 0,
+            arrivals_pending,
+            active_global: 0,
+            drained: false,
+            stats: DecStats::default(),
+            results: Vec::new(),
+            ev_counts: [0; EV_KINDS],
+            windows: 0,
+            stalls: 0,
+            cross_msgs: 0,
+            local_msgs: 0,
+        }
+    }
+
+    /// Drive this shard through conservative windows until global
+    /// termination (no shard has a pending event or arrival).
+    fn run_loop(&mut self, coord: &Coord) {
+        let _guard = PoisonGuard {
+            barrier: &coord.barrier,
+        };
+        loop {
+            for (key, ev) in coord.mailboxes[self.id].drain() {
+                self.heap.push(Reverse(HeapEv { key, ev }));
+            }
+            let next_local = {
+                let arrival = self.peek_own_arrival();
+                let heap = self.heap.peek().map(|Reverse(h)| h.key.time);
+                match (arrival, heap) {
+                    (Some(a), Some(h)) => Some(a.min(h)),
+                    (a, h) => a.or(h),
+                }
+            };
+            {
+                let mut slot = coord.slots[self.id].lock().expect("slot lock poisoned");
+                slot.next = next_local;
+                slot.live = self.live_count;
+                slot.arrivals = self.arrivals_pending;
+                slot.events = self.stats.events;
+            }
+            coord.barrier.wait();
+            // Between barriers A and B nobody writes slots: every shard
+            // reads the same snapshot, so the horizon, the drain flag,
+            // and the budget verdict agree everywhere — and are the same
+            // for every shard count, because window boundaries are.
+            let mut nexts: Vec<Option<SimTime>> = Vec::with_capacity(coord.slots.len());
+            let mut live = 0usize;
+            let mut arrivals = 0usize;
+            let mut events = 0u64;
+            for s in &coord.slots {
+                let sl = s.lock().expect("slot lock poisoned");
+                nexts.push(sl.next);
+                live += sl.live;
+                arrivals += sl.arrivals;
+                events += sl.events;
+            }
+            let Some(window_end) = safe_horizon(nexts, self.lookahead) else {
+                break;
+            };
+            if events > self.cfg.max_events {
+                self.panic_event_budget(events);
+            }
+            self.active_global = live;
+            if live == 0 && arrivals == 0 {
+                self.drained = true;
+            }
+            self.windows += 1;
+            let before = self.stats.events;
+            self.exec_window(window_end);
+            if self.stats.events == before {
+                self.stalls += 1;
+            }
+            for d in 0..self.outboxes.len() {
+                if d == self.id {
+                    continue;
+                }
+                let buf = std::mem::take(&mut self.outboxes[d]);
+                coord.mailboxes[d].post_many(buf);
+            }
+            coord.barrier.wait();
+        }
+        assert_eq!(
+            self.arrivals_pending, 0,
+            "shard {} terminated with arrivals pending",
+            self.id
+        );
+        if let Some(a) = self.audit.as_ref() {
+            for wk in &self.workers {
+                a.check_worker(
+                    wk.w,
+                    self.dynamics
+                        .as_ref()
+                        .is_none_or(|d| d.is_up(MachineId(wk.w))),
+                    wk.free as u64,
+                    wk.episode.is_some(),
+                    self.cfg.cluster.slots_per_machine as u64,
+                );
+            }
+        }
+    }
+
+    /// Execute everything this shard owns strictly before `end` —
+    /// arrivals win ties against queued events at the same instant, as
+    /// in the serial driver.
+    fn exec_window(&mut self, end: SimTime) {
+        loop {
+            let arrival_at = self.peek_own_arrival();
+            let heap_at = self.heap.peek().map(|Reverse(h)| h.key.time);
+            let take_arrival = match (arrival_at, heap_at) {
+                (Some(a), Some(h)) => a < end && a <= h,
+                (Some(a), None) => a < end,
+                _ => false,
+            };
+            if take_arrival {
+                let spec = self.pending_arrival.take().expect("peeked arrival");
+                let now = arrival_at.expect("arrival time");
+                self.stats.events += 1;
+                self.ev_counts[0] += 1;
+                self.on_job_arrive(spec, now);
+                continue;
+            }
+            if heap_at.is_none_or(|t| t >= end) {
+                return;
+            }
+            let Reverse(HeapEv { key, ev }) = self.heap.pop().expect("peeked event");
+            let now = key.time;
+            self.stats.events += 1;
+            self.ev_counts[ev_idx(&ev)] += 1;
+            if let Some(a) = self.audit.as_mut() {
+                if let Some(kind) = rpc_kind(&ev) {
+                    a.note_delivered(kind);
+                }
+            }
+            let audit_ev = self.audit.is_some().then(|| ev.clone());
+            self.handle(ev, now);
+            if let Some(ev) = audit_ev {
+                self.audit_after(&ev);
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: SEv, now: SimTime) {
+        match ev {
+            SEv::Reservation { worker, res } => self.on_reservation(worker, res, now),
+            SEv::Assign {
+                worker,
+                job,
+                task,
+                speculative,
+                unit_dur,
+                vsize,
+                remaining,
+                inc,
+                ep,
+            } => self.on_assign(
+                worker,
+                job,
+                task,
+                speculative,
+                unit_dur,
+                vsize,
+                remaining,
+                inc,
+                ep,
+                now,
+            ),
+            SEv::Refusal {
+                worker,
+                job,
+                job_done,
+                unsatisfied,
+                inc,
+                ep,
+            } => self.on_refusal(worker, job, job_done, unsatisfied, inc, ep, now),
+            SEv::Kill { worker, wtoken } => self.on_kill(worker, wtoken, now),
+            SEv::Finish { worker, wtoken } => self.on_finish(worker, wtoken, now),
+            SEv::Poll { worker } => self.on_poll(worker, now),
+            SEv::Lease { worker, seq } => self.on_lease(worker, seq, now),
+            SEv::Dyn(ev) => self.on_dyn(ev, now),
+            SEv::Response {
+                worker,
+                job,
+                kind,
+                inc,
+                ep,
+            } => self.on_response(worker, job, kind, inc, ep, now),
+            SEv::Launched {
+                job,
+                worker,
+                wtoken,
+                task,
+                speculative,
+                start,
+                dur,
+                consumed,
+            } => self.on_launched(
+                job,
+                worker,
+                wtoken,
+                task,
+                speculative,
+                start,
+                dur,
+                consumed,
+                now,
+            ),
+            SEv::AssignFailed {
+                job,
+                task,
+                speculative,
+            } => self.on_assign_failed(job, task, speculative, now),
+            SEv::TaskDone {
+                job,
+                worker,
+                wtoken,
+                dur,
+            } => self.on_task_done(job, worker, wtoken, dur, now),
+            SEv::CopyLost {
+                job,
+                worker,
+                wtoken,
+            } => self.on_copy_lost(job, worker, wtoken, now),
+            SEv::ResGone { job, count } => self.on_res_gone(job, count, now),
+            SEv::Scan { sched } => self.on_scan(sched, now),
+            SEv::SchedDyn(ev) => self.on_sched_dyn(ev, now),
+            SEv::JobTimeout { job } => self.on_job_timeout(job, now),
+        }
+    }
+
+    /// Next arrival owned by this shard, skipping (and discarding)
+    /// foreign jobs. The skipped job's full state lives on its owner
+    /// shard, which performs the identical skip dance from its own
+    /// arrival-source replica.
+    fn peek_own_arrival(&mut self) -> Option<SimTime> {
+        loop {
+            if let Some(j) = &self.pending_arrival {
+                return Some(j.arrival);
+            }
+            match self.arrivals.pop() {
+                Some(j) => {
+                    if (j.id % self.k) % self.nshards == self.id {
+                        self.pending_arrival = Some(j);
+                    }
+                }
+                None => return None,
+            }
+        }
+    }
+
+    // ---- entity lookups and routing ----
+
+    /// Shard-local index of global scheduler `s` (must be owned here).
+    fn si_of(&self, s: usize) -> usize {
+        debug_assert_eq!(
+            s % self.nshards,
+            self.id,
+            "scheduler {s} not on shard {}",
+            self.id
+        );
+        s / self.nshards
+    }
+
+    /// Shard-local index of global worker `w` (must be owned here).
+    fn wi_of(&self, w: usize) -> usize {
+        debug_assert_eq!(
+            w % self.nshards,
+            self.id,
+            "worker {w} not on shard {}",
+            self.id
+        );
+        w / self.nshards
+    }
+
+    /// Owner scheduler of job `j` and its scheduler-local dense index.
+    fn owner_of(&self, j: usize) -> (usize, usize) {
+        (j % self.k, j / self.k)
+    }
+
+    fn machine_speed(&self, w: usize) -> f64 {
+        self.dynamics
+            .as_ref()
+            .map_or(1.0, |d| d.speed(MachineId(w)))
+    }
+
+    fn worker_up(&self, w: usize) -> bool {
+        self.dynamics.as_ref().is_none_or(|d| d.is_up(MachineId(w)))
+    }
+
+    /// Shard that owns the destination entity of an event.
+    fn dest_shard(&self, ev: &SEv) -> usize {
+        match ev {
+            SEv::Reservation { worker, .. }
+            | SEv::Assign { worker, .. }
+            | SEv::Refusal { worker, .. }
+            | SEv::Kill { worker, .. }
+            | SEv::Finish { worker, .. }
+            | SEv::Poll { worker }
+            | SEv::Lease { worker, .. } => worker % self.nshards,
+            SEv::Dyn(ev) => ev.machine().0 % self.nshards,
+            SEv::Response { job, .. }
+            | SEv::Launched { job, .. }
+            | SEv::AssignFailed { job, .. }
+            | SEv::TaskDone { job, .. }
+            | SEv::CopyLost { job, .. }
+            | SEv::ResGone { job, .. }
+            | SEv::JobTimeout { job } => (job % self.k) % self.nshards,
+            SEv::Scan { sched } => sched % self.nshards,
+            SEv::SchedDyn(ev) => sched_of(ev) % self.nshards,
+        }
+    }
+
+    /// Deliver a keyed message: own heap if the destination entity lives
+    /// here, else the destination shard's outbox (flushed at barrier B).
+    fn route(&mut self, key: EventKey, ev: SEv) {
+        let dest = self.dest_shard(&ev);
+        if dest == self.id {
+            self.local_msgs += 1;
+            self.heap.push(Reverse(HeapEv { key, ev }));
+        } else {
+            self.cross_msgs += 1;
+            self.outboxes[dest].push((key, ev));
+        }
+    }
+
+    /// Queue a scheduler-local timer/self event (no latency floor
+    /// needed — it never crosses an entity boundary).
+    fn push_local_sched(&mut self, si: usize, at: SimTime, ev: SEv) {
+        let st = &mut self.scheds[si];
+        let key = EventKey {
+            time: at,
+            origin: st.s as u64,
+            seq: st.seq,
+        };
+        st.seq += 1;
+        self.heap.push(Reverse(HeapEv { key, ev }));
+    }
+
+    /// Queue a worker-local timer/self event.
+    fn push_local_worker(&mut self, wi: usize, at: SimTime, ev: SEv) {
+        let wk = &mut self.workers[wi];
+        let key = EventKey {
+            time: at,
+            origin: (self.k + wk.w) as u64,
+            seq: wk.seq,
+        };
+        wk.seq += 1;
+        self.heap.push(Reverse(HeapEv { key, ev }));
+    }
+
+    /// Reliable internal message from worker `wi` at fixed latency.
+    /// (Schedulers have no reliable channel: everything they send is
+    /// one of the five faultable RPC kinds, via [`Shard::sched_rpc`].)
+    fn worker_msg(&mut self, wi: usize, now: SimTime, ev: SEv) {
+        let wk = &mut self.workers[wi];
+        let key = EventKey {
+            time: now + self.lookahead,
+            origin: (self.k + wk.w) as u64,
+            seq: wk.seq,
+        };
+        wk.seq += 1;
+        self.route(key, ev);
+    }
+
+    /// Scheduler→worker RPC through scheduler `si`'s fault sampler.
+    /// Faults off this is exactly one delivery after the fixed latency
+    /// and no RNG is consumed.
+    fn sched_rpc(&mut self, si: usize, now: SimTime, ev: SEv) {
+        let kind = rpc_kind(&ev).expect("sched_rpc carries scheduler→worker RPCs");
+        if let Some(a) = self.audit.as_mut() {
+            a.note_sent(kind);
+            if !self.faults_on {
+                if let SEv::Assign { job, .. } = &ev {
+                    a.note_occ_sent(*job);
+                }
+            }
+        }
+        let outcome = self.scheds[si].faults.as_mut().map(|f| f.send());
+        let origin = self.scheds[si].s as u64;
+        self.rpc_deliver(ev, kind, outcome, origin, now, |sh| {
+            let st = &mut sh.scheds[si];
+            let q = st.seq;
+            st.seq += 1;
+            q
+        });
+    }
+
+    /// Worker→scheduler RPC through worker `wi`'s fault sampler.
+    fn worker_rpc(&mut self, wi: usize, now: SimTime, ev: SEv) {
+        let kind = rpc_kind(&ev).expect("worker_rpc carries worker→scheduler RPCs");
+        if let Some(a) = self.audit.as_mut() {
+            a.note_sent(kind);
+        }
+        let outcome = self.workers[wi].faults.as_mut().map(|f| f.send());
+        let origin = (self.k + self.workers[wi].w) as u64;
+        self.rpc_deliver(ev, kind, outcome, origin, now, |sh| {
+            let wk = &mut sh.workers[wi];
+            let q = wk.seq;
+            wk.seq += 1;
+            q
+        });
+    }
+
+    /// Shared delivery tail of the two RPC directions: apply the fault
+    /// outcome (loss, duplication, per-delivery jitter) and route every
+    /// surviving delivery with a fresh emission key.
+    fn rpc_deliver(
+        &mut self,
+        ev: SEv,
+        kind: MsgKind,
+        outcome: Option<crate::faults::SendOutcome>,
+        origin: u64,
+        now: SimTime,
+        mut next_seq: impl FnMut(&mut Self) -> u64,
+    ) {
+        let latency = self.lookahead;
+        let Some(out) = outcome else {
+            let key = EventKey {
+                time: now + latency,
+                origin,
+                seq: next_seq(self),
+            };
+            self.route(key, ev);
+            return;
+        };
+        if out.lost {
+            self.stats.msgs_lost += 1;
+            if let Some(a) = self.audit.as_mut() {
+                a.note_lost(kind);
+            }
+            return;
+        }
+        if out.duplicated {
+            self.stats.msgs_duplicated += 1;
+            if let Some(a) = self.audit.as_mut() {
+                a.note_dup(kind);
+            }
+        }
+        let keys: Vec<EventKey> = out
+            .deliveries
+            .iter()
+            .map(|d| EventKey {
+                time: now + latency + d.extra,
+                origin,
+                seq: 0,
+            })
+            .collect();
+        let last = keys.len() - 1;
+        for mut key in keys.into_iter().take(last) {
+            key.seq = next_seq(self);
+            self.route(key, ev.clone());
+        }
+        let mut key = EventKey {
+            time: now + latency + out.deliveries[last].extra,
+            origin,
+            seq: 0,
+        };
+        key.seq = next_seq(self);
+        self.route(key, ev);
+    }
+
+    fn panic_event_budget(&self, total: u64) -> ! {
+        panic!(
+            "decentralized sharded run exceeded event budget: policy={} events={total} \
+             (budget {}) windows={} shard={}/{} live={} arrivals_pending={} ev_counts={:?}",
+            self.policy.name(),
+            self.cfg.max_events,
+            self.windows,
+            self.id,
+            self.nshards,
+            self.live_count,
+            self.arrivals_pending,
+            self.ev_counts
+        );
+    }
+
+    /// Dev-profile invariant re-check after an event (see `crate::audit`).
+    /// Worker-addressed events re-prove the slot equation for the worker
+    /// they touched; scheduler-addressed events reconcile the job's
+    /// occupancy counter against ground truth (faults off, job live).
+    fn audit_after(&self, ev: &SEv) {
+        let Some(a) = self.audit.as_ref() else { return };
+        let check_w = |w: usize| {
+            let wk = &self.workers[self.wi_of(w)];
+            a.check_worker(
+                w,
+                self.worker_up(w),
+                wk.free as u64,
+                wk.episode.is_some(),
+                self.cfg.cluster.slots_per_machine as u64,
+            );
+        };
+        let check_j = |j: usize| {
+            if self.faults_on {
+                return;
+            }
+            let (s, lj) = self.owner_of(j);
+            let st = &self.scheds[self.si_of(s)];
+            if st.arrived[lj] && !st.done[lj] {
+                a.check_job(
+                    j,
+                    st.occupied[lj] as u64,
+                    st.jobs[lj].occupied_slots() as u64,
+                );
+            }
+        };
+        match ev {
+            SEv::Reservation { worker, .. }
+            | SEv::Assign { worker, .. }
+            | SEv::Refusal { worker, .. }
+            | SEv::Kill { worker, .. }
+            | SEv::Finish { worker, .. }
+            | SEv::Poll { worker }
+            | SEv::Lease { worker, .. } => check_w(*worker),
+            SEv::Dyn(ev) => check_w(ev.machine().0),
+            SEv::Response { job, .. }
+            | SEv::Launched { job, .. }
+            | SEv::AssignFailed { job, .. }
+            | SEv::TaskDone { job, .. }
+            | SEv::CopyLost { job, .. }
+            | SEv::ResGone { job, .. }
+            | SEv::JobTimeout { job } => check_j(*job),
+            SEv::Scan { .. } | SEv::SchedDyn(_) => {}
+        }
+    }
+}
+
+// ---- worker-side handlers ----
+impl<'a> Shard<'a> {
+    fn on_reservation(&mut self, worker: usize, res: Reservation, now: SimTime) {
+        let wi = self.wi_of(worker);
+        if !self.worker_up(worker) {
+            // The machine is down: the reservation evaporates and the
+            // owning scheduler's live-reservation count must learn it
+            // by message (the serial driver decremented it in place).
+            let job = res.job as usize;
+            self.worker_msg(wi, now, SEv::ResGone { job, count: 1 });
+            return;
+        }
+        // Parked unconditionally — the worker cannot see job completion
+        // here; `job_done` refusals purge stale parks later.
+        self.workers[wi].queue.push(res);
+        self.maybe_start_episode(worker, now);
+    }
+
+    /// Start a late-binding episode if the worker is up and has a free
+    /// slot, no episode in flight, and a non-empty queue; then arm the
+    /// self-poll that replaces the serial driver's global-scan poke.
+    fn maybe_start_episode(&mut self, worker: usize, now: SimTime) {
+        if !self.worker_up(worker) {
+            return;
+        }
+        let wi = self.wi_of(worker);
+        let wk = &mut self.workers[wi];
+        if wk.free > 0 && wk.episode.is_none() && !wk.queue.is_empty() {
+            wk.free -= 1; // promise the slot to this episode
+            wk.episode = Some(FreeSlotEpisode::new(self.cfg.refusal_threshold));
+            self.episode_step(wi, now);
+        }
+        let wk = &mut self.workers[wi];
+        if !wk.poll_armed && !wk.queue.is_empty() {
+            wk.poll_armed = true;
+            let at = now + self.cfg.scan_interval;
+            self.push_local_worker(wi, at, SEv::Poll { worker });
+        }
+    }
+
+    /// Advance the worker's episode by one protocol step. Guideline-3
+    /// randomness draws from the *worker's own* RNG child — the draw
+    /// sequence depends only on this worker's event history, never on
+    /// how entities interleave globally.
+    fn episode_step(&mut self, wi: usize, now: SimTime) {
+        if self.workers[wi].episode.is_none() {
+            return; // defensive: stray refusal after the episode resolved
+        }
+        let worker = self.workers[wi].w;
+        let action = match self.policy {
+            DecPolicy::Sparrow => match pick_fcfs(&self.workers[wi].queue) {
+                Some(r) => WorkerAction::Respond {
+                    scheduler: r.scheduler,
+                    job: r.job,
+                    kind: ResponseKind::NonRefusable,
+                },
+                None => WorkerAction::Idle,
+            },
+            DecPolicy::SparrowSrpt => match pick_srpt(&self.workers[wi].queue) {
+                Some(r) => WorkerAction::Respond {
+                    scheduler: r.scheduler,
+                    job: r.job,
+                    kind: ResponseKind::NonRefusable,
+                },
+                None => WorkerAction::Idle,
+            },
+            DecPolicy::Hopper => {
+                let wk = &mut self.workers[wi];
+                let mut ep = wk.episode.take().expect("episode in flight");
+                let switched = ep.refusals() >= self.cfg.refusal_threshold;
+                let action = ep.next_action(&wk.queue, &mut wk.rng);
+                wk.episode = Some(ep);
+                if switched {
+                    self.stats.guideline3_switches += 1;
+                }
+                action
+            }
+        };
+        match action {
+            WorkerAction::Respond {
+                scheduler,
+                job,
+                kind,
+            } => {
+                if let Some(ep) = self.workers[wi].episode.as_mut() {
+                    ep.mark_probed(scheduler);
+                }
+                self.stats.responses += 1;
+                let wk = &mut self.workers[wi];
+                wk.rpc += 1;
+                let inc = wk.inc;
+                let epoch = wk.ep;
+                let seq = wk.rpc;
+                self.worker_rpc(
+                    wi,
+                    now,
+                    SEv::Response {
+                        worker,
+                        job: job as usize,
+                        kind,
+                        inc,
+                        ep: epoch,
+                    },
+                );
+                // Lease the promised slot (faults only), as in the
+                // serial driver.
+                if self.faults_on {
+                    let at = now + SimTime::from_millis(self.cfg.faults.rpc_timeout_ms);
+                    self.push_local_worker(wi, at, SEv::Lease { worker, seq });
+                }
+            }
+            WorkerAction::Idle => {
+                self.end_episode(wi);
+                self.workers[wi].free += 1;
+            }
+        }
+    }
+
+    /// Terminate worker `wi`'s episode bookkeeping (see the serial
+    /// driver's `end_episode`): replies echoing the old epoch are stale
+    /// and any armed lease is void. Callers settle `free` themselves.
+    fn end_episode(&mut self, wi: usize) {
+        let wk = &mut self.workers[wi];
+        wk.episode = None;
+        wk.ep += 1;
+        wk.rpc += 1;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_refusal(
+        &mut self,
+        worker: usize,
+        job: usize,
+        job_done: bool,
+        unsatisfied: Option<UnsatisfiedJob>,
+        inc: u64,
+        ep: u64,
+        now: SimTime,
+    ) {
+        let wi = self.wi_of(worker);
+        // A done-job refusal doubles as the completion notification: it
+        // purges every reservation the finished job still has parked
+        // here — *before* the staleness check, because even a stale
+        // refusal carries fresh completion news. (The serial driver
+        // purged against a global done[] the worker could see directly.)
+        if job_done {
+            let wk = &mut self.workers[wi];
+            let before = wk.queue.len();
+            wk.queue.retain(|r| r.job as usize != job);
+            let gone = before - wk.queue.len();
+            if gone > 0 {
+                self.worker_msg(wi, now, SEv::ResGone { job, count: gone });
+            }
+        }
+        {
+            let wk = &self.workers[wi];
+            if inc != wk.inc || ep != wk.ep {
+                return;
+            }
+        }
+        // A reply reached the episode: any armed lease is void.
+        self.workers[wi].rpc += 1;
+        match self.policy {
+            DecPolicy::Sparrow | DecPolicy::SparrowSrpt => {
+                // Sparrow consumes the reservation on no-task and moves on.
+                if !job_done {
+                    let wk = &mut self.workers[wi];
+                    if let Some(pos) = wk.queue.iter().position(|r| r.job as usize == job) {
+                        wk.queue.remove(pos);
+                        self.worker_msg(wi, now, SEv::ResGone { job, count: 1 });
+                    }
+                }
+                self.episode_step(wi, now);
+            }
+            DecPolicy::Hopper => {
+                // Reservations stay (the job may want Guideline-3 extras
+                // later); the episode just records the refusal.
+                if !job_done {
+                    let sched = job % self.k;
+                    if let Some(ep) = self.workers[wi].episode.as_mut() {
+                        ep.record_refusal(sched, job as u64, unsatisfied);
+                    }
+                }
+                self.episode_step(wi, now);
+            }
+        }
+    }
+
+    /// A task assignment arrives: commit the copy against local machine
+    /// state (speed-scaling the scheduler-pre-drawn unit duration by the
+    /// *current* local speed) and ack the launch. The scheduler's ground
+    /// truth moves only when the `Launched` ack lands.
+    #[allow(clippy::too_many_arguments)]
+    fn on_assign(
+        &mut self,
+        worker: usize,
+        job: usize,
+        task: TaskRef,
+        speculative: bool,
+        unit_dur: SimTime,
+        vsize: f64,
+        remaining: f64,
+        inc: u64,
+        ep: u64,
+        now: SimTime,
+    ) {
+        let wi = self.wi_of(worker);
+        {
+            let wk = &self.workers[wi];
+            // The promised slot is gone (machine failed mid-flight, or
+            // the episode ended first): nothing commits, and the sender
+            // must undo its send-side accounting — by message here,
+            // where the serial driver undid it in place.
+            if inc != wk.inc || ep != wk.ep {
+                self.worker_msg(
+                    wi,
+                    now,
+                    SEv::AssignFailed {
+                        job,
+                        task,
+                        speculative,
+                    },
+                );
+                return;
+            }
+        }
+        // Episode resolved successfully; the promised slot is consumed.
+        self.end_episode(wi);
+        let speed = self.machine_speed(worker);
+        // Exactly `launch_copy_at_speed`'s scaling: nominal at speed 1,
+        // stretched (floor 1ms) otherwise.
+        let dur = if speed == 1.0 {
+            unit_dur
+        } else {
+            unit_dur.scale(1.0 / speed).max(SimTime::from_millis(1))
+        };
+        let wk = &mut self.workers[wi];
+        let consumed = if let Some(pos) = wk.queue.iter().position(|r| r.job as usize == job) {
+            wk.queue.remove(pos);
+            true
+        } else {
+            false
+        };
+        let wtoken = wk.next_wtoken;
+        wk.next_wtoken += 1;
+        wk.records.insert(
+            wtoken,
+            CopyRec {
+                job,
+                start: now,
+                finish: now + dur,
+            },
+        );
+        // Piggyback a virtual-size update on this assignment for the
+        // job's reservations parked here (§5.3) — the Assign-time
+        // snapshot, where the serial driver read the scheduler's
+        // post-launch state directly.
+        for r in wk.queue.iter_mut() {
+            if r.job as usize == job {
+                r.virtual_size = vsize;
+                r.remaining_tasks = remaining;
+            }
+        }
+        if let Some(a) = self.audit.as_mut() {
+            a.note_copy_started(worker);
+        }
+        self.machines.occupy_for(MachineId(worker), job);
+        self.push_local_worker(wi, now + dur, SEv::Finish { worker, wtoken });
+        self.worker_msg(
+            wi,
+            now,
+            SEv::Launched {
+                job,
+                worker,
+                wtoken,
+                task,
+                speculative,
+                start: now,
+                dur,
+                consumed,
+            },
+        );
+        self.maybe_start_episode(worker, now);
+    }
+
+    /// A copy's local completion timer fired: free the slot and notify
+    /// the owning scheduler. If a kill beat the timer the record is
+    /// gone and this is a no-op; if a rescale moved the finish, the
+    /// superseded timer misses the recorded instant and dies here.
+    fn on_finish(&mut self, worker: usize, wtoken: u64, now: SimTime) {
+        let wi = self.wi_of(worker);
+        let Some(rec) = self.workers[wi].records.get(&wtoken).copied() else {
+            return;
+        };
+        if rec.finish != now {
+            return;
+        }
+        self.workers[wi].records.remove(&wtoken);
+        if let Some(a) = self.audit.as_mut() {
+            a.note_copy_stopped(worker);
+        }
+        self.workers[wi].free += 1;
+        self.machines.release_to(MachineId(worker), rec.job);
+        self.worker_msg(
+            wi,
+            now,
+            SEv::TaskDone {
+                job: rec.job,
+                worker,
+                wtoken,
+                dur: now.saturating_sub(rec.start),
+            },
+        );
+        self.maybe_start_episode(worker, now);
+    }
+
+    /// Kill notification for a lost race. Idempotent against every
+    /// interleaving by construction: the record is the single source of
+    /// truth, and whoever removes it first (kill, natural finish,
+    /// machine failure) settles the slot exactly once.
+    fn on_kill(&mut self, worker: usize, wtoken: u64, now: SimTime) {
+        let wi = self.wi_of(worker);
+        let Some(rec) = self.workers[wi].records.remove(&wtoken) else {
+            return;
+        };
+        if let Some(a) = self.audit.as_mut() {
+            a.note_copy_stopped(worker);
+        }
+        self.workers[wi].free += 1;
+        self.machines.release_to(MachineId(worker), rec.job);
+        self.maybe_start_episode(worker, now);
+    }
+
+    fn on_poll(&mut self, worker: usize, now: SimTime) {
+        let wi = self.wi_of(worker);
+        self.workers[wi].poll_armed = false;
+        self.maybe_start_episode(worker, now);
+    }
+
+    /// A response lease fired (faults only), as in the serial driver.
+    fn on_lease(&mut self, worker: usize, seq: u64, now: SimTime) {
+        let wi = self.wi_of(worker);
+        {
+            let wk = &self.workers[wi];
+            if seq != wk.rpc || wk.episode.is_none() {
+                return;
+            }
+        }
+        self.stats.orphan_reclaimed += 1;
+        self.end_episode(wi);
+        self.workers[wi].free += 1;
+        self.maybe_start_episode(worker, now);
+    }
+
+    /// Apply one machine-dynamics incident to the owning worker. The
+    /// speed-rescale mirrors `JobRun::rescale_machine` on the worker's
+    /// own copy records (duration = finish − start is maintained by
+    /// both); failure turns parked reservations and running copies into
+    /// loss notifications toward their owning schedulers.
+    fn on_dyn(&mut self, ev: DynEvent, now: SimTime) {
+        if self.drained {
+            // The workload is globally complete (window-start snapshot):
+            // the chain retires by not applying, so no successor spawns.
+            return;
+        }
+        let out = self
+            .dynamics
+            .as_mut()
+            .expect("dyn event without dynamics plane")
+            .apply(ev);
+        let m = ev.machine();
+        let w = m.0;
+        let wi = self.wi_of(w);
+        for (delay, next) in out.next {
+            self.push_local_worker(wi, now + delay, SEv::Dyn(next));
+        }
+        match ev {
+            DynEvent::SlowdownStart(_) | DynEvent::SlowdownEnd(_) => {
+                let ratio = out.rescale_ratio.expect("speed change carries a ratio");
+                let mut resched: Vec<(u64, SimTime)> = Vec::new();
+                {
+                    let wk = &mut self.workers[wi];
+                    for (&tok, rec) in wk.records.iter_mut() {
+                        let old_finish = rec.finish;
+                        let new_finish = if rec.start >= now {
+                            let full = (rec.finish - rec.start).as_millis();
+                            rec.start
+                                + SimTime::from_millis(
+                                    ((full as f64 * ratio).round() as u64).max(1),
+                                )
+                        } else {
+                            let rem = old_finish.saturating_sub(now).as_millis();
+                            if rem == 0 {
+                                continue; // due at this very instant; let it land
+                            }
+                            now + SimTime::from_millis(((rem as f64 * ratio).round() as u64).max(1))
+                        };
+                        if new_finish == old_finish {
+                            continue;
+                        }
+                        rec.finish = new_finish;
+                        resched.push((tok, new_finish));
+                    }
+                }
+                for (tok, finish) in resched {
+                    self.push_local_worker(
+                        wi,
+                        finish,
+                        SEv::Finish {
+                            worker: w,
+                            wtoken: tok,
+                        },
+                    );
+                }
+            }
+            DynEvent::Fail(_) => {
+                // Worker-side teardown: parked reservations, the episode,
+                // every slot, and every running copy die with the machine.
+                // Each casualty becomes a message to its owning scheduler
+                // (the serial driver swept scheduler state in place).
+                let (queue, records) = {
+                    let wk = &mut self.workers[wi];
+                    wk.inc += 1;
+                    (
+                        std::mem::take(&mut wk.queue),
+                        std::mem::take(&mut wk.records),
+                    )
+                };
+                self.end_episode(wi);
+                self.workers[wi].free = 0;
+                if let Some(a) = self.audit.as_mut() {
+                    a.note_machine_failed(w);
+                }
+                // Aggregate reservation losses per job; BTreeMap iteration
+                // keeps the emission order deterministic.
+                let mut gone: BTreeMap<usize, usize> = BTreeMap::new();
+                for r in queue {
+                    *gone.entry(r.job as usize).or_insert(0) += 1;
+                }
+                for (job, count) in gone {
+                    self.worker_msg(wi, now, SEv::ResGone { job, count });
+                }
+                for (wtoken, rec) in records {
+                    self.worker_msg(
+                        wi,
+                        now,
+                        SEv::CopyLost {
+                            job: rec.job,
+                            worker: w,
+                            wtoken,
+                        },
+                    );
+                }
+                self.machines.set_down(m);
+            }
+            DynEvent::Recover(_) => {
+                self.machines.set_up(m);
+                self.workers[wi].free = self.cfg.cluster.slots_per_machine;
+            }
+        }
+    }
+}
+
+/// First unlaunched, unclaimed original in eligible phases, preferring
+/// one whose input is local to `m` — the serial driver's
+/// `next_unclaimed_original` over the job's pending-task indices.
+fn next_unclaimed_original(
+    jr: &JobRun,
+    claimed: &HashSet<TaskRef>,
+    m: MachineId,
+) -> Option<TaskRef> {
+    let no_pref = jr.pending_no_replica_tasks().find(|t| !claimed.contains(t));
+    let local = jr.pending_local_tasks(m).find(|t| !claimed.contains(t));
+    match (no_pref, local) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, None) => a,
+        (None, b) => b,
+    }
+    .or_else(|| jr.pending_tasks().find(|t| !claimed.contains(t)))
+}
+
+// ---- scheduler-side handlers ----
+impl<'a> Shard<'a> {
+    /// Build job `j`'s runtime state and probe for its tasks. The
+    /// owner's placement RNG is consumed in its own arrival order
+    /// (ascending job id within the scheduler), so the draw sequence is
+    /// partition-independent.
+    fn on_job_arrive(&mut self, spec: TraceJob, now: SimTime) {
+        let j = spec.id;
+        debug_assert_eq!(spec.arrival, now);
+        let (s, lj) = self.owner_of(j);
+        let si = self.si_of(s);
+        {
+            let st = &mut self.scheds[si];
+            let job = JobRun::new(spec, &self.cfg.cluster, &mut st.placement_rng);
+            st.pending_orig[lj] = job
+                .phases()
+                .iter()
+                .filter(|p| p.eligible)
+                .map(|p| p.num_tasks())
+                .sum();
+            st.jobs.insert(lj, job);
+            st.arrived[lj] = true;
+            st.arrivals_pending -= 1;
+            debug_assert!(st.live.last().is_none_or(|&last| last < j));
+            st.live.push(j);
+        }
+        self.arrivals_pending -= 1;
+        self.live_count += 1;
+        self.arm_scan(si, now);
+        // A job arriving at a crashed scheduler places no probes — the
+        // scheduler's recovery (and the job's watchdog) re-probe from
+        // ground truth. Never taken while scheduler faults are off.
+        if self.scheds[si].up {
+            // Place probe_ratio × tasks reservations; input tasks probe
+            // their replica machines first (§6.1), the remainder go to
+            // random workers drawn from the owner's own RNG.
+            let tasks = self.scheds[si].jobs[lj].spec.size_tasks().max(1);
+            let probes = ((tasks as f64 * self.cfg.probe_ratio).ceil() as usize).max(1);
+            let vsize = self.vsize(si, lj);
+            let remaining = self.scheds[si].jobs[lj].current_remaining() as f64;
+            let mut targets: Vec<usize> = Vec::with_capacity(probes);
+            for t in &self.scheds[si].jobs[lj].phases()[0].tasks {
+                for r in &t.replicas {
+                    if targets.len() < probes {
+                        targets.push(r.0);
+                    }
+                }
+            }
+            while targets.len() < probes {
+                let w = self.scheds[si].rng.gen_range(0..self.cfg.cluster.machines);
+                targets.push(w);
+            }
+            for w in targets {
+                self.stats.reservations += 1;
+                self.scheds[si].live_res[lj] += 1;
+                self.sched_rpc(
+                    si,
+                    now,
+                    SEv::Reservation {
+                        worker: w,
+                        res: Reservation {
+                            scheduler: s,
+                            job: j as u64,
+                            virtual_size: vsize,
+                            remaining_tasks: remaining,
+                        },
+                    },
+                );
+            }
+        }
+        // Watchdog (faults only), as in the serial driver.
+        if self.faults_on {
+            let at = now + SimTime::from_millis(self.backoff.delay_ms(0));
+            self.push_local_sched(si, at, SEv::JobTimeout { job: j });
+        }
+    }
+
+    /// Send `count` fresh reservations for `job` to random workers.
+    fn send_probes(&mut self, si: usize, job: usize, count: usize, now: SimTime) {
+        if !self.scheds[si].up {
+            return;
+        }
+        let lj = job / self.k;
+        let vsize = self.vsize(si, lj);
+        let rem = self.scheds[si].jobs[lj].current_remaining() as f64;
+        let s = self.scheds[si].s;
+        for _ in 0..count {
+            let w = self.scheds[si].rng.gen_range(0..self.cfg.cluster.machines);
+            self.stats.reservations += 1;
+            self.scheds[si].live_res[lj] += 1;
+            self.sched_rpc(
+                si,
+                now,
+                SEv::Reservation {
+                    worker: w,
+                    res: Reservation {
+                        scheduler: s,
+                        job: job as u64,
+                        virtual_size: vsize,
+                        remaining_tasks: rem,
+                    },
+                },
+            );
+        }
+    }
+
+    /// The scheduler's current view of a job's virtual size.
+    fn vsize(&self, si: usize, lj: usize) -> f64 {
+        let st = &self.scheds[si];
+        let beta = if st.beta.observations() >= 20 {
+            st.beta.beta()
+        } else {
+            st.jobs[lj].spec.beta
+        };
+        virtual_size(
+            st.jobs[lj].current_remaining() as f64,
+            beta,
+            st.jobs[lj].alpha().max(1.0),
+        )
+    }
+
+    /// Whether the job is below its ε-fair share `(1−ε)·S/N` (§4.3),
+    /// with N the *window-start snapshot* of the global live-job count —
+    /// the barrier makes that snapshot identical on every shard and for
+    /// every shard count.
+    fn below_fair_floor(&self, si: usize, lj: usize) -> bool {
+        let Some(eps) = self.cfg.fairness_eps else {
+            return false;
+        };
+        if self.active_global == 0 {
+            return false;
+        }
+        let fair = self.cfg.cluster.total_slots() as f64 / self.active_global as f64;
+        let floor = ((1.0 - eps) * fair).floor().min(self.vsize(si, lj));
+        (self.scheds[si].occupied[lj] as f64) < floor
+    }
+
+    /// Scheduler-side handling of a worker's slot offer (Pseudocode 2).
+    fn on_response(
+        &mut self,
+        worker: usize,
+        job: usize,
+        kind: ResponseKind,
+        inc: u64,
+        ep: u64,
+        now: SimTime,
+    ) {
+        let (s, lj) = self.owner_of(job);
+        let si = self.si_of(s);
+        // Offer addressed to a crashed scheduler: effectively lost — the
+        // worker's lease reclaims the promised slot. (Faults only.)
+        if !self.scheds[si].up {
+            return;
+        }
+        if self.scheds[si].done[lj] {
+            self.send_refusal(si, worker, job, true, inc, ep, now);
+            return;
+        }
+        let accepts = match self.policy {
+            DecPolicy::Sparrow | DecPolicy::SparrowSrpt => true,
+            DecPolicy::Hopper => {
+                let below = self.below_fair_floor(si, lj);
+                scheduler_accepts(
+                    kind,
+                    self.scheds[si].occupied[lj] as f64,
+                    self.vsize(si, lj),
+                ) || below
+            }
+        };
+        let allow_extra_spec = matches!(self.policy, DecPolicy::Hopper);
+        let launch = if accepts {
+            self.pick_work(si, lj, worker, allow_extra_spec, now)
+        } else {
+            None
+        };
+        match launch {
+            Some((task, speculative)) => {
+                let unit_dur = {
+                    let st = &mut self.scheds[si];
+                    st.occupied[lj] += 1;
+                    if speculative {
+                        st.candidates[lj].retain(|c| c.task != task);
+                    } else {
+                        st.pending_orig[lj] -= 1;
+                    }
+                    // Pre-draw the unit-speed duration from the owner's
+                    // own RNG; the worker speed-scales and commits.
+                    st.jobs[lj].sample_unit_duration(
+                        task,
+                        MachineId(worker),
+                        speculative,
+                        &self.cfg.cluster,
+                        &mut st.rng,
+                    )
+                };
+                let vsize = self.vsize(si, lj);
+                let remaining = self.scheds[si].jobs[lj].current_remaining() as f64;
+                self.sched_rpc(
+                    si,
+                    now,
+                    SEv::Assign {
+                        worker,
+                        job,
+                        task,
+                        speculative,
+                        unit_dur,
+                        vsize,
+                        remaining,
+                        inc,
+                        ep,
+                    },
+                );
+            }
+            None => self.send_refusal(si, worker, job, false, inc, ep, now),
+        }
+    }
+
+    /// Choose the next work item for the job on `worker`, exactly as the
+    /// serial driver's `pick_work`.
+    fn pick_work(
+        &mut self,
+        si: usize,
+        lj: usize,
+        worker: usize,
+        allow_extra_spec: bool,
+        now: SimTime,
+    ) -> Option<(TaskRef, bool)> {
+        let st = &mut self.scheds[si];
+        if st.pending_orig[lj] > 0 {
+            if let Some(task) =
+                next_unclaimed_original(&st.jobs[lj], &st.claimed[lj], MachineId(worker))
+            {
+                st.claimed[lj].insert(task);
+                return Some((task, false));
+            }
+        }
+        while let Some(cand) = st.candidates[lj].front().copied() {
+            let t = &st.jobs[lj].phases()[cand.task.phase].tasks[cand.task.task];
+            if t.is_finished() || t.running_copies() == 0 || t.running_copies() >= 2 {
+                st.candidates[lj].pop_front();
+                continue;
+            }
+            return Some((cand.task, true));
+        }
+        if allow_extra_spec {
+            if let Some(task) = st.jobs[lj].best_extra_speculation(now) {
+                return Some((task, true));
+            }
+        }
+        None
+    }
+
+    /// Refuse an offer, advertising this scheduler's smallest
+    /// unsatisfied job (Pseudocode 3). `job_done` makes the refusal
+    /// double as the job's completion notification at the worker.
+    #[allow(clippy::too_many_arguments)]
+    fn send_refusal(
+        &mut self,
+        si: usize,
+        worker: usize,
+        job: usize,
+        job_done: bool,
+        inc: u64,
+        ep: u64,
+        now: SimTime,
+    ) {
+        self.stats.refusals += 1;
+        let s = self.scheds[si].s;
+        let mut best: Option<UnsatisfiedJob> = None;
+        for idx in 0..self.scheds[si].live.len() {
+            let j2 = self.scheds[si].live[idx];
+            if j2 == job {
+                continue;
+            }
+            let lj2 = j2 / self.k;
+            let launchable = {
+                let st = &self.scheds[si];
+                st.pending_orig[lj2] > 0 || !st.candidates[lj2].is_empty()
+            };
+            if !launchable {
+                continue;
+            }
+            let v = self.vsize(si, lj2);
+            let advertised = ((self.scheds[si].occupied[lj2] as f64) < v).then_some(v);
+            if let Some(adv) = advertised {
+                let better = best.is_none_or(|b| adv < b.virtual_size);
+                if better {
+                    best = Some(UnsatisfiedJob {
+                        scheduler: s,
+                        job: j2 as u64,
+                        virtual_size: adv,
+                    });
+                }
+            }
+        }
+        self.sched_rpc(
+            si,
+            now,
+            SEv::Refusal {
+                worker,
+                job,
+                job_done,
+                unsatisfied: best,
+                inc,
+                ep,
+            },
+        );
+    }
+
+    /// The worker's launch ack: commit the copy into scheduler ground
+    /// truth, or detect that the assignment went stale in flight (task
+    /// finished, race resolved, job completed) and reclaim the
+    /// already-running copy with a kill.
+    #[allow(clippy::too_many_arguments)]
+    fn on_launched(
+        &mut self,
+        job: usize,
+        worker: usize,
+        wtoken: u64,
+        task: TaskRef,
+        speculative: bool,
+        start: SimTime,
+        dur: SimTime,
+        consumed: bool,
+        now: SimTime,
+    ) {
+        let (s, lj) = self.owner_of(job);
+        let si = self.si_of(s);
+        if !self.faults_on {
+            if let Some(a) = self.audit.as_mut() {
+                a.note_occ_delivered(job);
+            }
+        }
+        {
+            let st = &mut self.scheds[si];
+            if !speculative {
+                st.claimed[lj].remove(&task);
+            }
+            if consumed {
+                st.live_res[lj] = st.live_res[lj].saturating_sub(1);
+            }
+        }
+        // The serial driver's delivery-time re-validation, moved to ack
+        // time: done ⇒ every task finished ⇒ stale, without
+        // dereferencing retired state.
+        let stale = {
+            let st = &self.scheds[si];
+            st.done[lj] || {
+                let t = &st.jobs[lj].phases()[task.phase].tasks[task.task];
+                t.is_finished()
+                    || (speculative && t.running_copies() == 0)
+                    || (!speculative && !t.needs_original())
+            }
+        };
+        if stale {
+            {
+                let st = &mut self.scheds[si];
+                st.occupied[lj] = st.occupied[lj].saturating_sub(1);
+                if !speculative
+                    && !st.done[lj]
+                    && st.jobs[lj].phases()[task.phase].tasks[task.task].needs_original()
+                {
+                    st.pending_orig[lj] += 1;
+                }
+            }
+            // Unlike the serial driver, the copy is already running at
+            // the worker: reclaim it. (A lost kill is recovered by the
+            // copy freeing itself at its natural finish.)
+            self.sched_rpc(si, now, SEv::Kill { worker, wtoken });
+            return;
+        }
+        {
+            let st = &mut self.scheds[si];
+            st.wd_progress[lj] += 1;
+            let copy =
+                st.jobs[lj].launch_copy_prepared(task, MachineId(worker), speculative, start, dur);
+            st.copy_tok.insert((job, copy), (worker, wtoken));
+            st.tok_copy.insert((worker, wtoken), (job, copy));
+        }
+        if speculative {
+            self.stats.spec_launched += 1;
+        } else {
+            self.stats.orig_launched += 1;
+        }
+    }
+
+    /// The assign found no promised slot (machine failed or episode
+    /// ended in flight): undo the send-side accounting, as the serial
+    /// driver's delivery-time mismatch branch did in place.
+    fn on_assign_failed(&mut self, job: usize, task: TaskRef, speculative: bool, now: SimTime) {
+        let _ = now;
+        let (s, lj) = self.owner_of(job);
+        let si = self.si_of(s);
+        if !self.faults_on {
+            if let Some(a) = self.audit.as_mut() {
+                a.note_occ_delivered(job);
+            }
+        }
+        let st = &mut self.scheds[si];
+        if !speculative {
+            st.claimed[lj].remove(&task);
+        }
+        st.occupied[lj] = st.occupied[lj].saturating_sub(1);
+        if !speculative
+            && !st.done[lj]
+            && st.jobs[lj].phases()[task.phase].tasks[task.task].needs_original()
+        {
+            st.pending_orig[lj] += 1;
+        }
+    }
+
+    /// A committed copy ran to completion: resolve the race exactly as
+    /// the serial driver's `on_finish` scheduler half — kill running
+    /// siblings, learn β from the measured wall-clock duration, open
+    /// newly eligible phases, complete the job.
+    fn on_task_done(&mut self, job: usize, worker: usize, wtoken: u64, dur: SimTime, now: SimTime) {
+        let (s, lj) = self.owner_of(job);
+        let si = self.si_of(s);
+        let _ = s;
+        let Some(&(gjob, copy)) = self.scheds[si].tok_copy.get(&(worker, wtoken)) else {
+            return; // lost its race (or machine) before this ack landed
+        };
+        debug_assert_eq!(gjob, job);
+        {
+            let st = &mut self.scheds[si];
+            st.tok_copy.remove(&(worker, wtoken));
+            st.copy_tok.remove(&(gjob, copy));
+        }
+        // Collect running siblings *before* resolving the race.
+        let siblings: Vec<CopyRef> = self.scheds[si].jobs[lj].phases()[copy.task.phase].tasks
+            [copy.task.task]
+            .copies
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| *i != copy.copy && c.status == hopper_cluster::CopyStatus::Running)
+            .map(|(i, _)| CopyRef::new(copy.task.phase, copy.task.task, i))
+            .collect();
+        let out = {
+            let st = &mut self.scheds[si];
+            let Some(out) = st.jobs[lj].finish_copy(copy, now) else {
+                return; // stale (copy killed earlier)
+            };
+            out
+        };
+        let was_spec = self.scheds[si].jobs[lj].phases()[copy.task.phase].tasks[copy.task.task]
+            .copies[copy.copy]
+            .speculative;
+        if was_spec {
+            self.stats.spec_won += 1;
+        }
+        {
+            let st = &mut self.scheds[si];
+            st.wd_progress[lj] += 1;
+            st.occupied[lj] = st.occupied[lj].saturating_sub(1);
+            // β learns the measured wall-clock duration — equal to the
+            // serial driver's rescale-adjusted copy duration.
+            if out.nominal.as_millis() > 0 && st.up {
+                st.beta
+                    .observe(dur.as_millis() as f64 / out.nominal.as_millis() as f64);
+            }
+        }
+        for c in siblings {
+            // The sibling leaves the occupancy counter at its kill's
+            // *send* (ground truth dropped it in `finish_copy` at this
+            // same event), keeping counter and truth in lockstep.
+            let kill = {
+                let st = &mut self.scheds[si];
+                st.occupied[lj] = st.occupied[lj].saturating_sub(1);
+                st.copy_tok.remove(&(gjob, c)).inspect(|(w2, tok2)| {
+                    st.tok_copy.remove(&(*w2, *tok2));
+                })
+            };
+            if let Some((w2, tok2)) = kill {
+                self.sched_rpc(
+                    si,
+                    now,
+                    SEv::Kill {
+                        worker: w2,
+                        wtoken: tok2,
+                    },
+                );
+            }
+        }
+        for &pi in &out.newly_eligible {
+            let tasks = self.scheds[si].jobs[lj].phases()[pi].num_tasks();
+            self.scheds[si].pending_orig[lj] += tasks;
+            let probes = ((tasks as f64 * self.cfg.probe_ratio).ceil() as usize).max(1);
+            self.send_probes(si, job, probes, now);
+        }
+        if out.job_done {
+            self.complete_job(si, lj, job, now);
+        }
+    }
+
+    /// A committed copy died with its machine: the per-copy half of the
+    /// serial driver's `fail_machine` sweep.
+    fn on_copy_lost(&mut self, job: usize, worker: usize, wtoken: u64, now: SimTime) {
+        let (s, lj) = self.owner_of(job);
+        let si = self.si_of(s);
+        let _ = s;
+        let Some((gjob, copy)) = self.scheds[si].tok_copy.remove(&(worker, wtoken)) else {
+            return;
+        };
+        self.scheds[si].copy_tok.remove(&(gjob, copy));
+        let requeued = {
+            let st = &mut self.scheds[si];
+            st.occupied[lj] = st.occupied[lj].saturating_sub(1);
+            st.jobs[lj].lose_copy(copy)
+        };
+        if requeued == Some(true) {
+            self.scheds[si].pending_orig[lj] += 1;
+            let probes = (self.cfg.probe_ratio.ceil() as usize).max(1);
+            self.send_probes(si, job, probes, now);
+        }
+    }
+
+    /// Reservations for the job evaporated at a worker.
+    fn on_res_gone(&mut self, job: usize, count: usize, now: SimTime) {
+        let _ = now;
+        let (s, lj) = self.owner_of(job);
+        let si = self.si_of(s);
+        let _ = s;
+        let st = &mut self.scheds[si];
+        if !st.done[lj] {
+            st.live_res[lj] = st.live_res[lj].saturating_sub(count);
+        }
+    }
+
+    /// Per-scheduler straggler scan: refresh speculation candidates and
+    /// re-probe jobs whose reservations all evaporated. Unlike the
+    /// serial driver's global scan, there is no worker poke — workers
+    /// self-poll (`SEv::Poll`).
+    fn on_scan(&mut self, sched: usize, now: SimTime) {
+        let si = self.si_of(sched);
+        self.scheds[si].scan_armed = false;
+        if self.scheds[si].up {
+            for idx in 0..self.scheds[si].live.len() {
+                let lj = self.scheds[si].live[idx] / self.k;
+                let st = &mut self.scheds[si];
+                if st.jobs[lj].occupied_slots() > 0 {
+                    let cands = self.cfg.speculator.candidates(&st.jobs[lj], now);
+                    st.candidates[lj] = cands.into();
+                }
+            }
+            let mut reprobe: Vec<(usize, usize)> = Vec::new();
+            for idx in 0..self.scheds[si].live.len() {
+                let j = self.scheds[si].live[idx];
+                let lj = j / self.k;
+                let st = &self.scheds[si];
+                if st.live_res[lj] > 0 {
+                    continue;
+                }
+                let launchable = st.pending_orig[lj] > 0 || !st.candidates[lj].is_empty();
+                if launchable {
+                    let want = ((st.jobs[lj].current_remaining() as f64 * self.cfg.probe_ratio)
+                        .ceil() as usize)
+                        .max(1);
+                    reprobe.push((j, want));
+                }
+            }
+            for (j, want) in reprobe {
+                self.send_probes(si, j, want, now);
+            }
+        }
+        self.arm_scan(si, now);
+    }
+
+    /// Re-arm the scheduler's scan while it has live jobs or owed
+    /// arrivals (the self-limiting equivalent of the serial driver's
+    /// global-activity check).
+    fn arm_scan(&mut self, si: usize, now: SimTime) {
+        let st = &self.scheds[si];
+        if !st.scan_armed && (!st.live.is_empty() || st.arrivals_pending > 0) {
+            let s = st.s;
+            let at = now + self.cfg.scan_interval;
+            self.scheds[si].scan_armed = true;
+            self.push_local_sched(si, at, SEv::Scan { sched: s });
+        }
+    }
+
+    /// Apply one scheduler crash/recover incident (faults only).
+    fn on_sched_dyn(&mut self, ev: SchedEv, now: SimTime) {
+        if self.drained {
+            return; // chain retires, as the dynamics chains do
+        }
+        let s = sched_of(&ev);
+        let si = self.si_of(s);
+        if let Some((delay, next)) = self
+            .sched_chain
+            .as_mut()
+            .expect("scheduler event without a crash chain")
+            .apply(ev)
+        {
+            self.push_local_sched(si, now + delay, SEv::SchedDyn(next));
+        }
+        match ev {
+            SchedEv::Fail(_) => {
+                self.stats.sched_failovers += 1;
+                let st = &mut self.scheds[si];
+                st.up = false;
+                for idx in 0..st.live.len() {
+                    let lj = st.live[idx] / self.k;
+                    st.candidates[lj] = VecDeque::new();
+                    st.claimed[lj] = HashSet::new();
+                }
+                st.beta = BetaEstimator::with_prior(1.5);
+            }
+            SchedEv::Recover(_) => {
+                self.scheds[si].up = true;
+                let owned: Vec<usize> = self.scheds[si].live.clone();
+                for j in owned {
+                    let lj = j / self.k;
+                    {
+                        let st = &mut self.scheds[si];
+                        st.occupied[lj] = st.jobs[lj].occupied_slots();
+                        st.pending_orig[lj] = st.jobs[lj].pending_tasks().count();
+                    }
+                    let pending = self.scheds[si].pending_orig[lj];
+                    if pending > 0 {
+                        let probes =
+                            ((pending as f64 * self.cfg.probe_ratio).ceil() as usize).max(1);
+                        self.stats.msgs_retried += probes as u64;
+                        self.send_probes(si, j, probes, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The per-job watchdog fired (faults only), as in the serial
+    /// driver.
+    fn on_job_timeout(&mut self, job: usize, now: SimTime) {
+        let (s, lj) = self.owner_of(job);
+        let si = self.si_of(s);
+        let _ = s;
+        if self.scheds[si].done[lj] {
+            return; // no re-arm: the watchdog dies with the job
+        }
+        let delay_ms = if self.scheds[si].wd_progress[lj] != self.scheds[si].wd_seen[lj] {
+            let st = &mut self.scheds[si];
+            st.wd_seen[lj] = st.wd_progress[lj];
+            st.wd_attempt[lj] = 0;
+            self.backoff.delay_ms(0)
+        } else if !self.scheds[si].up {
+            self.backoff.delay_ms(0)
+        } else {
+            self.stats.timeouts_fired += 1;
+            let launchable = {
+                let st = &mut self.scheds[si];
+                st.claimed[lj] = HashSet::new();
+                st.occupied[lj] = st.jobs[lj].occupied_slots();
+                st.pending_orig[lj] = st.jobs[lj].pending_tasks().count();
+                st.pending_orig[lj] > 0 || !st.candidates[lj].is_empty()
+            };
+            if launchable {
+                let probes = ((self.scheds[si].jobs[lj].current_remaining() as f64
+                    * self.cfg.probe_ratio)
+                    .ceil() as usize)
+                    .max(1);
+                self.stats.msgs_retried += probes as u64;
+                self.send_probes(si, job, probes, now);
+            }
+            let st = &mut self.scheds[si];
+            let attempt = st.wd_attempt[lj];
+            st.wd_attempt[lj] = self.backoff.next_attempt(attempt);
+            self.backoff.delay_ms(attempt)
+        };
+        let at = now + SimTime::from_millis(delay_ms);
+        self.push_local_sched(si, at, SEv::JobTimeout { job });
+    }
+
+    /// Complete and **retire** the job, exactly as the serial driver's
+    /// `complete_job` (the retirement invariant carries over verbatim).
+    fn complete_job(&mut self, si: usize, lj: usize, job: usize, now: SimTime) {
+        {
+            let st = &mut self.scheds[si];
+            st.done[lj] = true;
+            st.done_count += 1;
+            st.candidates[lj] = VecDeque::new();
+            st.claimed[lj] = HashSet::new();
+            let pos = st.live.binary_search(&job).expect("completed job is live");
+            st.live.remove(pos);
+        }
+        self.live_count -= 1;
+        let retired = self.scheds[si].jobs.retire(lj);
+        let result = JobResult {
+            job: retired.id,
+            size_tasks: retired.spec.size_tasks(),
+            dag_len: retired.spec.dag_len(),
+            arrival: retired.spec.arrival,
+            completed: now,
+        };
+        self.scheds[si].digest.observe_ms(result.duration_ms());
+        if self.retain_jobs {
+            self.results.push(result);
+        }
+        self.stats.makespan = self.stats.makespan.max(now);
+    }
+}

@@ -26,6 +26,6 @@ pub mod sweep;
 pub use engine::{CentralEngine, DecentralEngine, Engine, RunSummary};
 pub use spec::{EngineKind, ExperimentSpec, SpecError};
 pub use sweep::{
-    default_threads, mean_jct, run_seeds, sweep, sweep_serial, sweep_with_threads, SweepAxis,
-    SweepTable, Trial,
+    clamp_threads, default_threads, mean_jct, run_seeds, sweep, sweep_serial, sweep_with_threads,
+    SweepAxis, SweepTable, Trial,
 };

@@ -96,6 +96,7 @@ const KNOWN_KEYS: &[&str] = &[
     "sched_mttr_ms",
     "rpc_timeout_ms",
     "rpc_retries",
+    "shards",
     "seeds",
 ];
 
@@ -205,6 +206,11 @@ pub struct ExperimentSpec {
     /// RPC hardening: watchdog retries before the capped exponential
     /// backoff wraps to a fresh probe round. Must be at least 1.
     pub rpc_retries: u32,
+    /// Execution shards for the decentralized conservative-PDES engine
+    /// (`shards=0` — the default — is the serial driver; any `N >= 1`
+    /// runs the sharded engine, bit-identical for every such `N`).
+    /// Decentralized-only: the central engine rejects `shards > 0`.
+    pub shards: usize,
     /// Seed list — one trial per seed.
     pub seeds: Vec<u64>,
 }
@@ -249,6 +255,7 @@ impl ExperimentSpec {
             sched_mttr_ms: 10_000,
             rpc_timeout_ms: 2_000,
             rpc_retries: 3,
+            shards: 0,
             seeds: vec![1],
         }
     }
@@ -331,6 +338,7 @@ impl ExperimentSpec {
             "sched_mttr_ms" => self.sched_mttr_ms = parse_num(key, value)?,
             "rpc_timeout_ms" => self.rpc_timeout_ms = parse_num(key, value)?,
             "rpc_retries" => self.rpc_retries = parse_num(key, value)?,
+            "shards" => self.shards = parse_num(key, value)?,
             "seeds" => {
                 let seeds: Result<Vec<u64>, _> = value
                     .split(',')
@@ -437,6 +445,7 @@ impl ExperimentSpec {
                 "sched_mttr_ms" => self.sched_mttr_ms.to_string(),
                 "rpc_timeout_ms" => self.rpc_timeout_ms.to_string(),
                 "rpc_retries" => self.rpc_retries.to_string(),
+                "shards" => self.shards.to_string(),
                 "seeds" => self
                     .seeds
                     .iter()
@@ -562,6 +571,11 @@ impl ExperimentSpec {
             return Err(err(
                 "message faults (msg_loss/msg_jitter_ms/msg_dup/sched_fail_rate) \
                  require engine=decentral — the central engine has no RPC plane",
+            ));
+        }
+        if self.engine == EngineKind::Central && self.shards > 0 {
+            return Err(err(
+                "shards requires engine=decentral — the central engine has no sharded driver",
             ));
         }
         if !(self.probe_ratio > 0.0 && self.probe_ratio.is_finite()) {
@@ -726,6 +740,7 @@ impl ExperimentSpec {
                     fairness_eps: Some(self.eps),
                     dynamics: self.dynamics(),
                     faults: self.faults(),
+                    shards: self.shards,
                     seed,
                     ..Default::default()
                 };
@@ -1035,6 +1050,36 @@ rpc_retries=4
         // Value validation.
         assert!(ExperimentSpec::parse("stream=yes\n").is_err());
         assert!(ExperimentSpec::parse("max_jobs=0\n").is_err());
+    }
+
+    #[test]
+    fn shards_key_round_trips_and_is_decentral_only() {
+        let s = ExperimentSpec::parse("engine=decentral\nshards=4\n").unwrap();
+        assert_eq!(s.shards, 4);
+        let again = ExperimentSpec::parse(&s.render()).unwrap();
+        assert_eq!(s, again);
+        // Default: 0 — the serial driver.
+        let d = ExperimentSpec::decentral();
+        assert_eq!(d.shards, 0);
+        assert!(d.render().contains("shards=0\n"));
+        // The central engine has no sharded driver.
+        let e = ExperimentSpec::parse("engine=central\nshards=2\n").unwrap_err();
+        assert!(e.0.contains("engine=decentral"), "{e}");
+        assert!(ExperimentSpec::parse("engine=central\nshards=0\n").is_ok());
+    }
+
+    #[test]
+    fn sharded_run_one_matches_across_shard_counts() {
+        let mut s = ExperimentSpec::decentral();
+        s.jobs = 10;
+        s.machines = 30;
+        s.util = 0.6;
+        s.shards = 1;
+        let a = s.run_one(5).unwrap();
+        s.shards = 3;
+        let b = s.run_one(5).unwrap();
+        assert_eq!(a.core(), b.core(), "shard count changed the run");
+        assert_eq!(a.jobs(), b.jobs());
     }
 
     #[test]

@@ -305,6 +305,17 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Clamp a sweep's worker count so `workers × shards-per-trial` does not
+/// oversubscribe `parallelism` hardware threads: a `shards=N` spec runs
+/// every trial on `N` engine threads of its own, so the sweep pool must
+/// shrink accordingly. Pure so the arithmetic is testable on any host;
+/// always at least 1 (a single trial may legitimately want more shards
+/// than the host has cores — it just won't also run trials in parallel).
+pub fn clamp_threads(requested: usize, shards: usize, parallelism: usize) -> usize {
+    let per_trial = shards.max(1);
+    requested.max(1).min((parallelism / per_trial).max(1))
+}
+
 /// Parallel sweep with the default worker count. See the module docs
 /// for the determinism invariant.
 pub fn sweep(spec: &ExperimentSpec, axis: &SweepAxis) -> Result<SweepTable, SpecError> {
@@ -312,13 +323,16 @@ pub fn sweep(spec: &ExperimentSpec, axis: &SweepAxis) -> Result<SweepTable, Spec
 }
 
 /// Parallel sweep with an explicit worker count (1 = sequential worker,
-/// still through the same claiming loop).
+/// still through the same claiming loop). The count is clamped by
+/// [`clamp_threads`] when the spec runs sharded trials — results are
+/// bit-identical at any worker count, so clamping only changes pacing.
 pub fn sweep_with_threads(
     spec: &ExperimentSpec,
     axis: &SweepAxis,
     threads: usize,
 ) -> Result<SweepTable, SpecError> {
     let cells = grid(spec, axis)?;
+    let threads = clamp_threads(threads, spec.shards, default_threads());
     Ok(SweepTable {
         axis_key: axis.key.clone(),
         trials: run_cells(cells, threads),
@@ -366,7 +380,8 @@ pub fn run_seeds(spec: &ExperimentSpec) -> Result<Vec<Trial>, SpecError> {
         .iter()
         .map(|&seed| (spec.clone(), spec.policy.clone(), seed))
         .collect();
-    Ok(run_cells(cells, default_threads()))
+    let threads = clamp_threads(default_threads(), spec.shards, default_threads());
+    Ok(run_cells(cells, threads))
 }
 
 #[cfg(test)]
@@ -380,6 +395,47 @@ mod tests {
         s.util = 0.6;
         s.seeds = vec![1, 2];
         s
+    }
+
+    #[test]
+    fn clamp_threads_keeps_workers_times_shards_within_parallelism() {
+        // Serial specs (shards=0) are untouched.
+        assert_eq!(clamp_threads(8, 0, 8), 8);
+        assert_eq!(clamp_threads(8, 1, 8), 8);
+        // Each trial runs `shards` engine threads: the pool shrinks so
+        // the product stays within the host budget.
+        assert_eq!(clamp_threads(8, 4, 8), 2);
+        assert_eq!(clamp_threads(8, 3, 8), 2);
+        // A single trial may exceed the budget on its own; the sweep
+        // then degrades to one trial at a time, never zero workers.
+        assert_eq!(clamp_threads(8, 16, 8), 1);
+        assert_eq!(clamp_threads(0, 1, 8), 1);
+        assert_eq!(clamp_threads(4, 2, 1), 1);
+        for shards in [0usize, 1, 2, 5, 9] {
+            for avail in [1usize, 2, 8] {
+                let got = clamp_threads(8, shards, avail);
+                assert!(got >= 1);
+                assert!(got == 1 || got * shards.max(1) <= avail);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_matches_serial_reference() {
+        let mut spec = tiny_decentral();
+        spec.shards = 2;
+        let axis = SweepAxis::new("policy", &["sparrow", "hopper"]);
+        // The parallel path (clamped workers, each trial on 2 engine
+        // threads) must be bit-identical to the serial fold.
+        let par = sweep_with_threads(&spec, &axis, 4).unwrap();
+        let ser = sweep_serial(&spec, &axis).unwrap();
+        assert_eq!(par.trials.len(), ser.trials.len());
+        for (p, s) in par.trials.iter().zip(&ser.trials) {
+            assert_eq!(p.axis_value, s.axis_value);
+            assert_eq!(p.seed, s.seed);
+            assert_eq!(p.core, s.core);
+            assert_eq!(p.jobs, s.jobs);
+        }
     }
 
     #[test]
