@@ -177,9 +177,9 @@ fn main() {
                 total_slots,
                 out.stats.events,
                 wall_ms,
-                out.live_high_water,
-                out.digest.mean_ms(),
-                out.digest.quantile_ms(0.99),
+                out.report.live_high_water,
+                out.report.digest.mean_ms(),
+                out.report.digest.quantile_ms(0.99),
                 out.stats.makespan.as_millis(),
             );
         }
@@ -221,9 +221,9 @@ fn main() {
                 central_slots,
                 out.stats.events,
                 wall_ms,
-                out.live_high_water,
-                out.digest.mean_ms(),
-                out.digest.quantile_ms(0.99),
+                out.report.live_high_water,
+                out.report.digest.mean_ms(),
+                out.report.digest.quantile_ms(0.99),
                 out.stats.makespan.as_millis(),
             );
             eprintln!(

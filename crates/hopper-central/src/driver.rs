@@ -15,7 +15,7 @@ use hopper_cluster::{
     Machines, TaskRef,
 };
 use hopper_core::{AllocCounters, AlphaEstimator, BetaEstimator, IncrementalAlloc, Regime};
-use hopper_metrics::{JobDigest, JobResult};
+use hopper_metrics::{JobDigest, JobResult, RunReport, SeriesCollector, TelemetrySnapshot};
 use hopper_sim::{EventQueue, SeedSequence, SimTime};
 use hopper_spec::{Candidate, Speculator};
 use hopper_workload::{ArrivalSource, Trace, TraceJob, TraceStream};
@@ -44,6 +44,12 @@ pub struct SimConfig {
     /// slowdowns, failures. The default ([`DynamicsConfig::off`]) is
     /// bit-identical to a dynamics-free build.
     pub dynamics: DynamicsConfig,
+    /// Telemetry window width (simulation ms). `0` (the default)
+    /// disables the windowed time-series entirely; any value `> 0`
+    /// records per-window series as a pure observer — simulation
+    /// results are bit-identical either way (see DESIGN.md,
+    /// "Telemetry plane").
+    pub telemetry_window_ms: u64,
 }
 
 impl Default for SimConfig {
@@ -56,6 +62,7 @@ impl Default for SimConfig {
             max_events: 200_000_000,
             scripted: None,
             dynamics: DynamicsConfig::off(),
+            telemetry_window_ms: 0,
         }
     }
 }
@@ -110,16 +117,15 @@ impl RunStats {
 #[derive(Debug, Clone)]
 pub struct RunOutput {
     /// One entry per trace job, sorted by job id. Empty for streaming
-    /// runs ([`run_stream`]), whose per-job statistics live in `digest`.
+    /// runs ([`run_stream`]), whose per-job statistics live in the
+    /// report's digest.
     pub jobs: Vec<JobResult>,
     /// Aggregate counters.
     pub stats: RunStats,
-    /// Constant-memory duration statistics, folded at each completion
-    /// (identical between materialized and streaming runs of a seed).
-    pub digest: JobDigest,
-    /// Maximum simultaneously live jobs — the streaming pipeline's
-    /// memory yardstick (completed jobs retire their task/copy state).
-    pub live_high_water: usize,
+    /// The unified run-output surface: driver-agnostic core counters,
+    /// streaming JCT digest, live-jobs high-water mark, and (when
+    /// `telemetry_window_ms > 0`) the windowed time-series.
+    pub report: RunReport,
     /// Allocation-churn counters of the incremental Hopper allocator
     /// (all zero for non-Hopper policies).
     pub alloc_counters: AllocCounters,
@@ -129,7 +135,7 @@ impl RunOutput {
     /// Mean job duration in milliseconds (exact in both modes).
     pub fn mean_duration_ms(&self) -> f64 {
         if self.jobs.is_empty() {
-            self.digest.mean_ms()
+            self.report.digest.mean_ms()
         } else {
             hopper_metrics::mean_duration(&self.jobs)
         }
@@ -242,6 +248,10 @@ struct Central<'a> {
     stats: RunStats,
     /// Online duration statistics, folded at each retirement.
     digest: JobDigest,
+    /// Windowed time-series observer (inert when
+    /// `telemetry_window_ms == 0`). Never feeds back into the
+    /// simulation — see DESIGN.md, "Telemetry plane".
+    tele: SeriesCollector,
     /// Input-phase launch counters folded out of retired jobs (the
     /// end-of-run locality fraction no longer walks every job).
     local_launches: usize,
@@ -310,6 +320,7 @@ impl<'a> Central<'a> {
             results: Vec::with_capacity(if retain_jobs { n } else { 0 }),
             stats: RunStats::default(),
             digest: JobDigest::new(),
+            tele: SeriesCollector::new(cfg.telemetry_window_ms, cfg.cluster.total_slots() as u64),
             local_launches: 0,
             nonlocal_launches: 0,
             jobs: JobSlab::new(n),
@@ -429,6 +440,7 @@ impl<'a> Central<'a> {
                 let spec = self.arrivals.pop().expect("peeked arrival exists");
                 let now = spec.arrival;
                 self.queue.advance_to(now);
+                self.tele_tick(now);
                 self.stats.events += 1;
                 self.last_now = now;
                 self.on_arrival(spec, now);
@@ -437,6 +449,7 @@ impl<'a> Central<'a> {
             let Some((now, ev)) = self.queue.pop() else {
                 break;
             };
+            self.tele_tick(now);
             self.stats.events += 1;
             self.last_now = now;
             assert!(
@@ -572,14 +585,60 @@ impl<'a> Central<'a> {
                 self.stats.alpha_accuracy = self.alpha_est.accuracy();
             }
         }
+        let telemetry = {
+            let snap = self.tele_snapshot();
+            self.tele.finish(snap)
+        };
         let mut jobs = self.results;
         jobs.sort_by_key(|r| r.job);
+        let report = RunReport {
+            core: self.stats.core(),
+            digest: self.digest,
+            live_high_water: self.jobs.high_water(),
+            telemetry,
+        };
         RunOutput {
             jobs,
             stats: self.stats,
-            digest: self.digest,
-            live_high_water: self.jobs.high_water(),
+            report,
             alloc_counters: self.alloc.counters(),
+        }
+    }
+
+    /// Close any telemetry windows that end before the event about to
+    /// be processed at `now`. Called with every event's timestamp
+    /// *before* the event mutates state, so the snapshot is exactly
+    /// the state at the crossed boundary. One branch when disabled.
+    #[inline]
+    fn tele_tick(&mut self, now: SimTime) {
+        let now_ms = now.as_millis();
+        if self.tele.boundary_due(now_ms) {
+            let snap = self.tele_snapshot();
+            self.tele.close_to(now_ms, snap);
+        }
+    }
+
+    /// Gauges + cumulative counters for the telemetry plane. O(active
+    /// jobs), and only ever evaluated at window boundaries and at the
+    /// end of the run.
+    fn tele_snapshot(&self) -> TelemetrySnapshot {
+        let mut busy_slots = 0u64;
+        let mut queue_depth = 0u64;
+        for &j in &self.active {
+            busy_slots += self.usage[j] as u64;
+            queue_depth += self.pending_orig[j] as u64;
+        }
+        TelemetrySnapshot {
+            busy_slots,
+            queue_depth,
+            live_jobs: self.active.len() as u64,
+            completed: self.digest.count(),
+            orig_launched: self.stats.orig_launched,
+            spec_launched: self.stats.spec_launched,
+            spec_won: self.stats.spec_won,
+            killed: self.stats.killed,
+            messages: 0,
+            events: self.stats.events,
         }
     }
 
@@ -607,6 +666,7 @@ impl<'a> Central<'a> {
             completed: now,
         };
         self.digest.observe_ms(result.duration_ms());
+        self.tele.observe_jct(result.duration_ms());
         if self.retain_jobs {
             self.results.push(result);
         }

@@ -66,6 +66,7 @@ pub fn motivating_sim_config() -> SimConfig {
         max_events: 10_000,
         scripted: Some(scripted),
         dynamics: hopper_cluster::DynamicsConfig::off(),
+        telemetry_window_ms: 0,
     }
 }
 

@@ -37,7 +37,7 @@ use hopper_core::protocol::{
     ResponseKind, UnsatisfiedJob, WorkerAction,
 };
 use hopper_core::{virtual_size, BetaEstimator};
-use hopper_metrics::{JobDigest, JobResult};
+use hopper_metrics::{JobDigest, JobResult, RunReport, SeriesCollector, TelemetrySnapshot};
 use hopper_sim::{EventQueue, SeedSequence, SimTime};
 use hopper_spec::{Candidate, Speculator};
 use hopper_workload::{ArrivalSource, Trace, TraceJob, TraceStream};
@@ -113,6 +113,12 @@ pub struct DecConfig {
     /// config, but are a distinct (documented) equivalence family from
     /// the serial driver — see DESIGN.md, "Sharded execution".
     pub shards: usize,
+    /// Telemetry window width (simulation ms). `0` (the default)
+    /// disables the windowed time-series entirely; any value `> 0`
+    /// records per-window series as a pure observer — simulation
+    /// results are bit-identical either way (see DESIGN.md,
+    /// "Telemetry plane").
+    pub telemetry_window_ms: u64,
 }
 
 impl Default for DecConfig {
@@ -139,6 +145,7 @@ impl Default for DecConfig {
             dynamics: DynamicsConfig::off(),
             faults: FaultConfig::off(),
             shards: 0,
+            telemetry_window_ms: 0,
         }
     }
 }
@@ -203,19 +210,17 @@ impl DecStats {
 #[derive(Debug, Clone)]
 pub struct DecOutput {
     /// Per-job outcomes (sorted by job id). Empty for streaming runs
-    /// ([`run_stream`]); their per-job statistics live in `digest`.
+    /// ([`run_stream`]); their per-job statistics live in the report's
+    /// digest.
     pub jobs: Vec<JobResult>,
     /// Aggregate counters.
     pub stats: DecStats,
-    /// Constant-memory duration statistics, folded at each completion
-    /// (identical between materialized and streaming runs of a seed).
-    pub digest: JobDigest,
-    /// Maximum simultaneously live jobs — the streaming pipeline's
-    /// memory yardstick (completed jobs retire their task/copy state).
-    /// For sharded runs this is the sum of per-scheduler slab
-    /// high-waters (an upper bound on the serial driver's global
-    /// high-water).
-    pub live_high_water: usize,
+    /// The unified run-output surface: driver-agnostic core counters,
+    /// streaming JCT digest, live-jobs high-water mark (for sharded
+    /// runs, the sum of per-scheduler slab high-waters — an upper
+    /// bound on the serial driver's global high-water), and (when
+    /// `telemetry_window_ms > 0`) the windowed time-series.
+    pub report: RunReport,
     /// Sharded-engine counters (`None` for the serial driver). These
     /// are observability only — never part of the determinism contract
     /// beyond `ShardStats`'s own documented fields.
@@ -226,7 +231,7 @@ impl DecOutput {
     /// Mean job duration in milliseconds (exact in both modes).
     pub fn mean_duration_ms(&self) -> f64 {
         if self.jobs.is_empty() {
-            self.digest.mean_ms()
+            self.report.digest.mean_ms()
         } else {
             hopper_metrics::mean_duration(&self.jobs)
         }
@@ -486,6 +491,13 @@ struct Decentral<'a> {
     /// assign, refusal, finish, kill, scan, dyn, sched-dyn, lease,
     /// job-timeout.
     ev_counts: [u64; 12],
+    /// Windowed time-series observer (inert when
+    /// `telemetry_window_ms == 0`). Never feeds back into the
+    /// simulation — see DESIGN.md, "Telemetry plane".
+    tele: SeriesCollector,
+    /// Cumulative kill RPCs sent (telemetry only; deliberately not a
+    /// `DecStats` field — goldens pin that struct's `Debug` output).
+    tele_kills: u64,
 }
 
 impl<'a> Decentral<'a> {
@@ -571,6 +583,8 @@ impl<'a> Decentral<'a> {
             stats: DecStats::default(),
             digest: JobDigest::new(),
             ev_counts: [0; 12],
+            tele: SeriesCollector::new(cfg.telemetry_window_ms, cfg.cluster.total_slots() as u64),
+            tele_kills: 0,
             jobs: JobSlab::new(n),
         }
     }
@@ -719,6 +733,7 @@ impl<'a> Decentral<'a> {
                 let spec = self.arrivals.pop().expect("peeked arrival exists");
                 let now = spec.arrival;
                 self.queue.advance_to(now);
+                self.tele_tick(now);
                 self.stats.events += 1;
                 self.ev_counts[0] += 1;
                 self.on_job_arrive(spec, now);
@@ -727,6 +742,7 @@ impl<'a> Decentral<'a> {
             let Some((now, ev)) = self.queue.pop() else {
                 break;
             };
+            self.tele_tick(now);
             self.stats.events += 1;
             if self.stats.events > self.cfg.max_events {
                 let stuck: Vec<String> = self
@@ -925,14 +941,60 @@ impl<'a> Decentral<'a> {
             }
             a.check_end(self.pending_kill.len());
         }
+        let telemetry = {
+            let snap = self.tele_snapshot();
+            self.tele.finish(snap)
+        };
         let mut jobs = self.results;
         jobs.sort_by_key(|r| r.job);
+        let report = RunReport {
+            core: self.stats.core(),
+            digest: self.digest,
+            live_high_water: self.jobs.high_water(),
+            telemetry,
+        };
         DecOutput {
             jobs,
             stats: self.stats,
-            digest: self.digest,
-            live_high_water: self.jobs.high_water(),
+            report,
             shard: None,
+        }
+    }
+
+    /// Close any telemetry windows that end before the event about to
+    /// be processed at `now` (pre-event state is exactly the state at
+    /// the crossed boundary). One branch when disabled.
+    #[inline]
+    fn tele_tick(&mut self, now: SimTime) {
+        let now_ms = now.as_millis();
+        if self.tele.boundary_due(now_ms) {
+            let snap = self.tele_snapshot();
+            self.tele.close_to(now_ms, snap);
+        }
+    }
+
+    /// Gauges + cumulative counters for the telemetry plane: running
+    /// copies across live jobs, parked worker-queue reservations, and
+    /// the protocol counters. O(live jobs + workers), and only ever
+    /// evaluated at window boundaries and at the end of the run.
+    fn tele_snapshot(&self) -> TelemetrySnapshot {
+        let busy_slots = self
+            .live
+            .iter()
+            .map(|&j| self.jobs[j].occupied_slots() as u64)
+            .sum();
+        let queue_depth = self.workers.iter().map(|w| w.queue.len() as u64).sum();
+        TelemetrySnapshot {
+            busy_slots,
+            queue_depth,
+            live_jobs: self.live.len() as u64,
+            completed: self.done_count,
+            orig_launched: self.stats.orig_launched,
+            spec_launched: self.stats.spec_launched,
+            spec_won: self.stats.spec_won,
+            killed: self.tele_kills,
+            messages: self.stats.reservations + self.stats.responses + self.stats.refusals,
+            events: self.stats.events,
         }
     }
 
@@ -1706,6 +1768,7 @@ impl<'a> Decentral<'a> {
             if self.faults.is_some() {
                 self.pending_kill.insert((job, c), self.dyn_inc[m.0]);
             }
+            self.tele_kills += 1;
             self.send_msg(Ev::Kill {
                 worker: m.0,
                 job,
@@ -1896,6 +1959,7 @@ impl<'a> Decentral<'a> {
             completed: now,
         };
         self.digest.observe_ms(result.duration_ms());
+        self.tele.observe_jct(result.duration_ms());
         if self.retain_jobs {
             self.results.push(result);
         }

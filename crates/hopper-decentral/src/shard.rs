@@ -69,7 +69,9 @@ use hopper_core::protocol::{
     ResponseKind, UnsatisfiedJob, WorkerAction,
 };
 use hopper_core::{safe_horizon, virtual_size, BetaEstimator, EventKey, Mailbox, SyncBarrier};
-use hopper_metrics::{JobDigest, JobResult};
+use hopper_metrics::{
+    JobDigest, JobResult, RunReport, SeriesCollector, TelemetrySeries, TelemetrySnapshot,
+};
 use hopper_sim::{SeedSequence, SimTime};
 use hopper_spec::Candidate;
 use hopper_workload::{ArrivalSource, Trace, TraceJob, TraceStream};
@@ -422,6 +424,13 @@ struct Shard<'a> {
     stalls: u64,
     cross_msgs: u64,
     local_msgs: u64,
+    /// Windowed time-series observer over this shard's own entities
+    /// (inert when `telemetry_window_ms == 0`). Per-shard series merge
+    /// commutatively in [`merge`] — see DESIGN.md, "Telemetry plane".
+    tele: SeriesCollector,
+    /// Cumulative kill RPCs sent (telemetry only; deliberately not a
+    /// `DecStats` field — goldens pin that struct's `Debug` output).
+    tele_kills: u64,
 }
 
 /// Run one decentralized simulation sharded across
@@ -479,8 +488,22 @@ pub(crate) fn run_sharded(
 /// driver would have reported it: counters sum, makespan maxes, the
 /// digest merges in scheduler order, per-job results sort by id, and
 /// the merged conservation auditor proves the end-of-run laws globally.
-fn merge(shards: Vec<Shard<'_>>, n: usize, nshards: usize) -> DecOutput {
+fn merge(mut shards: Vec<Shard<'_>>, n: usize, nshards: usize) -> DecOutput {
     let k = shards.first().map(|sh| sh.k).expect("at least one shard");
+    // Per-shard telemetry series merge window-by-window: counters and
+    // gauges sum (disjoint entities), digests union exactly, shorter
+    // series pad with frozen last gauges — commutative, so the result
+    // is bit-identical across shard counts.
+    let mut telemetry: Option<TelemetrySeries> = None;
+    for sh in shards.iter_mut() {
+        let snap = sh.tele_snapshot();
+        if let Some(series) = sh.tele.finish(snap) {
+            match telemetry.as_mut() {
+                None => telemetry = Some(series),
+                Some(t) => t.merge(&series),
+            }
+        }
+    }
     let mut stats = DecStats::default();
     let mut digest = JobDigest::new();
     let mut results: Vec<JobResult> = Vec::new();
@@ -540,11 +563,16 @@ fn merge(shards: Vec<Shard<'_>>, n: usize, nshards: usize) -> DecOutput {
         a.check_end(0);
     }
     results.sort_by_key(|r| r.job);
+    let report = RunReport {
+        core: stats.core(),
+        digest,
+        live_high_water,
+        telemetry,
+    };
     DecOutput {
         jobs: results,
         stats,
-        digest,
-        live_high_water,
+        report,
         shard: Some(shard_stats),
     }
 }
@@ -705,6 +733,9 @@ impl<'a> Shard<'a> {
             st.seq = sq;
         }
         let arrivals_pending: usize = scheds.iter().map(|st| st.arrivals_pending).sum();
+        // This shard's slice of the slot capacity: owned workers only,
+        // so merged per-window capacities sum to the global cluster.
+        let owned_slots = workers.len() as u64 * cfg.cluster.slots_per_machine as u64;
         Shard {
             id,
             nshards,
@@ -736,6 +767,8 @@ impl<'a> Shard<'a> {
             stalls: 0,
             cross_msgs: 0,
             local_msgs: 0,
+            tele: SeriesCollector::new(cfg.telemetry_window_ms, owned_slots),
+            tele_kills: 0,
         }
     }
 
@@ -840,6 +873,7 @@ impl<'a> Shard<'a> {
             if take_arrival {
                 let spec = self.pending_arrival.take().expect("peeked arrival");
                 let now = arrival_at.expect("arrival time");
+                self.tele_tick(now);
                 self.stats.events += 1;
                 self.ev_counts[0] += 1;
                 self.on_job_arrive(spec, now);
@@ -850,6 +884,7 @@ impl<'a> Shard<'a> {
             }
             let Reverse(HeapEv { key, ev }) = self.heap.pop().expect("peeked event");
             let now = key.time;
+            self.tele_tick(now);
             self.stats.events += 1;
             self.ev_counts[ev_idx(&ev)] += 1;
             if let Some(a) = self.audit.as_mut() {
@@ -2099,6 +2134,7 @@ impl<'a> Shard<'a> {
             // Unlike the serial driver, the copy is already running at
             // the worker: reclaim it. (A lost kill is recovered by the
             // copy freeing itself at its natural finish.)
+            self.tele_kills += 1;
             self.sched_rpc(si, now, SEv::Kill { worker, wtoken });
             return;
         }
@@ -2204,6 +2240,7 @@ impl<'a> Shard<'a> {
                 })
             };
             if let Some((w2, tok2)) = kill {
+                self.tele_kills += 1;
                 self.sched_rpc(
                     si,
                     now,
@@ -2424,9 +2461,42 @@ impl<'a> Shard<'a> {
             completed: now,
         };
         self.scheds[si].digest.observe_ms(result.duration_ms());
+        self.tele.observe_jct(result.duration_ms());
         if self.retain_jobs {
             self.results.push(result);
         }
         self.stats.makespan = self.stats.makespan.max(now);
+    }
+
+    /// Close any telemetry windows that end before the event about to
+    /// be processed at `now`. Boundaries are global simulation time, so
+    /// every shard count closes the same windows — which is what makes
+    /// the merged series bit-identical across shard counts.
+    #[inline]
+    fn tele_tick(&mut self, now: SimTime) {
+        let now_ms = now.as_millis();
+        if self.tele.boundary_due(now_ms) {
+            let snap = self.tele_snapshot();
+            self.tele.close_to(now_ms, snap);
+        }
+    }
+
+    /// Gauges + cumulative counters over this shard's own entities
+    /// (disjoint across shards, so merged values sum to the global
+    /// state). O(owned workers + schedulers), only evaluated at window
+    /// boundaries and at the end of the run.
+    fn tele_snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            busy_slots: self.workers.iter().map(|wk| wk.records.len() as u64).sum(),
+            queue_depth: self.workers.iter().map(|wk| wk.queue.len() as u64).sum(),
+            live_jobs: self.live_count as u64,
+            completed: self.scheds.iter().map(|st| st.done_count).sum(),
+            orig_launched: self.stats.orig_launched,
+            spec_launched: self.stats.spec_launched,
+            spec_won: self.stats.spec_won,
+            killed: self.tele_kills,
+            messages: self.stats.reservations + self.stats.responses + self.stats.refusals,
+            events: self.stats.events,
+        }
     }
 }

@@ -5,11 +5,14 @@
 //! bit-for-bit); this module unifies *access*, not representation. A
 //! [`RunSummary`] exposes what every consumer of either driver actually
 //! reads: the per-job [`JobResult`]s, duration aggregates, and the
-//! [`CoreStats`] counter core both stats types flatten into.
+//! [`RunReport`] both outputs embed (counter core, streaming digest,
+//! live high-water, optional telemetry series). The report *is* the
+//! unified surface — the former per-field `core()` / `digest()` /
+//! `live_high_water()` accessors were deleted in its favor.
 
 use hopper_central::{Policy, RunOutput, SimConfig};
 use hopper_decentral::{DecConfig, DecOutput, DecPolicy};
-use hopper_metrics::{mean_duration, percentile, CoreStats, JobDigest, JobResult};
+use hopper_metrics::{mean_duration, percentile, JobResult, RunReport};
 use hopper_workload::{Trace, TraceStream};
 
 /// Unified read surface over one scheduler run, regardless of driver.
@@ -18,26 +21,19 @@ use hopper_workload::{Trace, TraceStream};
 /// threads and collected by the caller.
 pub trait RunSummary: Send {
     /// Per-job outcomes. Empty for streaming runs, whose per-job
-    /// statistics are folded into [`RunSummary::digest`] instead.
+    /// statistics are folded into the report's digest instead.
     fn jobs(&self) -> &[JobResult];
 
-    /// Driver-agnostic counter core (`RunStats::core` / `DecStats::core`).
-    fn core(&self) -> CoreStats;
-
-    /// Constant-memory duration statistics (exact mean/count, ε-approx
-    /// quantile sketch), folded at each job completion. Identical
-    /// between streaming and materialized runs of the same seed.
-    fn digest(&self) -> &JobDigest;
-
-    /// Maximum simultaneously live jobs during the run (the streaming
-    /// pipeline's memory yardstick).
-    fn live_high_water(&self) -> usize;
+    /// The unified run-output surface: driver-agnostic counter core,
+    /// constant-memory duration digest, live-jobs high-water mark, and
+    /// — when `telemetry_window_ms > 0` — the windowed time-series.
+    fn report(&self) -> &RunReport;
 
     /// Mean job duration in milliseconds (exact in both modes — the
     /// digest's mean is an integer-millisecond sum).
     fn mean_duration_ms(&self) -> f64 {
         if self.jobs().is_empty() {
-            self.digest().mean_ms()
+            self.report().digest.mean_ms()
         } else {
             mean_duration(self.jobs())
         }
@@ -49,7 +45,7 @@ pub trait RunSummary: Send {
     /// jobs (see `hopper_metrics::percentile`).
     fn percentile_duration_ms(&self, p: f64) -> f64 {
         if self.jobs().is_empty() {
-            return self.digest().quantile_ms(p);
+            return self.report().digest.quantile_ms(p);
         }
         let durs: Vec<f64> = self.jobs().iter().map(|r| r.duration_ms() as f64).collect();
         percentile(&durs, p)
@@ -61,16 +57,8 @@ impl RunSummary for RunOutput {
         &self.jobs
     }
 
-    fn core(&self) -> CoreStats {
-        self.stats.core()
-    }
-
-    fn digest(&self) -> &JobDigest {
-        &self.digest
-    }
-
-    fn live_high_water(&self) -> usize {
-        self.live_high_water
+    fn report(&self) -> &RunReport {
+        &self.report
     }
 }
 
@@ -79,16 +67,8 @@ impl RunSummary for DecOutput {
         &self.jobs
     }
 
-    fn core(&self) -> CoreStats {
-        self.stats.core()
-    }
-
-    fn digest(&self) -> &JobDigest {
-        &self.digest
-    }
-
-    fn live_high_water(&self) -> usize {
-        self.live_high_water
+    fn report(&self) -> &RunReport {
+        &self.report
     }
 }
 
@@ -197,23 +177,26 @@ mod tests {
             let out = e.run(&trace);
             assert_eq!(out.jobs().len(), trace.len(), "{}", e.name());
             assert!(out.mean_duration_ms() > 0.0);
-            assert!(out.core().events > 0);
+            assert!(out.report().core.events > 0);
+            // Telemetry is off by default: the report carries no series.
+            assert!(out.report().telemetry.is_none());
             // Percentiles bracket the mean's order of magnitude.
             assert!(out.percentile_duration_ms(0.0) <= out.percentile_duration_ms(1.0));
         }
     }
 
     #[test]
-    fn summary_core_matches_driver_stats() {
+    fn summary_report_matches_driver_stats() {
         let trace = tiny_trace(9, 40);
         let mut cfg = SimConfig::default();
         cfg.cluster.machines = 10;
         cfg.cluster.slots_per_machine = 4;
         let raw = hopper_central::run(&trace, &Policy::Srpt, &cfg);
-        let core = RunSummary::core(&raw);
+        let core = &RunSummary::report(&raw).core;
         assert_eq!(core.events, raw.stats.events);
         assert_eq!(core.spec_launched, raw.stats.spec_launched);
         assert_eq!(core.makespan, raw.stats.makespan);
         assert_eq!(core.messages, 0, "central driver has no network");
+        assert_eq!(raw.report.digest.count() as usize, trace.len());
     }
 }

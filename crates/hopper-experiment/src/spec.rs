@@ -97,6 +97,7 @@ const KNOWN_KEYS: &[&str] = &[
     "rpc_timeout_ms",
     "rpc_retries",
     "shards",
+    "telemetry_window_ms",
     "seeds",
 ];
 
@@ -211,6 +212,13 @@ pub struct ExperimentSpec {
     /// runs the sharded engine, bit-identical for every such `N`).
     /// Decentralized-only: the central engine rejects `shards > 0`.
     pub shards: usize,
+    /// Telemetry window width in ms (`telemetry_window_ms=0` — the
+    /// default — disables collection entirely and is bit-identical to a
+    /// telemetry-free build). Any positive width attaches a windowed
+    /// time-series to the run's report without changing simulation
+    /// results (observer invariant). Not sweepable — it is an
+    /// observation knob, not an experiment variable.
+    pub telemetry_window_ms: u64,
     /// Seed list — one trial per seed.
     pub seeds: Vec<u64>,
 }
@@ -256,6 +264,7 @@ impl ExperimentSpec {
             rpc_timeout_ms: 2_000,
             rpc_retries: 3,
             shards: 0,
+            telemetry_window_ms: 0,
             seeds: vec![1],
         }
     }
@@ -339,6 +348,7 @@ impl ExperimentSpec {
             "rpc_timeout_ms" => self.rpc_timeout_ms = parse_num(key, value)?,
             "rpc_retries" => self.rpc_retries = parse_num(key, value)?,
             "shards" => self.shards = parse_num(key, value)?,
+            "telemetry_window_ms" => self.telemetry_window_ms = parse_num(key, value)?,
             "seeds" => {
                 let seeds: Result<Vec<u64>, _> = value
                     .split(',')
@@ -446,6 +456,7 @@ impl ExperimentSpec {
                 "rpc_timeout_ms" => self.rpc_timeout_ms.to_string(),
                 "rpc_retries" => self.rpc_retries.to_string(),
                 "shards" => self.shards.to_string(),
+                "telemetry_window_ms" => self.telemetry_window_ms.to_string(),
                 "seeds" => self
                     .seeds
                     .iter()
@@ -713,6 +724,7 @@ impl ExperimentSpec {
                     cluster: self.cluster(),
                     dynamics: self.dynamics(),
                     seed,
+                    telemetry_window_ms: self.telemetry_window_ms,
                     ..Default::default()
                 };
                 if let Some(ms) = self.scan_ms {
@@ -742,6 +754,7 @@ impl ExperimentSpec {
                     faults: self.faults(),
                     shards: self.shards,
                     seed,
+                    telemetry_window_ms: self.telemetry_window_ms,
                     ..Default::default()
                 };
                 if let Some(ms) = self.scan_ms {
@@ -1078,7 +1091,11 @@ rpc_retries=4
         let a = s.run_one(5).unwrap();
         s.shards = 3;
         let b = s.run_one(5).unwrap();
-        assert_eq!(a.core(), b.core(), "shard count changed the run");
+        assert_eq!(
+            a.report().core,
+            b.report().core,
+            "shard count changed the run"
+        );
         assert_eq!(a.jobs(), b.jobs());
     }
 
@@ -1109,17 +1126,18 @@ rpc_retries=4
         s.stream = true;
         let out = s.run_one(2).unwrap();
         assert!(out.jobs().is_empty(), "streaming retires per-job results");
-        assert_eq!(out.digest().count(), 10);
+        assert_eq!(out.report().digest.count(), 10);
         assert!(out.mean_duration_ms() > 0.0);
-        assert!(out.live_high_water() >= 1 && out.live_high_water() <= 10);
+        let hw = out.report().live_high_water;
+        assert!((1..=10).contains(&hw));
 
         // Same seed, materialized: identical counters and mean.
         s.stream = false;
         let mat = s.run_one(2).unwrap();
-        assert_eq!(mat.core(), out.core());
+        assert_eq!(mat.report().core, out.report().core);
         assert_eq!(
-            mat.digest().mean_ms().to_bits(),
-            out.digest().mean_ms().to_bits()
+            mat.report().digest.mean_ms().to_bits(),
+            out.report().digest.mean_ms().to_bits()
         );
     }
 
@@ -1138,6 +1156,9 @@ rpc_retries=4
         d.util = 0.6;
         let out = d.run_one(3).unwrap();
         assert_eq!(out.jobs().len(), 8);
-        assert!(out.core().messages > 0, "decentral runs send messages");
+        assert!(
+            out.report().core.messages > 0,
+            "decentral runs send messages"
+        );
     }
 }

@@ -18,7 +18,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use hopper_metrics::{percentile, CoreStats, JobDigest, JobResult, Table};
+use hopper_metrics::{percentile, JobResult, RunReport, Table};
 
 use crate::spec::{ExperimentSpec, SpecError};
 
@@ -69,22 +69,20 @@ pub struct Trial {
     pub axis_value: String,
     /// The trial's seed.
     pub seed: u64,
-    /// Per-job outcomes (empty for `stream=on` trials — see `digest`).
+    /// Per-job outcomes (empty for `stream=on` trials — the report's
+    /// digest is then the only per-job record).
     pub jobs: Vec<JobResult>,
-    /// Driver-agnostic counters.
-    pub core: CoreStats,
-    /// Constant-memory duration statistics (always populated; the only
-    /// per-job record a streaming trial keeps).
-    pub digest: JobDigest,
-    /// Maximum simultaneously live jobs during the trial.
-    pub live_high_water: usize,
+    /// The unified run-output surface: counters, duration digest, live
+    /// high-water, and — when `telemetry_window_ms > 0` — the windowed
+    /// time-series (see `--series-dir`).
+    pub report: RunReport,
 }
 
 impl Trial {
     /// Mean job duration (ms) — exact in both modes.
     pub fn mean_duration_ms(&self) -> f64 {
         if self.jobs.is_empty() {
-            self.digest.mean_ms()
+            self.report.digest.mean_ms()
         } else {
             hopper_metrics::mean_duration(&self.jobs)
         }
@@ -95,7 +93,7 @@ impl Trial {
     /// streaming trials.
     pub fn percentile_duration_ms(&self, p: f64) -> f64 {
         if self.jobs.is_empty() {
-            return self.digest.quantile_ms(p);
+            return self.report.digest.quantile_ms(p);
         }
         let durs: Vec<f64> = self.jobs.iter().map(|r| r.duration_ms() as f64).collect();
         percentile(&durs, p)
@@ -146,7 +144,7 @@ impl SweepTable {
         if trials.iter().all(|t| t.jobs.is_empty()) {
             let mut pooled = hopper_metrics::JobDigest::new();
             for t in &trials {
-                pooled.merge(&t.digest);
+                pooled.merge(&t.report.digest);
             }
             return pooled.quantile_ms(p);
         }
@@ -176,10 +174,10 @@ impl SweepTable {
             let trials = self.trials_for(&value);
             let (mut won, mut launched, mut events, mut messages) = (0u64, 0u64, 0u64, 0u64);
             for tr in &trials {
-                won += tr.core.spec_won;
-                launched += tr.core.spec_launched;
-                events += tr.core.events;
-                messages += tr.core.messages;
+                won += tr.report.core.spec_won;
+                launched += tr.report.core.spec_launched;
+                events += tr.report.core.events;
+                messages += tr.report.core.messages;
             }
             t.row(&[
                 value.clone(),
@@ -207,16 +205,16 @@ impl SweepTable {
                 "{},{},{},{:.3},{:.3},{:.3},{},{},{},{},{},{}\n",
                 t.axis_value,
                 t.seed,
-                t.digest.count(),
+                t.report.digest.count(),
                 t.mean_duration_ms(),
                 t.percentile_duration_ms(0.5),
                 t.percentile_duration_ms(0.9),
-                t.core.orig_launched,
-                t.core.spec_launched,
-                t.core.spec_won,
-                t.core.events,
-                t.core.messages,
-                t.core.makespan.as_millis(),
+                t.report.core.orig_launched,
+                t.report.core.spec_launched,
+                t.report.core.spec_won,
+                t.report.core.events,
+                t.report.core.messages,
+                t.report.core.makespan.as_millis(),
             ));
         }
         out
@@ -243,6 +241,17 @@ fn grid(
         return Err(SpecError(
             "`engine` cannot be a sweep axis (each engine has its own defaults); \
              run one sweep per engine"
+                .into(),
+        ));
+    }
+    if axis.key == "telemetry_window_ms" {
+        // The telemetry window is an observation knob with no effect on
+        // simulation results (the observer invariant) — every axis value
+        // would produce identical rows. Set it on the spec instead.
+        return Err(SpecError(
+            "`telemetry_window_ms` cannot be a sweep axis: it only changes what is \
+             observed, never the simulation — every value would produce identical \
+             rows. Set telemetry_window_ms= on the spec instead"
                 .into(),
         ));
     }
@@ -283,9 +292,7 @@ fn run_cells(cells: Vec<(ExperimentSpec, String, u64)>, threads: usize) -> Vec<T
                     axis_value: value.clone(),
                     seed: *seed,
                     jobs: summary.jobs().to_vec(),
-                    core: summary.core(),
-                    digest: summary.digest().clone(),
-                    live_high_water: summary.live_high_water(),
+                    report: summary.report().clone(),
                 });
             });
         }
@@ -351,9 +358,7 @@ pub fn sweep_serial(spec: &ExperimentSpec, axis: &SweepAxis) -> Result<SweepTabl
             axis_value: value,
             seed,
             jobs: summary.jobs().to_vec(),
-            core: summary.core(),
-            digest: summary.digest().clone(),
-            live_high_water: summary.live_high_water(),
+            report: summary.report().clone(),
         });
     }
     Ok(SweepTable {
@@ -433,7 +438,7 @@ mod tests {
         for (p, s) in par.trials.iter().zip(&ser.trials) {
             assert_eq!(p.axis_value, s.axis_value);
             assert_eq!(p.seed, s.seed);
-            assert_eq!(p.core, s.core);
+            assert_eq!(p.report.core, s.report.core);
             assert_eq!(p.jobs, s.jobs);
         }
     }
@@ -469,6 +474,17 @@ mod tests {
         let spec = tiny_decentral();
         let axis = SweepAxis::new("seeds", &[1, 2]);
         assert!(grid(&spec, &axis).is_err());
+    }
+
+    #[test]
+    fn telemetry_window_axis_is_rejected() {
+        // Observer invariant: every axis value runs the same simulation,
+        // so a telemetry_window_ms sweep is rejected rather than run.
+        let spec = tiny_decentral();
+        let axis = SweepAxis::new("telemetry_window_ms", &[0u64, 1000]);
+        let e = grid(&spec, &axis).unwrap_err();
+        assert!(e.0.contains("telemetry_window_ms"), "{e}");
+        assert!(e.0.contains("observed"), "{e}");
     }
 
     #[test]
@@ -520,7 +536,7 @@ mod tests {
         assert_eq!(trials.len(), 2);
         let direct = spec.run_one(1).unwrap();
         assert_eq!(trials[0].jobs, direct.jobs());
-        assert_eq!(trials[0].core, direct.core());
+        assert_eq!(trials[0].report.core, direct.report().core);
         assert_eq!(trials[0].axis_value, "hopper");
     }
 }

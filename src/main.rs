@@ -11,7 +11,8 @@
 //!                  [--sched-fail-rate F] [--sched-mttr-ms N]
 //!                  [--rpc-timeout-ms N] [--rpc-retries N]
 //! hopper sweep     [--spec FILE] [key=value ...] --axis KEY=V1,V2[,...]
-//!                  [--threads N] [--csv]
+//!                  [--threads N] [--csv] [--series-dir DIR]
+//! hopper report    [--out FILE] [--svg-out FILE] A.jsonl [B.jsonl]
 //! hopper example   # the §3 motivating example (Table 1 / Figures 1-2)
 //! ```
 //!
@@ -26,7 +27,9 @@
 //! results are bit-identical to a serial run regardless of `--threads`.
 //! Exit code 0 on success; unknown flags or keys abort with usage.
 
-use hopper::experiment::{sweep_with_threads, EngineKind, ExperimentSpec, SpecError, SweepAxis};
+use hopper::experiment::{
+    sweep_with_threads, EngineKind, ExperimentSpec, SpecError, SweepAxis, SweepTable,
+};
 use hopper::metrics::{mean_duration_in_bin, JobResult, SizeBin, Table};
 use std::process::exit;
 
@@ -40,6 +43,7 @@ fn main() {
         "central" => run_single(EngineKind::Central, &args[1..]),
         "decentral" => run_single(EngineKind::Decentral, &args[1..]),
         "sweep" => run_sweep(&args[1..]),
+        "report" => run_report(&args[1..]),
         "example" => run_example(),
         "--help" | "-h" | "help" => usage(),
         other => {
@@ -109,6 +113,9 @@ fn apply_flags(spec: &mut ExperimentSpec, rest: &[String]) {
             "--rpc-timeout-ms" => spec.set("rpc_timeout_ms", &next("--rpc-timeout-ms")),
             "--rpc-retries" => spec.set("rpc_retries", &next("--rpc-retries")),
             "--shards" => spec.set("shards", &next("--shards")),
+            "--telemetry-window-ms" => {
+                spec.set("telemetry_window_ms", &next("--telemetry-window-ms"))
+            }
             other => {
                 eprintln!("unknown flag: {other}");
                 usage();
@@ -126,19 +133,40 @@ fn run_single(kind: EngineKind, rest: &[String]) {
         EngineKind::Central => ExperimentSpec::central(),
         EngineKind::Decentral => ExperimentSpec::decentral(),
     };
-    apply_flags(&mut spec, rest);
+    // `--series-out` is an output sink, not a spec key: peel it off
+    // before the flag→key mapping sees the argument list.
+    let mut series_out: Option<String> = None;
+    let mut flags: Vec<String> = Vec::with_capacity(rest.len());
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--series-out" {
+            let Some(path) = it.next() else {
+                eprintln!("flag --series-out needs a value");
+                exit(2);
+            };
+            series_out = Some(path.clone());
+        } else {
+            flags.push(arg.clone());
+        }
+    }
+    apply_flags(&mut spec, &flags);
     if let Err(e) = spec.validate() {
         bail(e);
     }
+    if series_out.is_some() && spec.telemetry_window_ms == 0 {
+        eprintln!("--series-out needs --telemetry-window-ms N (N > 0) to collect a series");
+        exit(2);
+    }
     let seed = spec.seeds[0];
     let out = spec.run_one(seed).unwrap_or_else(|e| bail(e));
-    let core = out.core();
+    let report = out.report();
+    let core = &report.core;
     println!(
         "{}/{} on {} jobs ({} workload, util {:.0}%, seed {}): mean JCT {:.0} ms, p90 {:.0} ms, \
          makespan {:.1} s, spec {}/{} won, events {}, msgs {}",
         spec.engine.as_str(),
         spec.policy,
-        out.digest().count(),
+        report.digest.count(),
         spec.workload,
         spec.util * 100.0,
         seed,
@@ -155,14 +183,30 @@ fn run_single(kind: EngineKind, rest: &[String]) {
         // yardstick instead of the per-bin table.
         println!(
             "streaming: live-job high-water {} of {} total ({:.2}%), p50 ~{:.0} ms (sketch ε={})",
-            out.live_high_water(),
-            out.digest().count(),
-            100.0 * out.live_high_water() as f64 / out.digest().count().max(1) as f64,
+            report.live_high_water,
+            report.digest.count(),
+            100.0 * report.live_high_water as f64 / report.digest.count().max(1) as f64,
             out.percentile_duration_ms(0.5),
-            out.digest().eps(),
+            report.digest.eps(),
         );
     } else {
         print_bins(out.jobs());
+    }
+    if let Some(path) = series_out {
+        let series = report
+            .telemetry
+            .as_ref()
+            .expect("telemetry_window_ms > 0 was checked before the run");
+        let label = format!("{}/{}", spec.engine.as_str(), spec.policy);
+        if let Err(e) = std::fs::write(&path, series.to_jsonl(&label, seed)) {
+            eprintln!("could not write series to {path}: {e}");
+            exit(2);
+        }
+        println!(
+            "telemetry: {} windows of {} ms written to {path}",
+            series.windows.len(),
+            series.window_ms,
+        );
     }
 }
 
@@ -176,6 +220,7 @@ fn run_sweep(rest: &[String]) {
     let mut axis: Option<SweepAxis> = None;
     let mut threads: Option<usize> = None;
     let mut csv = false;
+    let mut series_dir: Option<String> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         let mut next = |name: &str| {
@@ -210,6 +255,7 @@ fn run_sweep(rest: &[String]) {
                 }))
             }
             "--csv" => csv = true,
+            "--series-dir" => series_dir = Some(next("--series-dir")),
             kv if kv.contains('=') && !kv.starts_with("--") => {
                 arg_text.push_str(kv);
                 arg_text.push('\n');
@@ -226,8 +272,15 @@ fn run_sweep(rest: &[String]) {
         exit(2);
     };
     let spec = ExperimentSpec::parse(&format!("{file_text}{arg_text}")).unwrap_or_else(|e| bail(e));
+    if series_dir.is_some() && spec.telemetry_window_ms == 0 {
+        eprintln!("--series-dir needs telemetry_window_ms=N (N > 0) on the spec to collect series");
+        exit(2);
+    }
     let threads = threads.unwrap_or_else(hopper::experiment::default_threads);
     let table = sweep_with_threads(&spec, &axis, threads).unwrap_or_else(|e| bail(e));
+    if let Some(dir) = series_dir {
+        write_series_dir(&dir, &axis.key, &spec, &table);
+    }
     if csv {
         print!("{}", table.to_csv());
     } else {
@@ -240,6 +293,124 @@ fn run_sweep(rest: &[String]) {
             threads,
         );
         table.to_table(&title).print();
+    }
+}
+
+/// Deterministic per-trial series file name: `{axis_key}-{value}-seed{N}.jsonl`
+/// with every character outside `[A-Za-z0-9._-]` of the value mapped to `-`.
+/// The contract lets the nightly diff (and any external tooling) address a
+/// trial's series from the grid cell alone, with no directory listing.
+fn series_file_name(axis_key: &str, axis_value: &str, seed: u64) -> String {
+    let sanitize = |s: &str| -> String {
+        s.chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect()
+    };
+    format!(
+        "{}-{}-seed{}.jsonl",
+        sanitize(axis_key),
+        sanitize(axis_value),
+        seed
+    )
+}
+
+/// Write one JSON-lines telemetry file per trial into `dir` (created if
+/// missing), named by [`series_file_name`].
+fn write_series_dir(dir: &str, axis_key: &str, spec: &ExperimentSpec, table: &SweepTable) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("could not create series dir {dir}: {e}");
+        exit(2);
+    }
+    let mut written = 0usize;
+    for trial in &table.trials {
+        let Some(series) = &trial.report.telemetry else {
+            continue;
+        };
+        let name = series_file_name(axis_key, &trial.axis_value, trial.seed);
+        let path = format!("{dir}/{name}");
+        let label = format!(
+            "{}/{} {}={}",
+            spec.engine.as_str(),
+            spec.policy,
+            axis_key,
+            trial.axis_value
+        );
+        if let Err(e) = std::fs::write(&path, series.to_jsonl(&label, trial.seed)) {
+            eprintln!("could not write series to {path}: {e}");
+            exit(2);
+        }
+        written += 1;
+    }
+    eprintln!("telemetry: wrote {written} series files to {dir}/");
+}
+
+/// `hopper report`: render one or two JSON-lines telemetry series into a
+/// self-contained HTML page (and optionally a standalone SVG).
+fn run_report(rest: &[String]) {
+    let mut out_path = "report.html".to_string();
+    let mut svg_path: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag {name} needs a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--out" => out_path = next("--out"),
+            "--svg-out" => svg_path = Some(next("--svg-out")),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown report flag: {flag}");
+                usage();
+                exit(2);
+            }
+            path => inputs.push(path.to_string()),
+        }
+    }
+    if inputs.is_empty() || inputs.len() > 2 {
+        eprintln!(
+            "report takes one series file (single run) or two (A/B), got {}",
+            inputs.len()
+        );
+        exit(2);
+    }
+    let mut runs = Vec::with_capacity(inputs.len());
+    for path in &inputs {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("could not read series file {path}: {e}");
+            exit(2);
+        });
+        match hopper::metrics::parse_jsonl(&text) {
+            Ok(data) => runs.push(data),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                exit(2);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, hopper::metrics::render_html(&runs)) {
+        eprintln!("could not write report to {out_path}: {e}");
+        exit(2);
+    }
+    println!(
+        "report: {} run{} -> {out_path}",
+        runs.len(),
+        if runs.len() == 1 { "" } else { "s (A/B)" },
+    );
+    if let Some(path) = svg_path {
+        if let Err(e) = std::fs::write(&path, hopper::metrics::render_svg(&runs)) {
+            eprintln!("could not write SVG to {path}: {e}");
+            exit(2);
+        }
+        println!("report: SVG panel -> {path}");
     }
 }
 
@@ -288,6 +459,6 @@ fn run_example() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  hopper central   [--policy srpt|fifo|fair|budgeted|hopper] [--jobs N] \\\n                   [--machines N] [--slots N] [--util F] [--seed N] \\\n                   [--workload facebook|bing] [--interactive] [--eps F] \\\n                   [--realloc-drift F]  (0 = exact eager reallocation;\n                    F > 0 keeps the last Hopper allocation while total\n                    virtual size drifts < F, relative; sweep key realloc_drift=)\n  hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--workers N] \\\n                   [--slots N] [--jobs N] [--util F] [--seed N] \\\n                   [--probe-ratio F] [--refusals N]\n  hopper sweep     [--spec FILE] [key=value ...] --axis KEY=V1,V2[,...] \\\n                   [--threads N] [--csv]\n  hopper example\n\nstreaming flags (central and decentral; also sweep keys stream=, max_jobs=):\n  --stream          lazy arrivals + job retirement: O(active jobs) job state,\n                    identical results (percentiles via an ε=1% sketch)\n  --max-jobs N      stop consuming the arrival stream after N jobs\n\ncluster-dynamics flags (central and decentral; all default off):\n  --hetero off|uniform|bimodal|lognormal   machine speed heterogeneity\n  --slow-frac F     bimodal slow-node fraction        --slow-factor F  slow speed\n  --hetero-sigma F  lognormal sigma                   --slowdown-rate F  per machine-hour\n  --fail-rate F     machine failures per machine-hour --mttr-ms N      mean recovery\n  (the same knobs are sweep keys: hetero=, slow_frac=, fail_rate=, ...)\n\nmessage-fault flags (decentral only; all default off):\n  --msg-loss F      per-RPC loss probability [0,1]   --msg-jitter-ms N  max extra delay\n  --msg-dup F       per-RPC duplication prob [0,1]   --sched-fail-rate F  crashes/sched-hour\n  --sched-mttr-ms N mean scheduler recovery\n  hardening (neutral unless a fault source is on):\n  --rpc-timeout-ms N  watchdog/lease horizon         --rpc-retries N  before fresh round\n  (the same knobs are sweep keys: msg_loss=, msg_dup=, rpc_timeout_ms=, ...)\n\nsharded execution (decentral only; sweep key shards=):\n  --shards N        run the conservative-PDES engine on N threads; results are\n                    bit-identical for every N >= 1 (0 = the serial driver);\n                    sweep worker counts clamp so workers x shards fits the host"
+        "usage:\n  hopper central   [--policy srpt|fifo|fair|budgeted|hopper] [--jobs N] \\\n                   [--machines N] [--slots N] [--util F] [--seed N] \\\n                   [--workload facebook|bing] [--interactive] [--eps F] \\\n                   [--realloc-drift F]  (0 = exact eager reallocation;\n                    F > 0 keeps the last Hopper allocation while total\n                    virtual size drifts < F, relative; sweep key realloc_drift=)\n  hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--workers N] \\\n                   [--slots N] [--jobs N] [--util F] [--seed N] \\\n                   [--probe-ratio F] [--refusals N]\n  hopper sweep     [--spec FILE] [key=value ...] --axis KEY=V1,V2[,...] \\\n                   [--threads N] [--csv] [--series-dir DIR]\n  hopper report    [--out FILE] [--svg-out FILE] A.jsonl [B.jsonl]\n  hopper example\n\nstreaming flags (central and decentral; also sweep keys stream=, max_jobs=):\n  --stream          lazy arrivals + job retirement: O(active jobs) job state,\n                    identical results (percentiles via an ε=1% sketch)\n  --max-jobs N      stop consuming the arrival stream after N jobs\n\ncluster-dynamics flags (central and decentral; all default off):\n  --hetero off|uniform|bimodal|lognormal   machine speed heterogeneity\n  --slow-frac F     bimodal slow-node fraction        --slow-factor F  slow speed\n  --hetero-sigma F  lognormal sigma                   --slowdown-rate F  per machine-hour\n  --fail-rate F     machine failures per machine-hour --mttr-ms N      mean recovery\n  (the same knobs are sweep keys: hetero=, slow_frac=, fail_rate=, ...)\n\nmessage-fault flags (decentral only; all default off):\n  --msg-loss F      per-RPC loss probability [0,1]   --msg-jitter-ms N  max extra delay\n  --msg-dup F       per-RPC duplication prob [0,1]   --sched-fail-rate F  crashes/sched-hour\n  --sched-mttr-ms N mean scheduler recovery\n  hardening (neutral unless a fault source is on):\n  --rpc-timeout-ms N  watchdog/lease horizon         --rpc-retries N  before fresh round\n  (the same knobs are sweep keys: msg_loss=, msg_dup=, rpc_timeout_ms=, ...)\n\nsharded execution (decentral only; sweep key shards=):\n  --shards N        run the conservative-PDES engine on N threads; results are\n                    bit-identical for every N >= 1 (0 = the serial driver);\n                    sweep worker counts clamp so workers x shards fits the host\n\ntelemetry (both engines; spec key telemetry_window_ms=; default 0 = off):\n  --telemetry-window-ms N  collect a windowed time-series (utilization, queue,\n                    live jobs, speculation, kills, messages, per-window JCT);\n                    never changes simulation results (observer invariant)\n  --series-out FILE single runs: write the series as JSON lines\n  --series-dir DIR  sweeps: one AXIS-VALUE-seedN.jsonl per trial (the\n                    value is sanitized to [A-Za-z0-9._-]; deterministic names)\n  hopper report     render series files into a self-contained HTML page\n                    (one file = single run, two = A/B overlay)"
     );
 }

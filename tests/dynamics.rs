@@ -108,7 +108,7 @@ fn machine_failures_requeue_work_and_all_jobs_complete() {
                 t.len(),
                 "jobs lost (decentral={engine_decentral}, seed {seed})"
             );
-            if out.core().orig_launched > tasks {
+            if out.report().core.orig_launched > tasks {
                 saw_relaunch = true;
             }
         }
@@ -187,7 +187,7 @@ fn transient_slowdowns_are_deterministic_and_costly() {
     let a = spec.run_one(7).expect("run a");
     let b = spec.run_one(7).expect("run b");
     assert_eq!(a.jobs(), b.jobs());
-    assert_eq!(a.core(), b.core());
+    assert_eq!(a.report().core, b.report().core);
 
     let mut calm = spec.clone();
     calm.slowdown_rate = 0.0;

@@ -68,7 +68,7 @@ fn run_seeds_matches_serial_run_one_per_seed() {
         assert_eq!(trial.seed, seed);
         let direct = spec.run_one(seed).expect("run_one");
         assert_eq!(trial.jobs, direct.jobs());
-        assert_eq!(trial.core, direct.core());
+        assert_eq!(trial.report.core, direct.report().core);
     }
 }
 

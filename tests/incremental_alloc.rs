@@ -163,8 +163,16 @@ fn streaming_equals_materialized_with_drift() {
         let mat = s.run_one(seed).unwrap();
         s.stream = true;
         let str = s.run_one(seed).unwrap();
-        assert_eq!(mat.core(), str.core(), "CoreStats drifted: seed{seed}");
-        assert_eq!(mat.digest(), str.digest(), "digest drifted: seed{seed}");
-        assert_eq!(mat.jobs().len() as u64, str.digest().count());
+        assert_eq!(
+            mat.report().core,
+            str.report().core,
+            "CoreStats drifted: seed{seed}"
+        );
+        assert_eq!(
+            mat.report().digest,
+            str.report().digest,
+            "digest drifted: seed{seed}"
+        );
+        assert_eq!(mat.jobs().len() as u64, str.report().digest.count());
     }
 }

@@ -49,9 +49,9 @@ const POLICIES: [DecPolicy; 3] = [
 fn assert_same(a: &decentral::DecOutput, b: &decentral::DecOutput, ctx: &str) {
     assert_eq!(a.stats, b.stats, "DecStats drifted: {ctx}");
     assert_eq!(a.jobs, b.jobs, "per-job results drifted: {ctx}");
-    assert_eq!(a.digest, b.digest, "digest drifted: {ctx}");
+    assert_eq!(a.report.digest, b.report.digest, "digest drifted: {ctx}");
     assert_eq!(
-        a.live_high_water, b.live_high_water,
+        a.report.live_high_water, b.report.live_high_water,
         "live high-water drifted: {ctx}"
     );
     // Window boundaries are partition-independent, so the window count
@@ -219,7 +219,10 @@ fn sharded_streaming_matches_materialized_and_shard_counts() {
         let ctx = format!("stream/shards{shards}");
         assert!(got.jobs.is_empty(), "streaming retained jobs: {ctx}");
         assert_eq!(base.stats, got.stats, "DecStats drifted: {ctx}");
-        assert_eq!(base.digest, got.digest, "digest drifted: {ctx}");
+        assert_eq!(
+            base.report.digest, got.report.digest,
+            "digest drifted: {ctx}"
+        );
     }
 }
 

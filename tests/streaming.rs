@@ -58,23 +58,31 @@ fn assert_stream_matches_materialized(kind: EngineKind, policy: &str, seed: u64)
 
     // Identical simulation: counters and digests match exactly (the
     // digest's mean is integer math, so "identical mean" is bit-level).
-    assert_eq!(mat.core(), str.core(), "CoreStats drifted: {ctx}");
-    assert_eq!(mat.digest(), str.digest(), "digest drifted: {ctx}");
     assert_eq!(
-        mat.digest().mean_ms().to_bits(),
-        str.digest().mean_ms().to_bits(),
+        mat.report().core,
+        str.report().core,
+        "CoreStats drifted: {ctx}"
+    );
+    assert_eq!(
+        mat.report().digest,
+        str.report().digest,
+        "digest drifted: {ctx}"
+    );
+    assert_eq!(
+        mat.report().digest.mean_ms().to_bits(),
+        str.report().digest.mean_ms().to_bits(),
         "mean drifted: {ctx}"
     );
     assert!(str.jobs().is_empty(), "streaming retained jobs: {ctx}");
     assert_eq!(
         mat.jobs().len() as u64,
-        str.digest().count(),
+        str.report().digest.count(),
         "job count drifted: {ctx}"
     );
 
     // Sketch percentiles within ε of the exact order statistics.
     let durs: Vec<u64> = mat.jobs().iter().map(|r| r.duration_ms()).collect();
-    let eps = str.digest().eps();
+    let eps = str.report().digest.eps();
     for p in [0.1, 0.5, 0.9, 1.0] {
         let exact = exact_rank_ms(durs.clone(), p);
         let approx = str.percentile_duration_ms(p);
@@ -86,10 +94,13 @@ fn assert_stream_matches_materialized(kind: EngineKind, policy: &str, seed: u64)
 
     // Retirement ran: the high-water mark never reached the whole trace.
     assert!(
-        str.live_high_water() <= mat.jobs().len(),
+        str.report().live_high_water <= mat.jobs().len(),
         "high-water above total: {ctx}"
     );
-    assert!(str.live_high_water() >= 1, "nothing was ever live: {ctx}");
+    assert!(
+        str.report().live_high_water >= 1,
+        "nothing was ever live: {ctx}"
+    );
 }
 
 #[test]
@@ -128,8 +139,8 @@ fn streaming_equals_materialized_under_dynamics() {
         let mat = s.run_one(7).unwrap();
         s.stream = true;
         let str = s.run_one(7).unwrap();
-        assert_eq!(mat.core(), str.core(), "{:?}", kind);
-        assert_eq!(mat.digest(), str.digest(), "{:?}", kind);
+        assert_eq!(mat.report().core, str.report().core, "{:?}", kind);
+        assert_eq!(mat.report().digest, str.report().digest, "{:?}", kind);
     }
 }
 
@@ -142,9 +153,9 @@ fn max_jobs_caps_the_stream_identically_in_both_modes() {
     assert_eq!(mat.jobs().len(), 20);
     s.stream = true;
     let str = s.run_one(3).unwrap();
-    assert_eq!(str.digest().count(), 20);
-    assert_eq!(mat.core(), str.core());
-    assert_eq!(mat.digest(), str.digest());
+    assert_eq!(str.report().digest.count(), 20);
+    assert_eq!(mat.report().core, str.report().core);
+    assert_eq!(mat.report().digest, str.report().digest);
 }
 
 /// Long-run retirement: the live-job high-water mark stays a small
@@ -169,11 +180,15 @@ fn retirement_bounds_live_jobs_on_a_long_run() {
         ..Default::default()
     };
     let out = hopper::decentral::run_stream(stream, hopper::decentral::DecPolicy::Hopper, &cfg);
-    assert_eq!(out.digest.count() as usize, total, "all jobs completed");
+    assert_eq!(
+        out.report.digest.count() as usize,
+        total,
+        "all jobs completed"
+    );
     assert!(
-        out.live_high_water * 10 < total,
+        out.report.live_high_water * 10 < total,
         "live-job high-water {} is not ≪ {total} total jobs",
-        out.live_high_water
+        out.report.live_high_water
     );
 }
 
@@ -198,10 +213,10 @@ fn central_streaming_also_retires() {
         &hopper::central::Policy::Hopper(hopper::central::HopperConfig::default()),
         &cfg,
     );
-    assert_eq!(out.digest.count() as usize, total);
+    assert_eq!(out.report.digest.count() as usize, total);
     assert!(
-        out.live_high_water * 5 < total,
+        out.report.live_high_water * 5 < total,
         "live-job high-water {} is not ≪ {total} total jobs",
-        out.live_high_water
+        out.report.live_high_water
     );
 }
