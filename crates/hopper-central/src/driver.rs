@@ -158,6 +158,19 @@ pub fn run_stream(stream: TraceStream, policy: &Policy, cfg: &SimConfig) -> RunO
     Central::new(ArrivalSource::from_stream(stream), policy, cfg, false).run()
 }
 
+/// Run any [`ArrivalSource`] under `policy` — the seam replayed CSV
+/// traces come through (`ArrivalSource::from_shared`), and the common
+/// generalization of [`run`] / [`run_stream`]: `retain_jobs` selects
+/// between per-job results and the streaming retirement pipeline.
+pub fn run_source(
+    source: ArrivalSource<'_>,
+    policy: &Policy,
+    cfg: &SimConfig,
+    retain_jobs: bool,
+) -> RunOutput {
+    Central::new(source, policy, cfg, retain_jobs).run()
+}
+
 #[derive(Debug, Clone)]
 enum Event {
     Finish {

@@ -240,15 +240,7 @@ impl DecOutput {
 
 /// Run `trace` under decentralized `policy`, retaining per-job results.
 pub fn run(trace: &Trace, policy: DecPolicy, cfg: &DecConfig) -> DecOutput {
-    if cfg.shards >= 1 {
-        return crate::shard::run_sharded(
-            crate::shard::ShardInput::Trace(trace),
-            policy,
-            cfg,
-            true,
-        );
-    }
-    Decentral::new(ArrivalSource::from_trace(trace), policy, cfg, true).run()
+    run_source(ArrivalSource::from_trace(trace), policy, cfg, true)
 }
 
 /// Run a lazy arrival stream with O(active jobs) job state: arrivals are
@@ -257,15 +249,25 @@ pub fn run(trace: &Trace, policy: DecPolicy, cfg: &DecConfig) -> DecOutput {
 /// (`DecOutput::jobs` is empty). Simulation decisions are bit-identical
 /// to [`run`] on the materialized form of the same stream.
 pub fn run_stream(stream: TraceStream, policy: DecPolicy, cfg: &DecConfig) -> DecOutput {
+    run_source(ArrivalSource::from_stream(stream), policy, cfg, false)
+}
+
+/// Run any [`ArrivalSource`] under `policy` — the seam replayed CSV
+/// traces come through (`ArrivalSource::from_shared`), and the common
+/// generalization of [`run`] / [`run_stream`]: `retain_jobs` selects
+/// between per-job results and the streaming retirement pipeline;
+/// `cfg.shards >= 1` selects the sharded conservative-PDES engine
+/// (which clones the source per shard).
+pub fn run_source(
+    source: ArrivalSource<'_>,
+    policy: DecPolicy,
+    cfg: &DecConfig,
+    retain_jobs: bool,
+) -> DecOutput {
     if cfg.shards >= 1 {
-        return crate::shard::run_sharded(
-            crate::shard::ShardInput::Stream(Box::new(stream)),
-            policy,
-            cfg,
-            false,
-        );
+        return crate::shard::run_sharded(source, policy, cfg, retain_jobs);
     }
-    Decentral::new(ArrivalSource::from_stream(stream), policy, cfg, false).run()
+    Decentral::new(source, policy, cfg, retain_jobs).run()
 }
 
 #[derive(Debug, Clone)]

@@ -74,7 +74,7 @@ use hopper_metrics::{
 };
 use hopper_sim::{SeedSequence, SimTime};
 use hopper_spec::Candidate;
-use hopper_workload::{ArrivalSource, Trace, TraceJob, TraceStream};
+use hopper_workload::{ArrivalSource, TraceJob};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -107,18 +107,6 @@ pub struct ShardStats {
     pub cross_msgs: u64,
     /// Messages whose sender and receiver shared a shard (heap-local).
     pub local_msgs: u64,
-}
-
-/// Arrival input of a sharded run: a materialized trace (borrowed, like
-/// [`crate::driver::run`]) or a lazy stream (cloned per shard — each
-/// shard replays the generator and keeps only its own jobs, preserving
-/// the streaming pipeline's constant-memory property per shard).
-pub enum ShardInput<'a> {
-    /// Materialized trace.
-    Trace(&'a Trace),
-    /// Lazy arrival stream (boxed: a generator is much larger than a
-    /// trace reference).
-    Stream(Box<TraceStream>),
 }
 
 /// One simulation event of the sharded engine. Worker-addressed events
@@ -438,7 +426,7 @@ struct Shard<'a> {
 /// [`crate::driver::run`] / [`crate::driver::run_stream`]
 /// (`cfg.shards ≥ 1` selects it).
 pub(crate) fn run_sharded(
-    input: ShardInput<'_>,
+    source: ArrivalSource<'_>,
     policy: DecPolicy,
     cfg: &DecConfig,
     retain_jobs: bool,
@@ -449,13 +437,11 @@ pub(crate) fn run_sharded(
     );
     let nshards = cfg.shards.max(1);
     let mut shards: Vec<Shard<'_>> = (0..nshards)
-        .map(|id| {
-            let arrivals = match &input {
-                ShardInput::Trace(t) => ArrivalSource::from_trace(t),
-                ShardInput::Stream(s) => ArrivalSource::from_stream((**s).clone()),
-            };
-            Shard::new(id, nshards, arrivals, policy, cfg, retain_jobs)
-        })
+        // Every shard replays the whole source from the start (a clone
+        // of the undelivered source — borrowed trace, generator stream,
+        // or shared replay — is position zero) and keeps only its own
+        // entities' jobs.
+        .map(|id| Shard::new(id, nshards, source.clone(), policy, cfg, retain_jobs))
         .collect();
     let n: usize = shards.iter().map(|sh| sh.arrivals_pending).sum();
     let coord = Coord {

@@ -13,7 +13,7 @@
 use hopper_central::{Policy, RunOutput, SimConfig};
 use hopper_decentral::{DecConfig, DecOutput, DecPolicy};
 use hopper_metrics::{mean_duration, percentile, JobResult, RunReport};
-use hopper_workload::{Trace, TraceStream};
+use hopper_workload::{ArrivalSource, Trace, TraceStream};
 
 /// Unified read surface over one scheduler run, regardless of driver.
 ///
@@ -90,6 +90,13 @@ pub trait Engine: Sync {
     /// digest). Decisions are bit-identical to [`Engine::run`] on the
     /// materialized form of the same stream.
     fn run_stream(&self, stream: TraceStream) -> Box<dyn RunSummary>;
+
+    /// Simulate an arbitrary [`ArrivalSource`] — the seam replayed CSV
+    /// traces come through. `retain_jobs` selects between per-job
+    /// results ([`Engine::run`] semantics) and the streaming retirement
+    /// pipeline ([`Engine::run_stream`] semantics); the scheduling
+    /// decisions are identical either way.
+    fn run_source(&self, source: ArrivalSource<'_>, retain_jobs: bool) -> Box<dyn RunSummary>;
 }
 
 /// The centralized driver as an [`Engine`].
@@ -113,6 +120,15 @@ impl Engine for CentralEngine {
     fn run_stream(&self, stream: TraceStream) -> Box<dyn RunSummary> {
         Box::new(hopper_central::run_stream(stream, &self.policy, &self.cfg))
     }
+
+    fn run_source(&self, source: ArrivalSource<'_>, retain_jobs: bool) -> Box<dyn RunSummary> {
+        Box::new(hopper_central::run_source(
+            source,
+            &self.policy,
+            &self.cfg,
+            retain_jobs,
+        ))
+    }
 }
 
 /// The decentralized (Sparrow-style) driver as an [`Engine`].
@@ -135,6 +151,15 @@ impl Engine for DecentralEngine {
 
     fn run_stream(&self, stream: TraceStream) -> Box<dyn RunSummary> {
         Box::new(hopper_decentral::run_stream(stream, self.policy, &self.cfg))
+    }
+
+    fn run_source(&self, source: ArrivalSource<'_>, retain_jobs: bool) -> Box<dyn RunSummary> {
+        Box::new(hopper_decentral::run_source(
+            source,
+            self.policy,
+            &self.cfg,
+            retain_jobs,
+        ))
     }
 }
 

@@ -18,13 +18,21 @@
 //!   and collects a [`SweepTable`] in grid order. Each trial owns its
 //!   seed-derived RNGs, so the parallel result is bit-identical to a
 //!   serial fold ([`sweep_serial`] exists to pin that in tests).
+//! - [`find_frontier`] — bisects a spec's maximum sustainable
+//!   utilization (its *stability frontier*) using a streaming
+//!   unbounded-queue detector; [`frontier_grid`] fans cells out over
+//!   threads with deterministic results.
 
 pub mod engine;
 pub mod spec;
+pub mod stability;
 pub mod sweep;
 
 pub use engine::{CentralEngine, DecentralEngine, Engine, RunSummary};
 pub use spec::{EngineKind, ExperimentSpec, SpecError};
+pub use stability::{
+    find_frontier, frontier_csv, frontier_grid, probe, saturated, FrontierConfig, FrontierResult,
+};
 pub use sweep::{
     clamp_threads, default_threads, mean_jct, run_seeds, sweep, sweep_serial, sweep_with_threads,
     SweepAxis, SweepTable, Trial,

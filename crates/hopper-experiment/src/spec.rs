@@ -18,7 +18,11 @@ use hopper_core::AllocConfig;
 use hopper_decentral::{DecConfig, DecPolicy, FaultConfig};
 use hopper_sim::SimTime;
 use hopper_spec::{SpecConfig, Speculator};
-use hopper_workload::{Trace, TraceGenerator, TraceStream, WorkloadProfile};
+use hopper_workload::{
+    parse_replay_csv, ArrivalSource, RateProfile, Trace, TraceGenerator, TraceStream,
+    WorkloadProfile,
+};
+use std::sync::Arc;
 
 use crate::engine::{CentralEngine, DecentralEngine, Engine, RunSummary};
 
@@ -67,11 +71,18 @@ const KNOWN_KEYS: &[&str] = &[
     "single_phase",
     "fixed_dag_len",
     "fixed_beta",
+    "fixed_tasks",
     "learn_beta",
     "realloc_drift",
     "jobs",
     "max_jobs",
     "stream",
+    "rate_profile",
+    "rate_period_ms",
+    "burst_rate",
+    "burst_mult",
+    "burst_len_ms",
+    "replay",
     "machines",
     "slots",
     "handoff_ms",
@@ -124,6 +135,11 @@ pub struct ExperimentSpec {
     pub fixed_dag_len: Option<usize>,
     /// Pin every job's Pareto tail index β.
     pub fixed_beta: Option<f64>,
+    /// Pin every job's input-phase task count, removing the heavy-tailed
+    /// job-size dimension (`fixed_tasks=none|N`). With `single_phase`
+    /// and `fixed_beta` this is the analytic stability-frontier
+    /// reference workload (saturation at `util=1`).
+    pub fixed_tasks: Option<usize>,
     /// Centralized Hopper: learn β online (vs per-job trace β).
     pub learn_beta: bool,
     /// Centralized Hopper: bounded-staleness reallocation threshold
@@ -147,6 +163,35 @@ pub struct ExperimentSpec {
     /// materialized run of the same seed; percentiles come from the
     /// digest's ε-approximate sketch instead of an exact sort.
     pub stream: bool,
+    /// Arrival-rate shape (`rate_profile=constant|diurnal`, default
+    /// `constant`). `constant` is the stationary Poisson process and is
+    /// byte-identical to builds that predate the knob; `diurnal`
+    /// modulates arrivals along a piecewise-linear day/night curve whose
+    /// time-average is pinned to 1, so `util` stays the honest
+    /// time-average target. Sweepable.
+    pub rate_profile: String,
+    /// Diurnal period in ms (`rate_period_ms=0` — the default — derives
+    /// one from the calibrated arrival window so each run sees a few
+    /// cycles).
+    pub rate_period_ms: u64,
+    /// Burst injections per hour layered on the base profile
+    /// (`burst_rate=0` — the default — disables bursts entirely).
+    /// Burst *placement* depends only on the seed, so sweeping
+    /// `burst_mult` moves how hard bursts hit, never when. Sweepable.
+    pub burst_rate: f64,
+    /// Rate multiplier inside a burst window (≥ 1). Off-burst rate is
+    /// normalized down so the time-average stays 1. Sweepable.
+    pub burst_mult: f64,
+    /// Burst window length in ms. `burst_rate × burst_len_ms` must stay
+    /// below one hour (bursts must not tile the timeline).
+    pub burst_len_ms: u64,
+    /// External trace replay (`replay=none|<path.csv>`): ingest jobs
+    /// from a CSV (`arrival_ms,tasks,work_ms[,dag_len[,beta]]`) instead
+    /// of synthesizing them. Replay fixes the arrival process, so it
+    /// requires `rate_profile=constant`, no bursts, and no `max_jobs`;
+    /// `jobs`/`util`/`workload` shaping keys are ignored. (A file
+    /// literally named `none` cannot be specified — rename it.)
+    pub replay: Option<String>,
     /// Cluster machines.
     pub machines: usize,
     /// Slots per machine.
@@ -234,11 +279,18 @@ impl ExperimentSpec {
             single_phase: false,
             fixed_dag_len: None,
             fixed_beta: None,
+            fixed_tasks: None,
             learn_beta: true,
             realloc_drift: 0.0,
             jobs: 100,
             max_jobs: None,
             stream: false,
+            rate_profile: "constant".into(),
+            rate_period_ms: 0,
+            burst_rate: 0.0,
+            burst_mult: 4.0,
+            burst_len_ms: 60_000,
+            replay: None,
             machines: 50,
             slots: 4,
             handoff_ms: ClusterConfig::default().handoff_ms,
@@ -312,6 +364,7 @@ impl ExperimentSpec {
             "single_phase" => self.single_phase = parse_bool(key, value)?,
             "fixed_dag_len" => self.fixed_dag_len = parse_opt(key, value)?,
             "fixed_beta" => self.fixed_beta = parse_opt(key, value)?,
+            "fixed_tasks" => self.fixed_tasks = parse_opt(key, value)?,
             "learn_beta" => self.learn_beta = parse_bool(key, value)?,
             "realloc_drift" => self.realloc_drift = parse_num(key, value)?,
             "jobs" => self.jobs = parse_num(key, value)?,
@@ -323,6 +376,12 @@ impl ExperimentSpec {
                     other => return Err(err(format!("stream must be on|off, got `{other}`"))),
                 }
             }
+            "rate_profile" => self.rate_profile = value.to_string(),
+            "rate_period_ms" => self.rate_period_ms = parse_num(key, value)?,
+            "burst_rate" => self.burst_rate = parse_num(key, value)?,
+            "burst_mult" => self.burst_mult = parse_num(key, value)?,
+            "burst_len_ms" => self.burst_len_ms = parse_num(key, value)?,
+            "replay" => self.replay = parse_opt(key, value)?,
             "machines" => self.machines = parse_num(key, value)?,
             "slots" => self.slots = parse_num(key, value)?,
             "handoff_ms" => self.handoff_ms = parse_num(key, value)?,
@@ -426,11 +485,20 @@ impl ExperimentSpec {
                 "fixed_beta" => self
                     .fixed_beta
                     .map_or("none".to_string(), |x| x.to_string()),
+                "fixed_tasks" => self
+                    .fixed_tasks
+                    .map_or("none".to_string(), |x| x.to_string()),
                 "learn_beta" => self.learn_beta.to_string(),
                 "realloc_drift" => self.realloc_drift.to_string(),
                 "jobs" => self.jobs.to_string(),
                 "max_jobs" => self.max_jobs.map_or("none".to_string(), |x| x.to_string()),
                 "stream" => if self.stream { "on" } else { "off" }.to_string(),
+                "rate_profile" => self.rate_profile.clone(),
+                "rate_period_ms" => self.rate_period_ms.to_string(),
+                "burst_rate" => self.burst_rate.to_string(),
+                "burst_mult" => self.burst_mult.to_string(),
+                "burst_len_ms" => self.burst_len_ms.to_string(),
+                "replay" => self.replay.clone().unwrap_or_else(|| "none".to_string()),
                 "machines" => self.machines.to_string(),
                 "slots" => self.slots.to_string(),
                 "handoff_ms" => self.handoff_ms.to_string(),
@@ -515,6 +583,9 @@ impl ExperimentSpec {
         if self.max_jobs == Some(0) {
             return Err(err("max_jobs must be positive (or none)"));
         }
+        if self.fixed_tasks == Some(0) {
+            return Err(err("fixed_tasks must be positive (or none)"));
+        }
         if self.machines == 0 || self.slots == 0 {
             return Err(err("machines and slots must be positive"));
         }
@@ -589,6 +660,30 @@ impl ExperimentSpec {
                 "shards requires engine=decentral — the central engine has no sharded driver",
             ));
         }
+        if !["constant", "diurnal"].contains(&self.rate_profile.as_str()) {
+            return Err(err(format!(
+                "rate_profile must be constant|diurnal, got `{}`",
+                self.rate_profile
+            )));
+        }
+        if !(self.burst_rate >= 0.0 && self.burst_rate.is_finite()) {
+            return Err(err(format!(
+                "burst_rate must be finite and >= 0, got {}",
+                self.burst_rate
+            )));
+        }
+        // The profile's own invariants (burst_mult >= 1, windows must not
+        // tile the hour, ...) live with the profile.
+        self.rate().check().map_err(err)?;
+        if self.replay.is_some() {
+            if self.rate_profile != "constant" || self.burst_rate > 0.0 {
+                return Err(err("replay fixes the arrival process — it requires \
+                     rate_profile=constant and burst_rate=0"));
+            }
+            if self.max_jobs.is_some() {
+                return Err(err("replay and max_jobs are mutually exclusive"));
+            }
+        }
         if !(self.probe_ratio > 0.0 && self.probe_ratio.is_finite()) {
             return Err(err(format!(
                 "probe_ratio must be finite and > 0, got {}",
@@ -652,6 +747,21 @@ impl ExperimentSpec {
         self.machines * self.slots
     }
 
+    /// The arrival-rate profile this spec describes.
+    /// [`RateProfile::Constant`] — bit-identical runs — unless a
+    /// non-stationary key was set.
+    pub fn rate(&self) -> RateProfile {
+        let base = match self.rate_profile.as_str() {
+            "diurnal" => RateProfile::diurnal(self.rate_period_ms),
+            _ => RateProfile::constant(),
+        };
+        if self.burst_rate > 0.0 {
+            base.with_bursts(self.burst_rate, self.burst_mult, self.burst_len_ms)
+        } else {
+            base
+        }
+    }
+
     /// Synthesize the trial's trace for `seed`. Identical (workload,
     /// jobs, cluster, util, seed) ⇒ identical trace, which is what lets
     /// reduction comparisons across policies share a trace by sharing a
@@ -681,8 +791,14 @@ impl ExperimentSpec {
         if let Some(beta) = self.fixed_beta {
             profile = profile.fixed_beta(beta);
         }
-        let stream = TraceGenerator::new(profile, self.jobs, seed)
-            .stream_with_utilization(self.total_slots(), self.util);
+        if let Some(tasks) = self.fixed_tasks {
+            profile = profile.fixed_job_size(tasks);
+        }
+        let stream = TraceGenerator::new(profile, self.jobs, seed).stream_with_profile(
+            self.total_slots(),
+            self.util,
+            &self.rate(),
+        );
         match self.max_jobs {
             Some(m) => stream.truncated(m),
             None => stream,
@@ -771,11 +887,20 @@ impl ExperimentSpec {
         }
     }
 
-    /// Run one trial: synthesize the seed's workload and simulate it —
-    /// through the streaming pipeline when `stream=on` (lazy arrivals,
-    /// retired jobs, digest-only results), materialized otherwise.
+    /// Run one trial: synthesize the seed's workload (or ingest the
+    /// `replay=` CSV) and simulate it — through the streaming pipeline
+    /// when `stream=on` (lazy arrivals, retired jobs, digest-only
+    /// results), materialized otherwise.
     pub fn run_one(&self, seed: u64) -> Result<Box<dyn RunSummary>, SpecError> {
         let engine = self.engine(seed)?;
+        if let Some(path) = &self.replay {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| err(format!("replay `{path}`: {e}")))?;
+            let trace =
+                parse_replay_csv(&text).map_err(|e| err(format!("replay `{path}`: {e}")))?;
+            let source = ArrivalSource::from_shared(Arc::new(trace));
+            return Ok(engine.run_source(source, !self.stream));
+        }
         if self.stream {
             Ok(engine.run_stream(self.stream(seed)))
         } else {
@@ -1138,6 +1263,99 @@ rpc_retries=4
         assert_eq!(
             mat.report().digest.mean_ms().to_bits(),
             out.report().digest.mean_ms().to_bits()
+        );
+    }
+
+    #[test]
+    fn rate_keys_round_trip_and_map() {
+        let text = "\
+rate_profile=diurnal
+rate_period_ms=600000
+burst_rate=6
+burst_mult=3
+burst_len_ms=30000
+";
+        let s = ExperimentSpec::parse(text).unwrap();
+        let again = ExperimentSpec::parse(&s.render()).unwrap();
+        assert_eq!(s, again);
+        assert_eq!(
+            s.rate(),
+            RateProfile::diurnal(600_000).with_bursts(6.0, 3.0, 30_000)
+        );
+        // The default spec carries the stationary profile.
+        let d = ExperimentSpec::central();
+        assert_eq!(d.rate(), RateProfile::Constant);
+        assert!(d.render().contains("rate_profile=constant\n"));
+        assert!(d.render().contains("burst_rate=0\n"));
+        // Bursts layer onto a constant base too.
+        let s = ExperimentSpec::parse("burst_rate=2\n").unwrap();
+        assert_eq!(
+            s.rate(),
+            RateProfile::constant().with_bursts(2.0, 4.0, 60_000)
+        );
+    }
+
+    #[test]
+    fn rate_values_are_validated() {
+        let e = ExperimentSpec::parse("rate_profile=sinusoid\n").unwrap_err();
+        assert!(e.0.contains("rate_profile"), "{e}");
+        let e = ExperimentSpec::parse("burst_rate=-1\n").unwrap_err();
+        assert!(e.0.contains("burst_rate"), "{e}");
+        // Profile invariants surface through validate(): mult < 1 and
+        // hour-tiling windows are rejected.
+        let e = ExperimentSpec::parse("burst_rate=2\nburst_mult=0.5\n").unwrap_err();
+        assert!(e.0.contains("mult"), "{e}");
+        let e = ExperimentSpec::parse("burst_rate=60\nburst_len_ms=60000\n").unwrap_err();
+        assert!(e.0.contains("hour"), "{e}");
+        // burst_mult alone is inert (burst_rate=0 builds no burst layer).
+        assert!(ExperimentSpec::parse("burst_mult=0.5\n").is_ok());
+    }
+
+    #[test]
+    fn replay_key_round_trips_and_is_exclusive() {
+        let s = ExperimentSpec::parse("replay=trace.csv\n").unwrap();
+        assert_eq!(s.replay.as_deref(), Some("trace.csv"));
+        let again = ExperimentSpec::parse(&s.render()).unwrap();
+        assert_eq!(s, again);
+        assert!(ExperimentSpec::central().render().contains("replay=none\n"));
+        // Replay fixes the arrival process.
+        let e = ExperimentSpec::parse("replay=t.csv\nrate_profile=diurnal\n").unwrap_err();
+        assert!(e.0.contains("rate_profile=constant"), "{e}");
+        let e = ExperimentSpec::parse("replay=t.csv\nburst_rate=2\n").unwrap_err();
+        assert!(e.0.contains("burst_rate"), "{e}");
+        let e = ExperimentSpec::parse("replay=t.csv\nmax_jobs=5\n").unwrap_err();
+        assert!(e.0.contains("max_jobs"), "{e}");
+        // A missing file errors at run time with the path in the message.
+        let e = s.run_one(1).err().expect("missing replay file must error");
+        assert!(e.0.contains("trace.csv"), "{e}");
+    }
+
+    #[test]
+    fn diurnal_run_one_completes_and_differs_from_constant() {
+        let mut s = ExperimentSpec::central();
+        s.policy = "srpt".into();
+        s.jobs = 20;
+        s.machines = 10;
+        s.util = 0.6;
+        let stationary = s.run_one(7).unwrap();
+        s.rate_profile = "diurnal".into();
+        let diurnal = s.run_one(7).unwrap();
+        assert_eq!(diurnal.jobs().len(), 20);
+        // Same jobs, same total work — only the arrival spacing moved.
+        let t_const = {
+            s.rate_profile = "constant".into();
+            s.trace(7)
+        };
+        s.rate_profile = "diurnal".into();
+        let t_diur = s.trace(7);
+        assert_eq!(t_const.len(), t_diur.len());
+        for (a, b) in t_const.jobs.iter().zip(&t_diur.jobs) {
+            assert_eq!(a.total_work_ms(), b.total_work_ms());
+        }
+        assert_ne!(
+            stationary.report().core,
+            diurnal.report().core,
+            "a diurnal curve should actually change the run"
         );
     }
 

@@ -104,6 +104,14 @@ pub struct TelemetryWindow {
     pub jct: JobDigest,
 }
 
+impl Default for TelemetryWindow {
+    /// The all-zero window at index 0 (empty digest) — scaffolding for
+    /// synthesizing series (detector tests build inputs from it).
+    fn default() -> Self {
+        TelemetryWindow::carried(0, 0, 0, 0)
+    }
+}
+
 impl TelemetryWindow {
     /// An all-zero window at `index` carrying the given gauges — used
     /// for boundary crossings without events and for padding shorter
@@ -400,6 +408,19 @@ pub struct RunReport {
     /// Windowed time-series; `None` unless the run set
     /// `telemetry_window_ms > 0`.
     pub telemetry: Option<TelemetrySeries>,
+}
+
+impl Default for RunReport {
+    /// The report of a run that did nothing: zero counters, empty
+    /// digest, no telemetry.
+    fn default() -> Self {
+        RunReport {
+            core: CoreStats::default(),
+            digest: JobDigest::default(),
+            live_high_water: 0,
+            telemetry: None,
+        }
+    }
 }
 
 impl RunReport {

@@ -12,6 +12,7 @@ use rand::Rng;
 
 use crate::dist::Dist;
 use crate::profile::WorkloadProfile;
+use crate::rate::{RateClock, RateProfile};
 use crate::trace::{CommPattern, Trace, TraceJob, TracePhase};
 
 /// Deterministic trace generator.
@@ -73,6 +74,43 @@ impl TraceGenerator {
     /// with a calibration pre-pass that generates and discards each job
     /// once (2× generation time, O(1) memory) before yielding begins.
     pub fn stream_with_utilization(&self, total_slots: usize, target_util: f64) -> TraceStream {
+        self.stream_with_profile(total_slots, target_util, &RateProfile::Constant)
+    }
+
+    /// [`TraceGenerator::generate_with_utilization`] under a
+    /// non-stationary [`RateProfile`] — a `collect()` of
+    /// [`TraceGenerator::stream_with_profile`], same single-path
+    /// guarantee.
+    pub fn generate_with_profile(
+        &self,
+        total_slots: usize,
+        target_util: f64,
+        rate: &RateProfile,
+    ) -> Trace {
+        Trace::new(
+            self.stream_with_profile(total_slots, target_util, rate)
+                .collect(),
+        )
+    }
+
+    /// [`TraceGenerator::stream_with_utilization`] with arrivals
+    /// modulated by a [`RateProfile`].
+    ///
+    /// Calibration is unchanged — the arrival window is still
+    /// `total_work / (slots · util)` — and every profile has
+    /// time-average relative rate 1, so `target_util` stays the honest
+    /// time-average of the modulated curve. Job bodies and the
+    /// exponential gap draws are identical across profiles (one
+    /// uniform per arrival from the same child RNG); only the mapping
+    /// from gap to arrival time changes. With
+    /// [`RateProfile::Constant`] the stream is byte-identical to the
+    /// historical generator.
+    pub fn stream_with_profile(
+        &self,
+        total_slots: usize,
+        target_util: f64,
+        rate: &RateProfile,
+    ) -> TraceStream {
         assert!(
             target_util > 0.0 && target_util <= 1.5,
             "unreasonable utilization"
@@ -95,6 +133,7 @@ impl TraceGenerator {
             arr_rng: seq.child_rng(0xA11A),
             gap: Dist::Exp { mean: mean_gap },
             t: 0.0,
+            clock: RateClock::new(rate, window_ms, self.seed),
         }
     }
 
@@ -235,6 +274,10 @@ pub struct TraceStream {
     arr_rng: StdRng,
     gap: Dist,
     t: f64,
+    /// Non-stationary rate evaluator; `None` under
+    /// [`RateProfile::Constant`], where time advances by the raw
+    /// exponential gap exactly as it always has.
+    clock: Option<RateClock>,
 }
 
 impl TraceStream {
@@ -270,7 +313,15 @@ impl Iterator for TraceStream {
         let seq = SeedSequence::new(self.gen.seed);
         let mut job = self.gen.generate_job(id, &mut seq.child_rng(id as u64));
         job.arrival = SimTime::from_millis(self.t as u64);
-        self.t += self.gap.sample(&mut self.arr_rng);
+        let g = self.gap.sample(&mut self.arr_rng);
+        self.t = match self.clock.as_mut() {
+            // Stationary path: advance by the raw gap (byte-identical
+            // to the pre-profile generator).
+            None => self.t + g,
+            // Non-stationary: the same draw, mapped through the exact
+            // inverse of the relative-rate integral.
+            Some(clock) => clock.advance(self.t, g),
+        };
         self.next += 1;
         Some(job)
     }

@@ -10,7 +10,17 @@
 //! - DAG depths between 1 and 8 phases with pipelined shuffles;
 //! - a large share of recurring jobs (the basis of α prediction, §6.3);
 //! - Poisson arrivals whose rate is scaled to hit a target average cluster
-//!   utilization (the x-axis of Figure 6).
+//!   utilization (the x-axis of Figure 6), optionally modulated by a
+//!   non-stationary [`RateProfile`](crate::RateProfile) with the same
+//!   time-average.
+//!
+//! A profile never materializes jobs itself: the generator turns it into
+//! a lazy, seeded [`TraceStream`](crate::TraceStream), and the drivers
+//! consume that through the [`ArrivalSource`](crate::ArrivalSource)
+//! peek/pop seam — arrivals are *delivered* as simulation time advances
+//! (an arrival precedes any queued event at the same instant), not
+//! pre-loaded into a FIFO of arrival events. Materialized traces are
+//! just a `collect()` of the same stream.
 
 use crate::dist::Dist;
 
@@ -188,6 +198,17 @@ impl WorkloadProfile {
     /// specific β).
     pub fn fixed_beta(mut self, beta: f64) -> Self {
         self.beta_range = (beta, beta);
+        self
+    }
+
+    /// Force every job to exactly `tasks` input-phase tasks, removing the
+    /// heavy-tailed job-size dimension. With [`WorkloadProfile::single_phase`]
+    /// and [`WorkloadProfile::fixed_beta`] this yields near-iid per-job work —
+    /// the workload whose saturation point is analytically pinned at target
+    /// utilization 1 (the stability-frontier reference case).
+    pub fn fixed_job_size(mut self, tasks: usize) -> Self {
+        assert!(tasks >= 1);
+        self.job_size = Dist::Constant(tasks as f64);
         self
     }
 

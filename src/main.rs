@@ -12,6 +12,9 @@
 //!                  [--rpc-timeout-ms N] [--rpc-retries N]
 //! hopper sweep     [--spec FILE] [key=value ...] --axis KEY=V1,V2[,...]
 //!                  [--threads N] [--csv] [--series-dir DIR]
+//! hopper stability [--spec FILE] [key=value ...] [--policies P1,P2,...]
+//!                  [--profiles constant,diurnal] [--lo F] [--hi F]
+//!                  [--iters N] [--threads N] [--csv]
 //! hopper report    [--out FILE] [--svg-out FILE] A.jsonl [B.jsonl]
 //! hopper example   # the §3 motivating example (Table 1 / Figures 1-2)
 //! ```
@@ -28,7 +31,8 @@
 //! Exit code 0 on success; unknown flags or keys abort with usage.
 
 use hopper::experiment::{
-    sweep_with_threads, EngineKind, ExperimentSpec, SpecError, SweepAxis, SweepTable,
+    frontier_csv, frontier_grid, sweep_with_threads, EngineKind, ExperimentSpec, FrontierConfig,
+    SpecError, SweepAxis, SweepTable,
 };
 use hopper::metrics::{mean_duration_in_bin, JobResult, SizeBin, Table};
 use std::process::exit;
@@ -43,6 +47,7 @@ fn main() {
         "central" => run_single(EngineKind::Central, &args[1..]),
         "decentral" => run_single(EngineKind::Decentral, &args[1..]),
         "sweep" => run_sweep(&args[1..]),
+        "stability" => run_stability(&args[1..]),
         "report" => run_report(&args[1..]),
         "example" => run_example(),
         "--help" | "-h" | "help" => usage(),
@@ -94,6 +99,12 @@ fn apply_flags(spec: &mut ExperimentSpec, rest: &[String]) {
             "--interactive" => spec.set("interactive", "true"),
             "--stream" => spec.set("stream", "on"),
             "--max-jobs" => spec.set("max_jobs", &next("--max-jobs")),
+            "--rate-profile" => spec.set("rate_profile", &next("--rate-profile")),
+            "--rate-period-ms" => spec.set("rate_period_ms", &next("--rate-period-ms")),
+            "--burst-rate" => spec.set("burst_rate", &next("--burst-rate")),
+            "--burst-mult" => spec.set("burst_mult", &next("--burst-mult")),
+            "--burst-len-ms" => spec.set("burst_len_ms", &next("--burst-len-ms")),
+            "--replay" => spec.set("replay", &next("--replay")),
             "--eps" => spec.set("eps", &next("--eps")),
             "--realloc-drift" => spec.set("realloc_drift", &next("--realloc-drift")),
             "--probe-ratio" => spec.set("probe_ratio", &next("--probe-ratio")),
@@ -296,6 +307,123 @@ fn run_sweep(rest: &[String]) {
     }
 }
 
+/// `hopper stability`: bisect each policy's maximum sustainable
+/// utilization (its stability frontier) under each rate profile.
+///
+/// Policies pick their natural engine — `fifo|fair|srpt|budgeted` run
+/// centralized, `sparrow|sparrow-srpt` decentralized, and `hopper` the
+/// paper's decentralized deployment — so the comparison is frontier vs
+/// frontier, each scheduler in its own home configuration refined by
+/// the shared `key=value` overrides.
+fn run_stability(rest: &[String]) {
+    let mut file_text = String::new();
+    let mut arg_text = String::new();
+    let mut policies = "hopper,sparrow,srpt".to_string();
+    let mut profiles = "constant".to_string();
+    let mut cfg = FrontierConfig::default();
+    let mut threads: Option<usize> = None;
+    let mut csv = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag {name} needs a value");
+                exit(2);
+            })
+        };
+        let parse_f64 = |name: &str, v: String| -> f64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{name} needs a number, got `{v}`");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--spec" => {
+                let path = next("--spec");
+                match std::fs::read_to_string(&path) {
+                    Ok(text) => {
+                        file_text.push_str(&text);
+                        if !file_text.ends_with('\n') {
+                            file_text.push('\n');
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("could not read spec file {path}: {e}");
+                        exit(2);
+                    }
+                }
+            }
+            "--policies" => policies = next("--policies"),
+            "--profiles" => profiles = next("--profiles"),
+            "--lo" => cfg.lo = parse_f64("--lo", next("--lo")),
+            "--hi" => cfg.hi = parse_f64("--hi", next("--hi")),
+            "--iters" => {
+                cfg.iters = next("--iters").parse().unwrap_or_else(|_| {
+                    eprintln!("--iters needs a number");
+                    exit(2);
+                })
+            }
+            "--threads" => {
+                threads = Some(next("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs a number");
+                    exit(2);
+                }))
+            }
+            "--csv" => csv = true,
+            kv if kv.contains('=') && !kv.starts_with("--") => {
+                arg_text.push_str(kv);
+                arg_text.push('\n');
+            }
+            other => {
+                eprintln!("unknown stability argument: {other} (expected key=value or a --flag)");
+                usage();
+                exit(2);
+            }
+        }
+    }
+    let mut cells = Vec::new();
+    for profile in profiles.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        for policy in policies.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let engine = match policy {
+                "fifo" | "fair" | "srpt" | "budgeted" => "central",
+                _ => "decentral",
+            };
+            let text = format!(
+                "engine={engine}\n{file_text}{arg_text}policy={policy}\nrate_profile={profile}\n"
+            );
+            cells.push(ExperimentSpec::parse(&text).unwrap_or_else(|e| bail(e)));
+        }
+    }
+    if cells.is_empty() {
+        eprintln!("stability needs at least one policy and one profile");
+        exit(2);
+    }
+    let threads = threads.unwrap_or_else(hopper::experiment::default_threads);
+    let results = frontier_grid(&cells, &cfg, threads).unwrap_or_else(|e| bail(e));
+    if csv {
+        print!("{}", frontier_csv(&results));
+    } else {
+        let mut t = Table::new(
+            "stability frontier (max sustainable utilization)",
+            &["policy", "rate profile", "frontier", "probes"],
+        );
+        for r in &results {
+            let frontier = if r.lo == r.hi {
+                format!("at/beyond {:.2}", r.lo)
+            } else {
+                format!("[{:.3}, {:.3}]", r.lo, r.hi)
+            };
+            t.row(&[
+                r.policy.clone(),
+                r.rate_profile.clone(),
+                frontier,
+                r.probes.len().to_string(),
+            ]);
+        }
+        t.print();
+    }
+}
+
 /// Deterministic per-trial series file name: `{axis_key}-{value}-seed{N}.jsonl`
 /// with every character outside `[A-Za-z0-9._-]` of the value mapped to `-`.
 /// The contract lets the nightly diff (and any external tooling) address a
@@ -459,6 +587,6 @@ fn run_example() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  hopper central   [--policy srpt|fifo|fair|budgeted|hopper] [--jobs N] \\\n                   [--machines N] [--slots N] [--util F] [--seed N] \\\n                   [--workload facebook|bing] [--interactive] [--eps F] \\\n                   [--realloc-drift F]  (0 = exact eager reallocation;\n                    F > 0 keeps the last Hopper allocation while total\n                    virtual size drifts < F, relative; sweep key realloc_drift=)\n  hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--workers N] \\\n                   [--slots N] [--jobs N] [--util F] [--seed N] \\\n                   [--probe-ratio F] [--refusals N]\n  hopper sweep     [--spec FILE] [key=value ...] --axis KEY=V1,V2[,...] \\\n                   [--threads N] [--csv] [--series-dir DIR]\n  hopper report    [--out FILE] [--svg-out FILE] A.jsonl [B.jsonl]\n  hopper example\n\nstreaming flags (central and decentral; also sweep keys stream=, max_jobs=):\n  --stream          lazy arrivals + job retirement: O(active jobs) job state,\n                    identical results (percentiles via an ε=1% sketch)\n  --max-jobs N      stop consuming the arrival stream after N jobs\n\ncluster-dynamics flags (central and decentral; all default off):\n  --hetero off|uniform|bimodal|lognormal   machine speed heterogeneity\n  --slow-frac F     bimodal slow-node fraction        --slow-factor F  slow speed\n  --hetero-sigma F  lognormal sigma                   --slowdown-rate F  per machine-hour\n  --fail-rate F     machine failures per machine-hour --mttr-ms N      mean recovery\n  (the same knobs are sweep keys: hetero=, slow_frac=, fail_rate=, ...)\n\nmessage-fault flags (decentral only; all default off):\n  --msg-loss F      per-RPC loss probability [0,1]   --msg-jitter-ms N  max extra delay\n  --msg-dup F       per-RPC duplication prob [0,1]   --sched-fail-rate F  crashes/sched-hour\n  --sched-mttr-ms N mean scheduler recovery\n  hardening (neutral unless a fault source is on):\n  --rpc-timeout-ms N  watchdog/lease horizon         --rpc-retries N  before fresh round\n  (the same knobs are sweep keys: msg_loss=, msg_dup=, rpc_timeout_ms=, ...)\n\nsharded execution (decentral only; sweep key shards=):\n  --shards N        run the conservative-PDES engine on N threads; results are\n                    bit-identical for every N >= 1 (0 = the serial driver);\n                    sweep worker counts clamp so workers x shards fits the host\n\ntelemetry (both engines; spec key telemetry_window_ms=; default 0 = off):\n  --telemetry-window-ms N  collect a windowed time-series (utilization, queue,\n                    live jobs, speculation, kills, messages, per-window JCT);\n                    never changes simulation results (observer invariant)\n  --series-out FILE single runs: write the series as JSON lines\n  --series-dir DIR  sweeps: one AXIS-VALUE-seedN.jsonl per trial (the\n                    value is sanitized to [A-Za-z0-9._-]; deterministic names)\n  hopper report     render series files into a self-contained HTML page\n                    (one file = single run, two = A/B overlay)"
+        "usage:\n  hopper central   [--policy srpt|fifo|fair|budgeted|hopper] [--jobs N] \\\n                   [--machines N] [--slots N] [--util F] [--seed N] \\\n                   [--workload facebook|bing] [--interactive] [--eps F] \\\n                   [--realloc-drift F]  (0 = exact eager reallocation;\n                    F > 0 keeps the last Hopper allocation while total\n                    virtual size drifts < F, relative; sweep key realloc_drift=)\n  hopper decentral [--policy sparrow|sparrow-srpt|hopper] [--workers N] \\\n                   [--slots N] [--jobs N] [--util F] [--seed N] \\\n                   [--probe-ratio F] [--refusals N]\n  hopper sweep     [--spec FILE] [key=value ...] --axis KEY=V1,V2[,...] \\\n                   [--threads N] [--csv] [--series-dir DIR]\n  hopper stability [--spec FILE] [key=value ...] [--policies P1,P2,...] \\\n                   [--profiles constant,diurnal] [--lo F] [--hi F] [--iters N] \\\n                   [--threads N] [--csv]\n  hopper report    [--out FILE] [--svg-out FILE] A.jsonl [B.jsonl]\n  hopper example\n\nstreaming flags (central and decentral; also sweep keys stream=, max_jobs=):\n  --stream          lazy arrivals + job retirement: O(active jobs) job state,\n                    identical results (percentiles via an ε=1% sketch)\n  --max-jobs N      stop consuming the arrival stream after N jobs\n\nnon-stationary arrivals (both engines; sweep keys rate_profile=, burst_rate=, ...):\n  --rate-profile constant|diurnal   arrival-rate shape; diurnal follows a\n                    day/night curve whose time-average stays at --util\n  --rate-period-ms N   diurnal period (0 = derive from the arrival window)\n  --burst-rate F    seeded burst windows per hour layered on the base profile\n  --burst-mult F    rate multiplier inside bursts (off-burst normalized down)\n  --burst-len-ms N  burst window length\n  --replay FILE     replay jobs from CSV (arrival_ms,tasks,work_ms[,dag_len[,beta]])\n                    instead of synthesizing; requires a constant profile\n\nstability frontier (hopper stability; probes run streaming with telemetry):\n  --policies P,...  policies to bisect; fifo|fair|srpt|budgeted run centralized,\n                    sparrow|sparrow-srpt|hopper decentralized (default\n                    hopper,sparrow,srpt)\n  --profiles ...    rate profiles per policy (default constant)\n  --lo F / --hi F   utilization bracket (default 0.5 / 1.4)\n  --iters N         bisection steps after the endpoint probes (default 7)\n\ncluster-dynamics flags (central and decentral; all default off):\n  --hetero off|uniform|bimodal|lognormal   machine speed heterogeneity\n  --slow-frac F     bimodal slow-node fraction        --slow-factor F  slow speed\n  --hetero-sigma F  lognormal sigma                   --slowdown-rate F  per machine-hour\n  --fail-rate F     machine failures per machine-hour --mttr-ms N      mean recovery\n  (the same knobs are sweep keys: hetero=, slow_frac=, fail_rate=, ...)\n\nmessage-fault flags (decentral only; all default off):\n  --msg-loss F      per-RPC loss probability [0,1]   --msg-jitter-ms N  max extra delay\n  --msg-dup F       per-RPC duplication prob [0,1]   --sched-fail-rate F  crashes/sched-hour\n  --sched-mttr-ms N mean scheduler recovery\n  hardening (neutral unless a fault source is on):\n  --rpc-timeout-ms N  watchdog/lease horizon         --rpc-retries N  before fresh round\n  (the same knobs are sweep keys: msg_loss=, msg_dup=, rpc_timeout_ms=, ...)\n\nsharded execution (decentral only; sweep key shards=):\n  --shards N        run the conservative-PDES engine on N threads; results are\n                    bit-identical for every N >= 1 (0 = the serial driver);\n                    sweep worker counts clamp so workers x shards fits the host\n\ntelemetry (both engines; spec key telemetry_window_ms=; default 0 = off):\n  --telemetry-window-ms N  collect a windowed time-series (utilization, queue,\n                    live jobs, speculation, kills, messages, per-window JCT);\n                    never changes simulation results (observer invariant)\n  --series-out FILE single runs: write the series as JSON lines\n  --series-dir DIR  sweeps: one AXIS-VALUE-seedN.jsonl per trial (the\n                    value is sanitized to [A-Za-z0-9._-]; deterministic names)\n  hopper report     render series files into a self-contained HTML page\n                    (one file = single run, two = A/B overlay)"
     );
 }

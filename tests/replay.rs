@@ -1,0 +1,170 @@
+//! CSV trace-replay round-trip tests.
+//!
+//! The replay plane's contract: a trace exported with
+//! [`export_replay_csv`] and re-ingested with [`parse_replay_csv`] is
+//! the *same experiment* — bit-identical [`RunReport`]s on both
+//! engines, whatever the pipeline shape (jobs retained or streamed,
+//! serial or sharded). Malformed input is rejected with the offending
+//! line number, end to end through the experiment spec.
+
+use std::sync::Arc;
+
+use hopper::cluster::{ClusterConfig, DynamicsConfig};
+use hopper::workload::{
+    export_replay_csv, parse_replay_csv, ArrivalSource, Trace, TraceGenerator, WorkloadProfile,
+};
+use hopper::{central, decentral};
+
+/// A replayable trace: generated, exported, and re-ingested once so the
+/// CSV schema (not the generator's in-memory extras) defines the jobs.
+fn replayed_trace(seed: u64) -> (Arc<Trace>, String) {
+    let profile = WorkloadProfile::facebook().interactive();
+    let t = TraceGenerator::new(profile, 30, seed).generate_with_utilization(100, 0.7);
+    let csv = export_replay_csv(&t);
+    let trace = parse_replay_csv(&csv).expect("exported CSV must re-ingest");
+    (Arc::new(trace), csv)
+}
+
+fn central_cfg(seed: u64) -> central::SimConfig {
+    central::SimConfig {
+        cluster: ClusterConfig {
+            machines: 25,
+            slots_per_machine: 4,
+            ..Default::default()
+        },
+        seed,
+        telemetry_window_ms: 5_000,
+        ..Default::default()
+    }
+}
+
+fn decentral_cfg(seed: u64, shards: usize) -> decentral::DecConfig {
+    decentral::DecConfig {
+        cluster: ClusterConfig {
+            machines: 50,
+            slots_per_machine: 2,
+            handoff_ms: 0,
+            ..Default::default()
+        },
+        seed,
+        shards,
+        telemetry_window_ms: 5_000,
+        dynamics: DynamicsConfig::off(),
+        ..Default::default()
+    }
+}
+
+/// Export → re-ingest → export is a fixpoint: once a trace has been
+/// through the CSV schema, another round trip changes nothing.
+#[test]
+fn export_ingest_is_a_fixpoint_at_the_pipeline_level() {
+    for seed in [1u64, 7, 19] {
+        let (trace, csv) = replayed_trace(seed);
+        assert_eq!(
+            export_replay_csv(&trace),
+            csv,
+            "seed {seed}: export∘ingest moved the CSV"
+        );
+    }
+}
+
+/// Central engine: the re-ingested trace produces a bit-identical
+/// `RunReport` whether jobs are retained or streamed through the
+/// retirement pipeline, and re-ingesting a second time changes nothing.
+#[test]
+fn central_replay_round_trip_is_bit_identical() {
+    for seed in [5u64, 11] {
+        let (trace, csv) = replayed_trace(seed);
+        let cfg = central_cfg(seed);
+        let policy = central::Policy::Srpt;
+
+        let retained = central::run_source(
+            ArrivalSource::from_shared(trace.clone()),
+            &policy,
+            &cfg,
+            true,
+        );
+        let streamed = central::run_source(
+            ArrivalSource::from_shared(trace.clone()),
+            &policy,
+            &cfg,
+            false,
+        );
+        assert_eq!(
+            retained.report, streamed.report,
+            "seed {seed}: retain/stream reports drifted on replayed trace"
+        );
+
+        let again = Arc::new(parse_replay_csv(&csv).unwrap());
+        let rerun = central::run_source(ArrivalSource::from_shared(again), &policy, &cfg, true);
+        assert_eq!(
+            retained.report, rerun.report,
+            "seed {seed}: second ingest of the same CSV drifted"
+        );
+    }
+}
+
+/// Decentralized engine: the replayed trace runs bit-identically across
+/// shard counts (the sharded PDES contract covers replay sources too)
+/// and across retain/stream, under every policy.
+#[test]
+fn decentral_replay_round_trip_is_bit_identical_across_shards() {
+    let (trace, _) = replayed_trace(5);
+    for policy in [decentral::DecPolicy::Sparrow, decentral::DecPolicy::Hopper] {
+        let base = decentral::run_source(
+            ArrivalSource::from_shared(trace.clone()),
+            policy,
+            &decentral_cfg(5, 1),
+            true,
+        );
+        for shards in [2usize, 3] {
+            let sharded = decentral::run_source(
+                ArrivalSource::from_shared(trace.clone()),
+                policy,
+                &decentral_cfg(5, shards),
+                true,
+            );
+            assert_eq!(
+                base.report,
+                sharded.report,
+                "{}: shards=1 vs shards={shards} drifted on replayed trace",
+                policy.name()
+            );
+        }
+        let streamed = decentral::run_source(
+            ArrivalSource::from_shared(trace.clone()),
+            policy,
+            &decentral_cfg(5, 1),
+            false,
+        );
+        assert_eq!(
+            base.report,
+            streamed.report,
+            "{}: retain/stream drifted on replayed trace",
+            policy.name()
+        );
+    }
+}
+
+/// Spec-level ingestion surfaces malformed rows with their 1-based line
+/// number — the error a user sees from `replay=<path>` names the line.
+#[test]
+fn spec_replay_rejects_malformed_rows_with_line_numbers() {
+    use hopper::experiment::ExperimentSpec;
+
+    let path = std::env::temp_dir().join("hopper_replay_bad_rows.csv");
+    std::fs::write(
+        &path,
+        "arrival_ms,tasks,work_ms,dag_len,beta\n0,4,1000\n5,0,1000\n",
+    )
+    .unwrap();
+
+    let mut s = ExperimentSpec::central();
+    s.replay = Some(path.display().to_string());
+    let msg = s.run_one(1).err().expect("bad row must fail").to_string();
+    assert!(
+        msg.contains("line 3"),
+        "error should carry the 1-based line number: {msg}"
+    );
+    std::fs::remove_file(&path).ok();
+}

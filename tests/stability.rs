@@ -1,0 +1,97 @@
+//! Stability-frontier bisector tests (`hopper_experiment::stability`).
+//!
+//! The frontier machinery is pinned on an *analytic* reference workload:
+//! single-phase jobs with a fixed task count and fixed β on one machine
+//! with zero handoff and speculation disabled. Calibration makes offered
+//! work equal capacity at `util = 1`, and nothing inflates executed work
+//! (replicas are always local, no handoff, no speculative copies), so
+//! the true saturation point is `util = 1` — the detected frontier must
+//! bracket a neighborhood of it. The other invariants: the detector
+//! never flags a clearly draining run, and `frontier_grid` is
+//! bit-identical at every worker-thread count.
+
+use hopper::experiment::{find_frontier, frontier_grid, saturated, ExperimentSpec, FrontierConfig};
+
+/// The analytic reference spec: saturation at `util = 1` by construction
+/// (see module docs). `seeds` carries the probe seed — `find_frontier`
+/// reads only the first.
+fn analytic_spec(jobs: usize, seed: u64) -> ExperimentSpec {
+    ExperimentSpec::parse(&format!(
+        "engine=central\n\
+         policy=srpt\n\
+         interactive=true\n\
+         single_phase=true\n\
+         fixed_tasks=40\n\
+         fixed_beta=2\n\
+         jobs={jobs}\n\
+         machines=1\n\
+         slots=80\n\
+         handoff_ms=0\n\
+         spec_min_elapsed_ms=1000000000\n\
+         seeds={seed}\n"
+    ))
+    .expect("analytic spec parses")
+}
+
+/// The detected frontier brackets the analytic saturation point. The
+/// tolerance band covers finite-run edge effects (the last arrival's
+/// exponential-gap jitter moves the measured offered load a few percent;
+/// measured brackets across seeds sit in [0.95, 1.12]).
+#[test]
+fn analytic_saturation_point_is_bracketed() {
+    for seed in [1u64, 3] {
+        let r = find_frontier(&analytic_spec(600, seed), &FrontierConfig::default())
+            .expect("analytic probe runs");
+        assert!(
+            r.lo < r.hi,
+            "seed {seed}: degenerate bracket [{}, {}]",
+            r.lo,
+            r.hi
+        );
+        assert!(
+            r.lo >= 0.85 && r.hi <= 1.25,
+            "seed {seed}: frontier [{:.3}, {:.3}] does not bracket util = 1",
+            r.lo,
+            r.hi
+        );
+    }
+}
+
+/// The detector never flags a draining run: well below the frontier the
+/// backlog clears inside the arrival phase on every seed.
+#[test]
+fn detector_never_flags_a_draining_run() {
+    for seed in [1u64, 7, 19] {
+        for util in [0.5, 0.7] {
+            let mut s = analytic_spec(400, seed);
+            s.util = util;
+            s.stream = true;
+            s.telemetry_window_ms = 2_000;
+            let out = s.run_one(seed).expect("draining probe runs");
+            assert!(
+                !saturated(out.report(), s.jobs),
+                "seed {seed}, util {util}: draining run flagged as saturated"
+            );
+        }
+    }
+}
+
+/// `frontier_grid` is a deterministic fan-out: the full result set is
+/// bit-identical whatever the worker-thread count.
+#[test]
+fn frontier_grid_is_identical_across_thread_counts() {
+    let mut diurnal = analytic_spec(300, 3);
+    diurnal.rate_profile = "diurnal".into();
+    diurnal.rate_period_ms = 20_000;
+    let cells = [analytic_spec(300, 1), diurnal, analytic_spec(300, 7)];
+    let cfg = FrontierConfig {
+        iters: 4,
+        ..FrontierConfig::default()
+    };
+    let serial = frontier_grid(&cells, &cfg, 1).expect("serial grid runs");
+    let fanned = frontier_grid(&cells, &cfg, 4).expect("fanned grid runs");
+    assert_eq!(
+        serial, fanned,
+        "frontier_grid results depend on the thread count"
+    );
+}
